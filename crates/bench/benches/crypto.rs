@@ -1,0 +1,48 @@
+//! Micro-benchmarks for the cryptographic substrate: the ChaCha20 keystream,
+//! the PRF, and full record encryption/decryption (the per-record cost every
+//! synchronization pays).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpsync_crypto::{ChaCha20, MasterKey, Prf, RecordCryptor, RecordPlaintext};
+
+fn bench_chacha(c: &mut Criterion) {
+    let cipher = ChaCha20::new([7u8; 32]);
+    let mut group = c.benchmark_group("chacha20");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("encrypt_{size}B"), |b| {
+            b.iter(|| black_box(cipher.apply_copy([1u8; 12], 0, black_box(&data))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prf(c: &mut Criterion) {
+    let prf = Prf::new([3u8; 32]);
+    c.bench_function("prf/eval_u64", |b| {
+        b.iter(|| black_box(prf.eval_u64(black_box(123_456))))
+    });
+    c.bench_function("prf/derive_nonce", |b| {
+        b.iter(|| black_box(prf.derive_nonce(black_box(99))))
+    });
+}
+
+fn bench_record_encryption(c: &mut Criterion) {
+    let master = MasterKey::from_bytes([9u8; 32]);
+    let mut cryptor = RecordCryptor::new(&master);
+    let payload = RecordPlaintext::real(vec![0x42u8; 45]);
+    c.bench_function("record/encrypt", |b| {
+        b.iter(|| black_box(cryptor.encrypt(black_box(&payload)).unwrap()))
+    });
+    let ciphertext = cryptor.encrypt(&payload).unwrap();
+    c.bench_function("record/decrypt", |b| {
+        b.iter(|| black_box(cryptor.decrypt(black_box(&ciphertext)).unwrap()))
+    });
+    c.bench_function("record/encrypt_dummy", |b| {
+        b.iter(|| black_box(cryptor.encrypt_dummy().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_chacha, bench_prf, bench_record_encryption);
+criterion_main!(benches);

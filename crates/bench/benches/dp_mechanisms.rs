@@ -1,0 +1,43 @@
+//! Micro-benchmarks for the differential-privacy primitives: Laplace
+//! sampling, the Laplace mechanism, the sparse-vector comparison, and the
+//! `Perturb` operator the strategies call on every synchronization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsync_core::perturb::perturbed_count;
+use dpsync_dp::{AboveNoisyThreshold, DpRng, Epsilon, Laplace, LaplaceMechanism};
+
+fn bench_laplace_sampling(c: &mut Criterion) {
+    let dist = Laplace::new(0.0, 2.0).unwrap();
+    let mut rng = DpRng::seed_from_u64(1);
+    c.bench_function("laplace/sample", |b| {
+        b.iter(|| black_box(dist.sample(&mut rng)))
+    });
+
+    let mechanism = LaplaceMechanism::counting(Epsilon::new_unchecked(0.5));
+    c.bench_function("laplace/mechanism_release_count", |b| {
+        b.iter(|| black_box(mechanism.release_count_clamped(black_box(1_000), &mut rng)))
+    });
+}
+
+fn bench_sparse_vector(c: &mut Criterion) {
+    let mut rng = DpRng::seed_from_u64(2);
+    let eps = Epsilon::new_unchecked(0.25);
+    c.bench_function("svt/observe_below_threshold", |b| {
+        let mut svt = AboveNoisyThreshold::new(1_000_000.0, eps, &mut rng);
+        b.iter(|| black_box(svt.observe(black_box(10), &mut rng)))
+    });
+    c.bench_function("svt/new_round", |b| {
+        b.iter(|| black_box(AboveNoisyThreshold::new(15.0, eps, &mut rng)))
+    });
+}
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut rng = DpRng::seed_from_u64(3);
+    let eps = Epsilon::new_unchecked(0.5);
+    c.bench_function("perturb/noisy_fetch_size", |b| {
+        b.iter(|| black_box(perturbed_count(black_box(30), eps, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_laplace_sampling, bench_sparse_vector, bench_perturb);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Micro-benchmarks for the encrypted-database engines: the update protocol
+//! (per-batch ingest cost) and the three evaluation queries at several table
+//! sizes, on both the ObliDB-like and Crypt-ε-like engines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsync_crypto::{MasterKey, RecordCryptor};
+use dpsync_edb::engines::base::encrypt_batch;
+use dpsync_edb::engines::{CryptEpsilonEngine, ObliDbEngine};
+use dpsync_edb::query::paper_queries;
+use dpsync_edb::sogdb::SecureOutsourcedDatabase;
+use dpsync_edb::{DataType, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("pick_time", DataType::Timestamp),
+        ("pickup_id", DataType::Int),
+        ("dropoff_id", DataType::Int),
+        ("distance", DataType::Float),
+        ("fare", DataType::Float),
+    ])
+}
+
+fn rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Timestamp(i as u64),
+                Value::Int((i % 265) as i64 + 1),
+                Value::Int((i % 77) as i64 + 1),
+                Value::Float(2.5),
+                Value::Float(12.0),
+            ])
+        })
+        .collect()
+}
+
+fn loaded_oblidb(n: usize) -> ObliDbEngine {
+    let master = MasterKey::from_bytes([1u8; 32]);
+    let mut cryptor = RecordCryptor::new(&master);
+    let mut engine = ObliDbEngine::new(&master);
+    engine
+        .setup("yellow", schema(), encrypt_batch(&mut cryptor, &rows(n), n / 10))
+        .unwrap();
+    engine
+        .setup("green", schema(), encrypt_batch(&mut cryptor, &rows(n / 2), n / 20))
+        .unwrap();
+    engine
+}
+
+fn bench_update_protocol(c: &mut Criterion) {
+    let master = MasterKey::from_bytes([2u8; 32]);
+    let mut group = c.benchmark_group("engine_update");
+    for batch in [1usize, 16, 128] {
+        group.bench_with_input(BenchmarkId::new("oblidb", batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || {
+                    let mut cryptor = RecordCryptor::new(&master);
+                    let mut engine = ObliDbEngine::new(&master);
+                    engine.setup("yellow", schema(), vec![]).unwrap();
+                    let records = encrypt_batch(&mut cryptor, &rows(batch), 0);
+                    (engine, records)
+                },
+                |(mut engine, records)| engine.update("yellow", 1, records).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("engine_query");
+    for n in [1_000usize, 10_000] {
+        let mut oblidb = loaded_oblidb(n);
+        group.bench_with_input(BenchmarkId::new("oblidb_q1", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    oblidb
+                        .query(&paper_queries::q1_range_count("yellow"), &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oblidb_q2", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    oblidb
+                        .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oblidb_q3_join", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    oblidb
+                        .query(&paper_queries::q3_join_count("yellow", "green"), &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+
+        let master = MasterKey::from_bytes([3u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let mut crypte = CryptEpsilonEngine::new(&master);
+        crypte
+            .setup("yellow", schema(), encrypt_batch(&mut cryptor, &rows(n), n / 10))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("crypt_epsilon_q2", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    crypte
+                        .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_protocol, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end benchmark: one scaled-down simulated month (owner + engine +
+//! analyst) per synchronization strategy on the ObliDB-like engine.  This is
+//! the cost of regenerating one cell of Table 5 / one curve of Figure 2, and
+//! doubles as an ablation for the strategy overhead on the full stack.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsync_bench::experiments::config::{EngineKind, ExperimentConfig};
+use dpsync_bench::experiments::runner::{run_simulation, RunSpec};
+use dpsync_core::strategy::StrategyKind;
+
+fn bench_simulated_month(c: &mut Criterion) {
+    // Scale 60 => 720-minute horizon with ~307 Yellow Cab records.
+    let config = ExperimentConfig {
+        scale: 60,
+        seed: 77,
+        ..Default::default()
+    }
+    .rescale();
+
+    let mut group = c.benchmark_group("simulated_month_scale60");
+    group.sample_size(20);
+    for strategy in StrategyKind::ALL {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                black_box(run_simulation(&RunSpec {
+                    engine: EngineKind::ObliDb,
+                    strategy,
+                    config,
+                }))
+            })
+        });
+    }
+    group.bench_function("DP-Timer/crypt-epsilon", |b| {
+        b.iter(|| {
+            black_box(run_simulation(&RunSpec {
+                engine: EngineKind::CryptEpsilon,
+                strategy: StrategyKind::DpTimer,
+                config,
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_month);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks for the synchronization strategies themselves: the
+//! per-tick decision cost of every strategy (the owner pays this on every
+//! time unit, whether or not a synchronization fires).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsync_core::strategy::{
+    AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, StrategyKind, SyncStrategy,
+    SynchronizeEveryTime, SynchronizeUponReceipt, TickContext,
+};
+use dpsync_core::timeline::Timestamp;
+use dpsync_dp::{DpRng, Epsilon};
+
+fn drive(strategy: &mut dyn SyncStrategy, ticks: u64, rng: &mut DpRng) -> u64 {
+    let mut synced = 0u64;
+    for t in 1..=ticks {
+        let ctx = TickContext {
+            time: Timestamp(t),
+            arrived: u64::from(t % 2 == 0),
+            cache_len: t % 50,
+        };
+        if strategy.on_tick(&ctx, rng).is_sync() {
+            synced += 1;
+        }
+    }
+    synced
+}
+
+fn bench_strategy_ticks(c: &mut Criterion) {
+    let eps = Epsilon::new_unchecked(0.5);
+    let flush = Some(CacheFlush::paper_default());
+    let mut group = c.benchmark_group("strategy_1000_ticks");
+    let mut rng = DpRng::seed_from_u64(5);
+
+    group.bench_function(StrategyKind::Sur.label(), |b| {
+        b.iter(|| {
+            let mut s = SynchronizeUponReceipt::new();
+            black_box(drive(&mut s, 1_000, &mut rng))
+        })
+    });
+    group.bench_function(StrategyKind::Set.label(), |b| {
+        b.iter(|| {
+            let mut s = SynchronizeEveryTime::new();
+            black_box(drive(&mut s, 1_000, &mut rng))
+        })
+    });
+    group.bench_function(StrategyKind::DpTimer.label(), |b| {
+        b.iter(|| {
+            let mut s = DpTimerStrategy::with_flush(eps, 30, flush);
+            black_box(drive(&mut s, 1_000, &mut rng))
+        })
+    });
+    group.bench_function(StrategyKind::DpAnt.label(), |b| {
+        b.iter(|| {
+            let mut s = AboveNoisyThresholdStrategy::with_flush(eps, 15, flush);
+            black_box(drive(&mut s, 1_000, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy_ticks);
+criterion_main!(benches);

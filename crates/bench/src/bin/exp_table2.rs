@@ -1,0 +1,24 @@
+//! Regenerates Table 2: the analytic comparison of synchronization strategies
+//! (privacy guarantee, logical-gap bound, total-outsourced-records bound),
+//! evaluated at the end of the paper's month-long horizon with the default
+//! parameters (ε = 0.5, T = 30, θ = 15, f = 2000, s = 15, β = 0.05).
+//!
+//! Usage: `cargo run --release -p dpsync-bench --bin exp_table2 [--scale N] [--seed S]`
+
+use dpsync_bench::experiments::tables::table2_text;
+use dpsync_bench::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    println!("Table 2 — comparison of synchronization strategies");
+    println!(
+        "(epsilon = {}, T = {}, theta = {}, flush f = {}, s = {}, beta = 0.05, horizon = {} minutes)\n",
+        config.params.epsilon,
+        config.params.timer_period,
+        config.params.ant_threshold,
+        config.params.flush_interval,
+        config.params.flush_size,
+        43_200 / config.scale.max(1)
+    );
+    print!("{}", table2_text(&config).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 3: the leakage classification of published encrypted
+//! database schemes and their compatibility with DP-Sync.
+//!
+//! Usage: `cargo run -p dpsync-bench --bin exp_table3`
+
+use dpsync_bench::experiments::tables::table3_text;
+
+fn main() {
+    println!("Table 3 — leakage groups and corresponding encrypted database schemes\n");
+    print!("{}", table3_text().render());
+}

@@ -1,0 +1,238 @@
+//! Shared experiment configuration.
+//!
+//! The defaults mirror §8 of the paper: privacy budget ε = 0.5, DP-Timer
+//! period T = 30, DP-ANT threshold θ = 15, cache flush `f = 2000`, `s = 15`,
+//! queries every 360 time units, size samples every 7200, and the June-2020
+//! Yellow/Green taxi workload shapes.
+
+use dpsync_core::strategy::{
+    AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, OneTimeOutsourcing, StrategyKind,
+    SynchronizeEveryTime, SynchronizeUponReceipt, SyncStrategy,
+};
+use dpsync_dp::Epsilon;
+use dpsync_workloads::taxi::{TaxiConfig, TaxiDataset};
+use serde::{Deserialize, Serialize};
+
+/// Which encrypted-database engine an experiment runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The ObliDB-like engine (L-0).
+    ObliDb,
+    /// The Crypt-ε-like engine (L-DP).
+    CryptEpsilon,
+}
+
+impl EngineKind {
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::ObliDb => "ObliDB",
+            EngineKind::CryptEpsilon => "Crypt-epsilon",
+        }
+    }
+
+    /// Both engines, in the order the paper presents them.
+    pub const ALL: [EngineKind; 2] = [EngineKind::CryptEpsilon, EngineKind::ObliDb];
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Strategy parameters for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyParams {
+    /// Privacy budget for the DP strategies.
+    pub epsilon: f64,
+    /// DP-Timer period `T`.
+    pub timer_period: u64,
+    /// DP-ANT threshold θ.
+    pub ant_threshold: u64,
+    /// Cache-flush interval `f`.
+    pub flush_interval: u64,
+    /// Cache-flush size `s`.
+    pub flush_size: u64,
+}
+
+impl Default for StrategyParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.5,
+            timer_period: 30,
+            ant_threshold: 15,
+            flush_interval: 2000,
+            flush_size: 15,
+        }
+    }
+}
+
+impl StrategyParams {
+    /// Builds a fresh strategy instance of the given kind.
+    pub fn build(&self, kind: StrategyKind) -> Box<dyn SyncStrategy> {
+        let flush = Some(CacheFlush::new(self.flush_interval, self.flush_size));
+        match kind {
+            StrategyKind::Sur => Box::new(SynchronizeUponReceipt::new()),
+            StrategyKind::Oto => Box::new(OneTimeOutsourcing::new()),
+            StrategyKind::Set => Box::new(SynchronizeEveryTime::new()),
+            StrategyKind::DpTimer => Box::new(DpTimerStrategy::with_flush(
+                Epsilon::new_unchecked(self.epsilon),
+                self.timer_period,
+                flush,
+            )),
+            StrategyKind::DpAnt => Box::new(AboveNoisyThresholdStrategy::with_flush(
+                Epsilon::new_unchecked(self.epsilon),
+                self.ant_threshold,
+                flush,
+            )),
+        }
+    }
+}
+
+/// Top-level experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Workload/horizon scale divisor: 1 is the paper's full month, larger
+    /// values shrink both horizon and record counts proportionally (used by
+    /// tests and quick smoke runs).
+    pub scale: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Strategy parameters.
+    pub params: StrategyParams,
+    /// Query interval in time units (paper: 360).
+    pub query_interval: u64,
+    /// Size-sample interval in time units (paper: 7200).
+    pub size_sample_interval: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1,
+            seed: 2021,
+            params: StrategyParams::default(),
+            query_interval: 360,
+            size_sample_interval: 7200,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses `--scale N` and `--seed S` from command-line arguments,
+    /// starting from the defaults.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut config = Self::default();
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        config.scale = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        config.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        config.rescale()
+    }
+
+    /// Applies the scale divisor to the time-dependent intervals so that a
+    /// scaled run still poses a comparable number of queries.
+    pub fn rescale(mut self) -> Self {
+        let scale = self.scale.max(1);
+        self.query_interval = (360 / scale).max(10);
+        self.size_sample_interval = (7200 / scale).max(50);
+        self
+    }
+
+    /// The Yellow Cab workload at this scale.
+    pub fn yellow_dataset(&self) -> TaxiDataset {
+        TaxiDataset::generate(TaxiConfig::scaled_yellow(self.seed, self.scale.max(1)))
+    }
+
+    /// The Green Boro workload at this scale.
+    pub fn green_dataset(&self) -> TaxiDataset {
+        TaxiDataset::generate(TaxiConfig::scaled_green(self.seed + 1, self.scale.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_8() {
+        let p = StrategyParams::default();
+        assert_eq!(p.epsilon, 0.5);
+        assert_eq!(p.timer_period, 30);
+        assert_eq!(p.ant_threshold, 15);
+        assert_eq!(p.flush_interval, 2000);
+        assert_eq!(p.flush_size, 15);
+        let c = ExperimentConfig::default();
+        assert_eq!(c.query_interval, 360);
+        assert_eq!(c.size_sample_interval, 7200);
+        assert_eq!(c.scale, 1);
+    }
+
+    #[test]
+    fn build_creates_every_strategy_kind() {
+        let p = StrategyParams::default();
+        for kind in StrategyKind::ALL {
+            let s = p.build(kind);
+            assert_eq!(s.kind(), kind);
+            match kind {
+                StrategyKind::DpTimer | StrategyKind::DpAnt => {
+                    assert_eq!(s.epsilon().unwrap().value(), 0.5)
+                }
+                _ => assert!(s.epsilon().is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn arg_parsing_and_rescaling() {
+        let c = ExperimentConfig::from_args(
+            ["--scale", "20", "--seed", "7", "--ignored"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(c.scale, 20);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.query_interval, 18);
+        assert_eq!(c.size_sample_interval, 360);
+        // Missing values fall back to defaults.
+        let d = ExperimentConfig::from_args(["--scale"].iter().map(|s| s.to_string()));
+        assert_eq!(d.scale, 1);
+    }
+
+    #[test]
+    fn scaled_datasets_shrink_proportionally() {
+        let c = ExperimentConfig {
+            scale: 40,
+            ..Default::default()
+        };
+        let yellow = c.yellow_dataset();
+        let green = c.green_dataset();
+        assert_eq!(yellow.len(), 18_429 / 40);
+        assert_eq!(green.len(), 21_300 / 40);
+        assert_eq!(yellow.horizon(), 43_200 / 40);
+    }
+
+    #[test]
+    fn engine_labels() {
+        assert_eq!(EngineKind::ObliDb.to_string(), "ObliDB");
+        assert_eq!(EngineKind::CryptEpsilon.label(), "Crypt-epsilon");
+        assert_eq!(EngineKind::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! The end-to-end comparison experiments: Figures 2–4 and Table 5.
+//!
+//! One simulated month per (strategy × engine) pair provides everything these
+//! artifacts need; the functions here run those simulations (or accept
+//! pre-computed reports) and shape the results into figure series and table
+//! rows.
+
+use crate::experiments::config::{EngineKind, ExperimentConfig};
+use crate::experiments::runner::run_all_strategies;
+use crate::report::{format_mb, format_seconds, CsvSeries, TextTable};
+use dpsync_core::metrics::SimulationReport;
+use dpsync_core::strategy::StrategyKind;
+
+/// All reports for one engine, keyed by strategy, in the paper's order.
+pub type EngineReports = Vec<(StrategyKind, SimulationReport)>;
+
+/// Runs the full end-to-end comparison for both engines.
+pub fn run_end_to_end(config: ExperimentConfig) -> Vec<(EngineKind, EngineReports)> {
+    EngineKind::ALL
+        .iter()
+        .map(|&engine| (engine, run_all_strategies(engine, config)))
+        .collect()
+}
+
+/// Figure 2: per-query L1 error (`metric = Error`) or QET (`metric = Qet`)
+/// over time, one series column per strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig2Metric {
+    /// L1 query error (Figure 2 a–e).
+    Error,
+    /// Estimated query execution time (Figure 2 f–j).
+    Qet,
+}
+
+/// Builds one Figure-2 panel: the chosen metric for `query` over time, with
+/// one column per strategy.
+pub fn figure2_series(
+    engine: EngineKind,
+    query: &str,
+    metric: Fig2Metric,
+    reports: &EngineReports,
+) -> CsvSeries {
+    let metric_name = match metric {
+        Fig2Metric::Error => "L1 error",
+        Fig2Metric::Qet => "estimated QET (s)",
+    };
+    let mut columns = vec!["time".to_string()];
+    columns.extend(reports.iter().map(|(k, _)| k.label().to_string()));
+    let mut series = CsvSeries::new(
+        format!("Figure 2: {engine} {query} {metric_name}"),
+        columns,
+    );
+
+    // Collect the union of query times (all strategies share the schedule).
+    let times: Vec<u64> = reports
+        .first()
+        .map(|(_, r)| {
+            r.query_samples
+                .iter()
+                .filter(|s| s.query == query)
+                .map(|s| s.time)
+                .collect()
+        })
+        .unwrap_or_default();
+
+    for time in times {
+        let mut point = vec![time as f64];
+        for (_, report) in reports {
+            let value = report
+                .query_samples
+                .iter()
+                .find(|s| s.query == query && s.time == time)
+                .map(|s| match metric {
+                    Fig2Metric::Error => s.l1_error,
+                    Fig2Metric::Qet => s.estimated_qet,
+                })
+                .unwrap_or(f64::NAN);
+            point.push(value);
+        }
+        series.push(point);
+    }
+    series
+}
+
+/// Figure 3: total outsourced data size (or dummy data size) over time, in
+/// megabytes, one column per strategy.
+pub fn figure3_series(engine: EngineKind, dummy_only: bool, reports: &EngineReports) -> CsvSeries {
+    let what = if dummy_only { "dummy" } else { "total outsourced" };
+    let mut columns = vec!["time".to_string()];
+    columns.extend(reports.iter().map(|(k, _)| k.label().to_string()));
+    let mut series = CsvSeries::new(format!("Figure 3: {engine} {what} data size (MB)"), columns);
+
+    let times: Vec<u64> = reports
+        .first()
+        .map(|(_, r)| r.size_samples.iter().map(|s| s.time).collect())
+        .unwrap_or_default();
+    for time in times {
+        let mut point = vec![time as f64];
+        for (_, report) in reports {
+            let value = report
+                .size_samples
+                .iter()
+                .find(|s| s.time == time)
+                .map(|s| {
+                    let bytes = if dummy_only { s.dummy_bytes } else { s.outsourced_bytes };
+                    bytes as f64 / 1_000_000.0
+                })
+                .unwrap_or(f64::NAN);
+            point.push(value);
+        }
+        series.push(point);
+    }
+    series
+}
+
+/// Figure 4: mean QET vs mean L1 error for the default query (Q2), one point
+/// per strategy.
+pub fn figure4_series(engine: EngineKind, reports: &EngineReports) -> CsvSeries {
+    let mut series = CsvSeries::new(
+        format!("Figure 4: {engine} mean Q2 QET (s) vs mean Q2 L1 error"),
+        ["strategy_index", "mean_qet_seconds", "mean_l1_error"],
+    );
+    for (index, (_, report)) in reports.iter().enumerate() {
+        series.push(vec![
+            index as f64,
+            report.mean_estimated_qet("Q2"),
+            report.mean_l1_error("Q2"),
+        ]);
+    }
+    series
+}
+
+/// Legend for Figure 4 (strategy index → label), printed next to the series.
+pub fn figure4_legend(reports: &EngineReports) -> Vec<String> {
+    reports
+        .iter()
+        .enumerate()
+        .map(|(i, (k, _))| format!("{i} = {}", k.label()))
+        .collect()
+}
+
+/// Table 5: the aggregated comparison statistics for one engine.
+pub fn table5(engine: EngineKind, reports: &EngineReports) -> TextTable {
+    let mut table = TextTable::new([
+        "Engine".to_string(),
+        "Metric".to_string(),
+        StrategyKind::Sur.label().to_string(),
+        StrategyKind::Set.label().to_string(),
+        StrategyKind::Oto.label().to_string(),
+        StrategyKind::DpTimer.label().to_string(),
+        StrategyKind::DpAnt.label().to_string(),
+    ]);
+
+    let get = |kind: StrategyKind| -> &SimulationReport {
+        &reports
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("all strategies present")
+            .1
+    };
+    let order = [
+        StrategyKind::Sur,
+        StrategyKind::Set,
+        StrategyKind::Oto,
+        StrategyKind::DpTimer,
+        StrategyKind::DpAnt,
+    ];
+    let queries = get(StrategyKind::Sur).query_labels();
+
+    for query in &queries {
+        for (metric, f) in [
+            ("Mean L1 Err", &(|r: &SimulationReport, q: &str| r.mean_l1_error(q))
+                as &dyn Fn(&SimulationReport, &str) -> f64),
+            ("Max L1 Err", &|r, q| r.max_l1_error(q)),
+            ("Mean QET (s)", &|r, q| r.mean_estimated_qet(q)),
+        ] {
+            let mut row = vec![engine.label().to_string(), format!("{query} {metric}")];
+            for kind in order {
+                row.push(format!("{:.2}", f(get(kind), query)));
+            }
+            table.add_row(row);
+        }
+    }
+
+    let mut gap_row = vec![engine.label().to_string(), "Mean logical gap".to_string()];
+    let mut total_row = vec![engine.label().to_string(), "Total data (MB)".to_string()];
+    let mut dummy_row = vec![engine.label().to_string(), "Dummy data (MB)".to_string()];
+    for kind in order {
+        let report = get(kind);
+        gap_row.push(format!("{:.2}", report.mean_logical_gap()));
+        let sizes = report.final_sizes().unwrap_or_default();
+        total_row.push(format_mb(sizes.outsourced_bytes));
+        dummy_row.push(format_mb(sizes.dummy_bytes));
+    }
+    table.add_row(gap_row);
+    table.add_row(total_row);
+    table.add_row(dummy_row);
+    table
+}
+
+/// The headline claims of the paper's abstract, computed from the reports:
+/// the accuracy advantage of the DP strategies over OTO and the performance
+/// advantage over SET.
+pub fn headline_ratios(reports: &EngineReports) -> (f64, f64) {
+    let get = |kind: StrategyKind| -> &SimulationReport {
+        &reports.iter().find(|(k, _)| *k == kind).expect("present").1
+    };
+    let dp_err = get(StrategyKind::DpTimer)
+        .mean_l1_error_all()
+        .max(get(StrategyKind::DpAnt).mean_l1_error_all())
+        .max(1e-9);
+    let accuracy_gain = get(StrategyKind::Oto).mean_l1_error_all() / dp_err;
+
+    let dp_qet = get(StrategyKind::DpTimer)
+        .mean_estimated_qet_all()
+        .max(get(StrategyKind::DpAnt).mean_estimated_qet_all())
+        .max(1e-9);
+    let performance_gain = get(StrategyKind::Set).mean_estimated_qet_all() / dp_qet;
+    (accuracy_gain, performance_gain)
+}
+
+/// A human-readable summary line for one engine's headline ratios.
+pub fn headline_summary(engine: EngineKind, reports: &EngineReports) -> String {
+    let (accuracy, performance) = headline_ratios(reports);
+    format!(
+        "{engine}: DP strategies are {}x more accurate than OTO and {}x faster than SET (mean QET {} s vs {} s)",
+        format_seconds(accuracy),
+        format_seconds(performance),
+        format_seconds(
+            reports
+                .iter()
+                .find(|(k, _)| *k == StrategyKind::DpTimer)
+                .map(|(_, r)| r.mean_estimated_qet_all())
+                .unwrap_or(f64::NAN)
+        ),
+        format_seconds(
+            reports
+                .iter()
+                .find(|(k, _)| *k == StrategyKind::Set)
+                .map(|(_, r)| r.mean_estimated_qet_all())
+                .unwrap_or(f64::NAN)
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::runner::run_all_strategies;
+
+    fn smoke_reports() -> EngineReports {
+        let config = ExperimentConfig {
+            scale: 60,
+            seed: 11,
+            ..Default::default()
+        }
+        .rescale();
+        run_all_strategies(EngineKind::ObliDb, config)
+    }
+
+    #[test]
+    fn figure2_series_has_one_column_per_strategy() {
+        let reports = smoke_reports();
+        let series = figure2_series(EngineKind::ObliDb, "Q2", Fig2Metric::Error, &reports);
+        assert!(!series.is_empty());
+        let rendered = series.render();
+        assert!(rendered.contains("SUR"));
+        assert!(rendered.contains("DP-ANT"));
+        let qet = figure2_series(EngineKind::ObliDb, "Q1", Fig2Metric::Qet, &reports);
+        assert!(!qet.is_empty());
+    }
+
+    #[test]
+    fn figure3_and_4_series_are_populated() {
+        let reports = smoke_reports();
+        assert!(!figure3_series(EngineKind::ObliDb, false, &reports).is_empty());
+        assert!(!figure3_series(EngineKind::ObliDb, true, &reports).is_empty());
+        let fig4 = figure4_series(EngineKind::ObliDb, &reports);
+        assert_eq!(fig4.len(), 5);
+        assert_eq!(figure4_legend(&reports).len(), 5);
+    }
+
+    #[test]
+    fn table5_contains_all_metrics_and_strategies() {
+        let reports = smoke_reports();
+        let table = table5(EngineKind::ObliDb, &reports);
+        let rendered = table.render();
+        assert!(rendered.contains("Mean L1 Err"));
+        assert!(rendered.contains("Total data (MB)"));
+        assert!(rendered.contains("DP-Timer"));
+        // 3 metrics × 3 queries + 3 size rows = 12 rows.
+        assert_eq!(table.len(), 12);
+    }
+
+    #[test]
+    fn headline_ratios_reproduce_the_papers_direction() {
+        let reports = smoke_reports();
+        let (accuracy_gain, performance_gain) = headline_ratios(&reports);
+        // The paper reports up to 520x accuracy gain vs OTO and up to 5.72x
+        // performance gain vs SET; at smoke scale we only require the
+        // direction (both ratios must be comfortably above 1).
+        assert!(accuracy_gain > 5.0, "accuracy gain {accuracy_gain}");
+        assert!(performance_gain > 1.2, "performance gain {performance_gain}");
+        assert!(headline_summary(EngineKind::ObliDb, &reports).contains("more accurate"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment implementations, one module per paper artifact group.
+//!
+//! * [`config`] — shared experiment configuration (engines, strategy
+//!   parameters, scaling).
+//! * [`runner`] — builds workloads/engines/strategies and runs simulations.
+//! * [`end_to_end`] — the Figure 2/3/4 time series and the Table 5 aggregate
+//!   comparison (one simulated month per strategy × engine).
+//! * [`sweeps`] — the privacy sweep of Figure 5 and the `T`/θ sweeps of
+//!   Figure 6.
+//! * [`tables`] — the analytic Table 2, the leakage-classification Table 3
+//!   and the Table 4 privacy verification.
+
+pub mod ablation;
+pub mod config;
+pub mod end_to_end;
+pub mod runner;
+pub mod sweeps;
+pub mod tables;

@@ -1,0 +1,183 @@
+//! Builds and runs one simulated month for a (strategy, engine) pair.
+
+use crate::experiments::config::{EngineKind, ExperimentConfig};
+use dpsync_core::metrics::SimulationReport;
+use dpsync_core::simulation::{Simulation, SimulationConfig, TableWorkload};
+use dpsync_core::strategy::StrategyKind;
+use dpsync_crypto::MasterKey;
+use dpsync_edb::engines::{CryptEpsilonEngine, ObliDbEngine};
+use dpsync_edb::sogdb::SecureOutsourcedDatabase;
+use dpsync_edb::Query;
+use dpsync_workloads::queries;
+
+/// One simulation run specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Which engine hosts the outsourced data.
+    pub engine: EngineKind,
+    /// Which synchronization strategy the owner runs.
+    pub strategy: StrategyKind,
+    /// Experiment configuration (scale, seed, parameters).
+    pub config: ExperimentConfig,
+}
+
+impl RunSpec {
+    /// The query set this run poses: the Crypt-ε-like engine cannot evaluate
+    /// Q3 (joins), matching footnote 2 of the paper.
+    pub fn query_set(&self) -> Vec<(String, Query)> {
+        match self.engine {
+            EngineKind::ObliDb => queries::paper_query_set(),
+            EngineKind::CryptEpsilon => queries::single_table_query_set(),
+        }
+    }
+
+    /// Whether the run replays the Green Boro table as well (needed for Q3).
+    pub fn includes_green(&self) -> bool {
+        matches!(self.engine, EngineKind::ObliDb)
+    }
+}
+
+/// Derives the deterministic master key for a run.
+fn master_key(config: &ExperimentConfig) -> MasterKey {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&config.seed.to_le_bytes());
+    bytes[8] = 0xD5;
+    MasterKey::from_bytes(bytes)
+}
+
+/// Builds the engine for a run.
+pub fn build_engine(kind: EngineKind, master: &MasterKey) -> Box<dyn SecureOutsourcedDatabase> {
+    match kind {
+        EngineKind::ObliDb => Box::new(ObliDbEngine::new(master)),
+        EngineKind::CryptEpsilon => Box::new(CryptEpsilonEngine::new(master)),
+    }
+}
+
+/// Builds the table workloads for a run.
+pub fn build_workloads(spec: &RunSpec) -> Vec<TableWorkload> {
+    let mut workloads = vec![spec.config.yellow_dataset().to_workload(queries::YELLOW_TABLE)];
+    if spec.includes_green() {
+        workloads.push(spec.config.green_dataset().to_workload(queries::GREEN_TABLE));
+    }
+    workloads
+}
+
+/// Runs one full simulation and returns its report.
+pub fn run_simulation(spec: &RunSpec) -> SimulationReport {
+    let master = master_key(&spec.config);
+    let mut engine = build_engine(spec.engine, &master);
+    let workloads = build_workloads(spec);
+    let sim = Simulation::new(SimulationConfig {
+        query_interval: spec.config.query_interval,
+        size_sample_interval: spec.config.size_sample_interval,
+        queries: spec.query_set(),
+        seed: spec.config.seed ^ (spec.strategy as u64).wrapping_mul(0x9e37_79b9),
+    });
+    sim.run(&workloads, engine.as_mut(), &master, |_| {
+        spec.config.params.build(spec.strategy)
+    })
+    .expect("simulation over generated workloads cannot fail")
+}
+
+/// Runs every strategy against one engine, in the paper's order.
+pub fn run_all_strategies(
+    engine: EngineKind,
+    config: ExperimentConfig,
+) -> Vec<(StrategyKind, SimulationReport)> {
+    StrategyKind::ALL
+        .iter()
+        .map(|&strategy| {
+            let spec = RunSpec {
+                engine,
+                strategy,
+                config,
+            };
+            (strategy, run_simulation(&spec))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: 60,
+            seed: 3,
+            ..Default::default()
+        }
+        .rescale()
+    }
+
+    #[test]
+    fn oblidb_run_covers_all_three_queries() {
+        let spec = RunSpec {
+            engine: EngineKind::ObliDb,
+            strategy: StrategyKind::DpTimer,
+            config: smoke_config(),
+        };
+        assert!(spec.includes_green());
+        assert_eq!(spec.query_set().len(), 3);
+        let report = run_simulation(&spec);
+        assert_eq!(report.engine, "oblidb");
+        assert_eq!(report.strategy, StrategyKind::DpTimer);
+        let labels = report.query_labels();
+        assert!(labels.contains(&"Q1".to_string()));
+        assert!(labels.contains(&"Q3".to_string()));
+        assert!(report.final_sizes().unwrap().outsourced_records > 0);
+    }
+
+    #[test]
+    fn crypt_epsilon_run_skips_joins() {
+        let spec = RunSpec {
+            engine: EngineKind::CryptEpsilon,
+            strategy: StrategyKind::Sur,
+            config: smoke_config(),
+        };
+        assert!(!spec.includes_green());
+        let report = run_simulation(&spec);
+        assert_eq!(report.engine, "crypt-epsilon");
+        assert!(!report.query_labels().contains(&"Q3".to_string()));
+        // Crypt-ε adds per-query noise, so even SUR has non-zero error.
+        assert!(report.mean_l1_error("Q2") > 0.0);
+    }
+
+    #[test]
+    fn all_strategies_produce_reports_in_order() {
+        let results = run_all_strategies(EngineKind::ObliDb, smoke_config());
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].0, StrategyKind::Sur);
+        assert_eq!(results[4].0, StrategyKind::DpAnt);
+        // Qualitative shape of Table 5: OTO's error dwarfs everyone else's,
+        // SET stores the most data.
+        let report_for = |kind: StrategyKind| {
+            &results.iter().find(|(k, _)| *k == kind).unwrap().1
+        };
+        let oto_err = report_for(StrategyKind::Oto).mean_l1_error("Q2");
+        let timer_err = report_for(StrategyKind::DpTimer).mean_l1_error("Q2");
+        assert!(oto_err > timer_err * 5.0, "oto {oto_err} vs timer {timer_err}");
+        let set_records = report_for(StrategyKind::Set)
+            .final_sizes()
+            .unwrap()
+            .outsourced_records;
+        let sur_records = report_for(StrategyKind::Sur)
+            .final_sizes()
+            .unwrap()
+            .outsourced_records;
+        assert!(set_records > sur_records);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let spec = RunSpec {
+            engine: EngineKind::ObliDb,
+            strategy: StrategyKind::DpAnt,
+            config: smoke_config(),
+        };
+        let a = run_simulation(&spec);
+        let b = run_simulation(&spec);
+        assert_eq!(a.final_sizes(), b.final_sizes());
+        assert_eq!(a.sync_count, b.sync_count);
+    }
+}

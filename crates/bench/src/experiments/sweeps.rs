@@ -1,0 +1,216 @@
+//! Parameter sweeps: Figure 5 (privacy level) and Figure 6 (non-privacy
+//! parameters `T` and θ).
+//!
+//! Both sweeps follow §8.2/§8.3: the ObliDB-based implementation, the default
+//! query Q2, and all non-swept parameters at their defaults.  Each sweep
+//! point is one full simulated month.
+
+use crate::experiments::config::{EngineKind, ExperimentConfig};
+use crate::experiments::runner::{run_simulation, RunSpec};
+use crate::report::CsvSeries;
+use dpsync_core::metrics::SimulationReport;
+use dpsync_core::strategy::StrategyKind;
+
+/// The ε values swept in Figure 5.
+pub fn figure5_epsilons() -> Vec<f64> {
+    vec![0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0]
+}
+
+/// The `T` / θ values swept in Figure 6.
+pub fn figure6_parameters() -> Vec<u64> {
+    vec![1, 3, 10, 30, 100, 300, 1000]
+}
+
+/// One sweep observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (ε, `T`, or θ).
+    pub parameter: f64,
+    /// Mean Q2 L1 error over the run.
+    pub mean_l1_error: f64,
+    /// Mean Q2 estimated QET over the run, in seconds.
+    pub mean_qet: f64,
+}
+
+fn point_from_report(parameter: f64, report: &SimulationReport) -> SweepPoint {
+    SweepPoint {
+        parameter,
+        mean_l1_error: report.mean_l1_error("Q2"),
+        mean_qet: report.mean_estimated_qet("Q2"),
+    }
+}
+
+/// Runs the Figure-5 privacy sweep for one DP strategy.
+pub fn privacy_sweep(
+    strategy: StrategyKind,
+    base: ExperimentConfig,
+    epsilons: &[f64],
+) -> Vec<SweepPoint> {
+    assert!(matches!(strategy, StrategyKind::DpTimer | StrategyKind::DpAnt));
+    epsilons
+        .iter()
+        .map(|&epsilon| {
+            let mut config = base;
+            config.params.epsilon = epsilon;
+            let report = run_simulation(&RunSpec {
+                engine: EngineKind::ObliDb,
+                strategy,
+                config,
+            });
+            point_from_report(epsilon, &report)
+        })
+        .collect()
+}
+
+/// Runs the Figure-5 baselines (SUR / SET / OTO do not depend on ε, so a
+/// single run each provides their horizontal reference lines).
+pub fn baseline_points(base: ExperimentConfig) -> Vec<(StrategyKind, SweepPoint)> {
+    [StrategyKind::Sur, StrategyKind::Set, StrategyKind::Oto]
+        .iter()
+        .map(|&strategy| {
+            let report = run_simulation(&RunSpec {
+                engine: EngineKind::ObliDb,
+                strategy,
+                config: base,
+            });
+            (strategy, point_from_report(f64::NAN, &report))
+        })
+        .collect()
+}
+
+/// Runs the Figure-6 sweep over the DP-Timer period `T`.
+pub fn timer_period_sweep(base: ExperimentConfig, periods: &[u64]) -> Vec<SweepPoint> {
+    periods
+        .iter()
+        .map(|&period| {
+            let mut config = base;
+            config.params.timer_period = period;
+            let report = run_simulation(&RunSpec {
+                engine: EngineKind::ObliDb,
+                strategy: StrategyKind::DpTimer,
+                config,
+            });
+            point_from_report(period as f64, &report)
+        })
+        .collect()
+}
+
+/// Runs the Figure-6 sweep over the DP-ANT threshold θ.
+pub fn ant_threshold_sweep(base: ExperimentConfig, thresholds: &[u64]) -> Vec<SweepPoint> {
+    thresholds
+        .iter()
+        .map(|&theta| {
+            let mut config = base;
+            config.params.ant_threshold = theta;
+            let report = run_simulation(&RunSpec {
+                engine: EngineKind::ObliDb,
+                strategy: StrategyKind::DpAnt,
+                config,
+            });
+            point_from_report(theta as f64, &report)
+        })
+        .collect()
+}
+
+/// Renders a sweep as a CSV series (`parameter, mean_l1_error, mean_qet`).
+pub fn sweep_series(title: &str, parameter_name: &str, points: &[SweepPoint]) -> CsvSeries {
+    let mut series = CsvSeries::new(
+        title,
+        [parameter_name, "mean_l1_error", "mean_qet_seconds"],
+    );
+    for p in points {
+        series.push(vec![p.parameter, p.mean_l1_error, p.mean_qet]);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: 80,
+            seed: 5,
+            ..Default::default()
+        }
+        .rescale()
+    }
+
+    #[test]
+    fn figure5_epsilon_grid_spans_the_paper_range() {
+        let eps = figure5_epsilons();
+        assert_eq!(eps.first(), Some(&0.001));
+        assert_eq!(eps.last(), Some(&10.0));
+        assert!(eps.windows(2).all(|w| w[0] < w[1]));
+        let params = figure6_parameters();
+        assert_eq!(params.first(), Some(&1));
+        assert_eq!(params.last(), Some(&1000));
+    }
+
+    #[test]
+    fn timer_error_decreases_as_epsilon_grows() {
+        // Observation 4: DP-Timer's error shrinks with larger ε.
+        let points = privacy_sweep(StrategyKind::DpTimer, smoke_config(), &[0.05, 5.0]);
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[0].mean_l1_error > points[1].mean_l1_error,
+            "eps=0.05 error {} should exceed eps=5 error {}",
+            points[0].mean_l1_error,
+            points[1].mean_l1_error
+        );
+    }
+
+    #[test]
+    fn qet_decreases_as_epsilon_grows() {
+        // Observation 5: less noise means fewer dummies, hence lower QET.
+        let points = privacy_sweep(StrategyKind::DpAnt, smoke_config(), &[0.05, 5.0]);
+        assert!(
+            points[0].mean_qet >= points[1].mean_qet,
+            "eps=0.05 QET {} should be at least eps=5 QET {}",
+            points[0].mean_qet,
+            points[1].mean_qet
+        );
+    }
+
+    #[test]
+    fn larger_timer_period_increases_error_and_decreases_qet() {
+        // Observation 6.
+        let points = timer_period_sweep(smoke_config(), &[3, 300]);
+        assert!(
+            points[1].mean_l1_error > points[0].mean_l1_error,
+            "T=300 error {} should exceed T=3 error {}",
+            points[1].mean_l1_error,
+            points[0].mean_l1_error
+        );
+        assert!(points[1].mean_qet <= points[0].mean_qet);
+    }
+
+    #[test]
+    fn larger_ant_threshold_increases_error() {
+        let points = ant_threshold_sweep(smoke_config(), &[3, 300]);
+        assert!(
+            points[1].mean_l1_error > points[0].mean_l1_error,
+            "theta=300 error {} should exceed theta=3 error {}",
+            points[1].mean_l1_error,
+            points[0].mean_l1_error
+        );
+    }
+
+    #[test]
+    fn baselines_and_series_rendering() {
+        let baselines = baseline_points(smoke_config());
+        assert_eq!(baselines.len(), 3);
+        let sur = &baselines.iter().find(|(k, _)| *k == StrategyKind::Sur).unwrap().1;
+        assert_eq!(sur.mean_l1_error, 0.0);
+        let oto = &baselines.iter().find(|(k, _)| *k == StrategyKind::Oto).unwrap().1;
+        assert!(oto.mean_l1_error > sur.mean_l1_error);
+
+        let series = sweep_series("Figure 5a", "epsilon", &[SweepPoint {
+            parameter: 0.5,
+            mean_l1_error: 3.0,
+            mean_qet: 2.5,
+        }]);
+        assert!(series.render().contains("epsilon,mean_l1_error,mean_qet_seconds"));
+    }
+}

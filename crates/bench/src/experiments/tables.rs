@@ -1,0 +1,172 @@
+//! The analytic and classification tables: Table 2, Table 3 and the Table-4
+//! privacy verification.
+
+use crate::experiments::config::ExperimentConfig;
+use crate::report::TextTable;
+use dpsync_core::privacy::{self, DpTestResult};
+use dpsync_core::strategy::bounds::{table2, BoundContext};
+use dpsync_core::strategy::{
+    AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, StrategyKind,
+};
+use dpsync_core::timeline::Timestamp;
+use dpsync_dp::Epsilon;
+use dpsync_edb::leakage::{catalog, LeakageClass};
+
+/// Builds Table 2 (the strategy comparison) evaluated at the end of the
+/// paper's month-long horizon with the default parameters.
+pub fn table2_text(config: &ExperimentConfig) -> TextTable {
+    let horizon = 43_200 / config.scale.max(1);
+    let logical_size = 18_429 / config.scale.max(1);
+    let ctx = BoundContext {
+        epsilon: Epsilon::new_unchecked(config.params.epsilon),
+        time: Timestamp(horizon),
+        syncs_posted: horizon / config.params.timer_period.max(1),
+        received_since_last_sync: config.params.ant_threshold,
+        initial_size: logical_size.min(10),
+        logical_size,
+        flush: CacheFlush::new(config.params.flush_interval, config.params.flush_size),
+        beta: 0.05,
+    };
+    let mut table = TextTable::new([
+        "Strategy",
+        "Privacy",
+        "Logical gap (formula)",
+        "Logical gap (95% bound)",
+        "Outsourced records (formula)",
+        "Outsourced records (95% bound)",
+    ]);
+    for row in table2(&ctx) {
+        table.add_row([
+            row.strategy.label().to_string(),
+            row.privacy,
+            row.logical_gap_formula,
+            format!("{:.1}", row.logical_gap_value),
+            row.outsourced_formula,
+            format!("{:.1}", row.outsourced_value),
+        ]);
+    }
+    table
+}
+
+/// Builds Table 3 (leakage groups and example systems).
+pub fn table3_text() -> TextTable {
+    let mut table = TextTable::new(["Leakage group", "Scheme", "DP-Sync compatible", "Rationale"]);
+    for class in [
+        LeakageClass::L0ResponseVolumeHiding,
+        LeakageClass::LDpDifferentiallyPrivateVolume,
+        LeakageClass::L1RevealResponseVolume,
+        LeakageClass::L2RevealAccessPattern,
+    ] {
+        for entry in catalog().into_iter().filter(|e| e.class == class) {
+            table.add_row([
+                class.label().to_string(),
+                entry.name.to_string(),
+                if class.directly_compatible() {
+                    "yes".to_string()
+                } else if class.compatible_with_mitigation() {
+                    "with mitigation".to_string()
+                } else {
+                    "no".to_string()
+                },
+                entry.rationale.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// The outcome of the Table-4 privacy verification for both DP strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacyVerification {
+    /// The empirical test for DP-Timer.
+    pub timer: DpTestResult,
+    /// The empirical test for DP-ANT.
+    pub ant: DpTestResult,
+}
+
+/// Runs the empirical odds-ratio test (the executable counterpart of the
+/// Table-4 mechanisms and Theorems 10/11) on neighboring arrival streams.
+pub fn verify_update_pattern_privacy(epsilon: f64, trials: u32, seed: u64) -> PrivacyVerification {
+    let eps = Epsilon::new_unchecked(epsilon);
+    let stream: Vec<u64> = (1..=60u64).map(|t| u64::from(t % 3 == 0)).collect();
+    let timer = privacy::test_strategy_update_pattern(eps, &stream, 45, 5, trials, seed, || {
+        Box::new(DpTimerStrategy::with_flush(eps, 30, None))
+    });
+    let ant = privacy::test_strategy_update_pattern(eps, &stream, 45, 5, trials, seed + 1, || {
+        Box::new(AboveNoisyThresholdStrategy::with_flush(eps, 10, None))
+    });
+    PrivacyVerification { timer, ant }
+}
+
+/// Renders the privacy verification as a table.
+pub fn table4_text(verification: &PrivacyVerification) -> TextTable {
+    let mut table = TextTable::new([
+        "Mechanism",
+        "Max observed odds ratio",
+        "e^epsilon bound",
+        "Buckets compared",
+        "Trials",
+        "Within bound (incl. sampling slack)",
+    ]);
+    for (name, result) in [
+        (StrategyKind::DpTimer.label(), &verification.timer),
+        (StrategyKind::DpAnt.label(), &verification.ant),
+    ] {
+        table.add_row([
+            name.to_string(),
+            format!("{:.3}", result.max_ratio),
+            format!("{:.3}", result.bound),
+            result.buckets_compared.to_string(),
+            result.trials.to_string(),
+            if result.passes { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_all_strategies_with_bounds() {
+        let table = table2_text(&ExperimentConfig::default());
+        let rendered = table.render();
+        assert_eq!(table.len(), 5);
+        for label in ["SUR", "OTO", "SET", "DP-Timer", "DP-ANT"] {
+            assert!(rendered.contains(label), "missing {label}");
+        }
+        assert!(rendered.contains("√k"));
+    }
+
+    #[test]
+    fn table3_covers_all_groups_and_flags_incompatibility() {
+        let table = table3_text();
+        let rendered = table.render();
+        assert!(table.len() >= 15);
+        for group in ["L-0", "L-DP", "L-1", "L-2"] {
+            assert!(rendered.contains(group));
+        }
+        assert!(rendered.contains("with mitigation"));
+        assert!(rendered.contains("ObliDB"));
+        assert!(rendered.contains("Crypt-epsilon"));
+    }
+
+    #[test]
+    fn privacy_verification_passes_for_both_dp_strategies() {
+        let verification = verify_update_pattern_privacy(1.0, 2_000, 42);
+        assert!(
+            verification.timer.passes,
+            "DP-Timer ratio {} bound {}",
+            verification.timer.max_ratio, verification.timer.bound
+        );
+        assert!(
+            verification.ant.passes,
+            "DP-ANT ratio {} bound {}",
+            verification.ant.max_ratio, verification.ant.bound
+        );
+        let rendered = table4_text(&verification).render();
+        assert!(rendered.contains("DP-Timer"));
+        assert!(rendered.contains("yes"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Plain-text rendering of experiment results.
+//!
+//! Experiment binaries print two kinds of artifacts:
+//!
+//! * aligned text **tables** (for Table 2/3/5-style results), and
+//! * CSV **series** (for figure-style time series and sweeps) that can be
+//!   piped into any plotting tool.
+//!
+//! Both renderers are dependency-free and deterministic, so EXPERIMENTS.md
+//! can embed their output verbatim.
+
+use std::fmt::Write as _;
+
+/// An aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn add_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        while cells.len() < self.headers.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                let _ = write!(out, "{}{}  ", cell, " ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// A named CSV series block (one header line, then one line per point).
+#[derive(Debug, Clone)]
+pub struct CsvSeries {
+    title: String,
+    columns: Vec<String>,
+    points: Vec<Vec<f64>>,
+}
+
+impl CsvSeries {
+    /// Creates a series with a title and column names.
+    pub fn new<S: Into<String>, I, C>(title: S, columns: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: Into<String>,
+    {
+        Self {
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one data point.
+    pub fn push(&mut self, point: Vec<f64>) {
+        self.points.push(point);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Renders the series block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for point in &self.points {
+            let line: Vec<String> = point.iter().map(|v| format_number(*v)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a number compactly (integers without a fraction, floats with up to
+/// four significant decimals).
+pub fn format_number(v: f64) -> String {
+    if !v.is_finite() {
+        return v.to_string();
+    }
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats seconds with three decimals.
+pub fn format_seconds(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats bytes as megabytes with two decimals.
+pub fn format_mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1_000_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["Strategy", "Mean L1", "QET"]);
+        t.add_row(["DP-Timer", "9.25", "2.46"]);
+        t.add_row(["SET", "0"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Strategy"));
+        assert!(lines[1].starts_with('-'));
+        // Columns line up: "Mean L1" starts at the same offset in every row.
+        let offset = lines[0].find("Mean L1").unwrap();
+        assert_eq!(lines[2].find("9.25").unwrap(), offset);
+    }
+
+    #[test]
+    fn series_renders_csv() {
+        let mut s = CsvSeries::new("Figure 5a", ["epsilon", "dp_timer", "dp_ant"]);
+        s.push(vec![0.1, 12.0, 3.5]);
+        s.push(vec![1.0, 4.0, 6.25]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let rendered = s.render();
+        assert!(rendered.starts_with("# Figure 5a\n"));
+        assert!(rendered.contains("epsilon,dp_timer,dp_ant"));
+        assert!(rendered.contains("0.1000,12,3.5000"));
+        assert!(rendered.contains("1,4,6.2500"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(5.0), "5");
+        assert_eq!(format_number(5.25), "5.2500");
+        assert_eq!(format_number(f64::INFINITY), "inf");
+        assert_eq!(format_seconds(1.23456), "1.235");
+        assert_eq!(format_mb(2_500_000), "2.50");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.add_row(["x"]);
+        let rendered = t.render();
+        assert!(rendered.lines().count() >= 3);
+    }
+}

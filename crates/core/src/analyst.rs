@@ -1,0 +1,193 @@
+//! The analyst's runtime.
+//!
+//! The analyst is the (trusted, authorized) party that poses queries against
+//! the outsourced database.  In the evaluation the analyst also knows the
+//! ground truth — the logical database — so it can measure the L1 error of
+//! every answer; in production the error is of course unknown, which is
+//! exactly why the paper proves the logical-gap bounds instead.
+
+use crate::metrics::QuerySample;
+use crate::timeline::Timestamp;
+use dpsync_edb::exec::PlainDatabase;
+use dpsync_edb::sogdb::{EdbError, SecureOutsourcedDatabase};
+use dpsync_edb::Query;
+use rand::RngCore;
+
+/// A named query in the analyst's workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedQuery {
+    /// Short label ("Q1", "Q2", "Q3").
+    pub label: String,
+    /// The query itself.
+    pub query: Query,
+}
+
+impl NamedQuery {
+    /// Creates a named query.
+    pub fn new(label: impl Into<String>, query: Query) -> Self {
+        Self {
+            label: label.into(),
+            query,
+        }
+    }
+}
+
+/// The analyst: a fixed set of queries posed periodically.
+#[derive(Debug, Clone, Default)]
+pub struct Analyst {
+    queries: Vec<NamedQuery>,
+}
+
+impl Analyst {
+    /// Creates an analyst with the given query workload.
+    pub fn new(queries: Vec<NamedQuery>) -> Self {
+        Self { queries }
+    }
+
+    /// The configured queries.
+    pub fn queries(&self) -> &[NamedQuery] {
+        &self.queries
+    }
+
+    /// Poses every supported query against `edb`, comparing each answer with
+    /// the ground truth computed over `logical`, and returns one sample per
+    /// query.  Unsupported queries (e.g. joins on the Crypt-ε-like engine)
+    /// are skipped, mirroring the paper's footnote 2.
+    pub fn pose_all(
+        &self,
+        time: Timestamp,
+        edb: &mut dyn SecureOutsourcedDatabase,
+        logical: &PlainDatabase,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<QuerySample>, EdbError> {
+        let mut samples = Vec::with_capacity(self.queries.len());
+        for named in &self.queries {
+            if !edb.supports(&named.query) {
+                continue;
+            }
+            let truth = logical.execute(&named.query)?;
+            let outcome = edb.query(&named.query, rng)?;
+            samples.push(QuerySample {
+                time: time.value(),
+                query: named.label.clone(),
+                l1_error: outcome.answer.l1_error(&truth),
+                estimated_qet: outcome.estimated_seconds,
+                measured_qet: outcome.measured_seconds,
+            });
+        }
+        Ok(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsync_crypto::{MasterKey, RecordCryptor};
+    use dpsync_dp::DpRng;
+    use dpsync_edb::engines::base::encrypt_batch;
+    use dpsync_edb::engines::{CryptEpsilonEngine, ObliDbEngine};
+    use dpsync_edb::query::paper_queries;
+    use dpsync_edb::{DataType, Row, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("pick_time", DataType::Timestamp),
+            ("pickup_id", DataType::Int),
+        ])
+    }
+
+    fn row(t: u64, p: i64) -> Row {
+        Row::new(vec![Value::Timestamp(t), Value::Int(p)])
+    }
+
+    fn analyst() -> Analyst {
+        Analyst::new(vec![
+            NamedQuery::new("Q1", paper_queries::q1_range_count("yellow")),
+            NamedQuery::new("Q2", paper_queries::q2_group_by_count("yellow")),
+            NamedQuery::new("Q3", paper_queries::q3_join_count("yellow", "green")),
+        ])
+    }
+
+    fn logical(rows_yellow: &[Row], rows_green: &[Row]) -> PlainDatabase {
+        let mut db = PlainDatabase::new();
+        db.create_table("yellow", schema());
+        db.create_table("green", schema());
+        for r in rows_yellow {
+            db.insert("yellow", r.clone());
+        }
+        for r in rows_green {
+            db.insert("green", r.clone());
+        }
+        db
+    }
+
+    #[test]
+    fn oblidb_samples_have_zero_error_when_fully_synced() {
+        let master = MasterKey::from_bytes([1u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let mut engine = ObliDbEngine::new(&master);
+        let yellow: Vec<Row> = (0..30).map(|i| row(i, 50 + i as i64)).collect();
+        let green: Vec<Row> = (0..10).map(|i| row(i, 5)).collect();
+        engine
+            .setup("yellow", schema(), encrypt_batch(&mut cryptor, &yellow, 3))
+            .unwrap();
+        engine
+            .setup("green", schema(), encrypt_batch(&mut cryptor, &green, 3))
+            .unwrap();
+        let mut rng = DpRng::seed_from_u64(1);
+        let samples = analyst()
+            .pose_all(Timestamp(360), &mut engine, &logical(&yellow, &green), &mut rng)
+            .unwrap();
+        assert_eq!(samples.len(), 3);
+        for s in &samples {
+            assert_eq!(s.l1_error, 0.0, "query {} should be exact", s.query);
+            assert!(s.estimated_qet > 0.0);
+            assert_eq!(s.time, 360);
+        }
+    }
+
+    #[test]
+    fn unsynced_records_create_error() {
+        let master = MasterKey::from_bytes([2u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let mut engine = ObliDbEngine::new(&master);
+        let synced: Vec<Row> = (0..20).map(|i| row(i, 60)).collect();
+        let all: Vec<Row> = (0..50).map(|i| row(i, 60)).collect();
+        engine
+            .setup("yellow", schema(), encrypt_batch(&mut cryptor, &synced, 0))
+            .unwrap();
+        engine.setup("green", schema(), vec![]).unwrap();
+        let mut rng = DpRng::seed_from_u64(2);
+        let samples = analyst()
+            .pose_all(Timestamp(720), &mut engine, &logical(&all, &[]), &mut rng)
+            .unwrap();
+        let q1 = samples.iter().find(|s| s.query == "Q1").unwrap();
+        assert_eq!(q1.l1_error, 30.0, "30 unsynced matching records");
+    }
+
+    #[test]
+    fn crypt_epsilon_skips_joins() {
+        let master = MasterKey::from_bytes([3u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let mut engine = CryptEpsilonEngine::new(&master);
+        let yellow: Vec<Row> = (0..10).map(|i| row(i, 60)).collect();
+        engine
+            .setup("yellow", schema(), encrypt_batch(&mut cryptor, &yellow, 0))
+            .unwrap();
+        engine.setup("green", schema(), vec![]).unwrap();
+        let mut rng = DpRng::seed_from_u64(3);
+        let samples = analyst()
+            .pose_all(Timestamp(360), &mut engine, &logical(&yellow, &[]), &mut rng)
+            .unwrap();
+        let labels: Vec<_> = samples.iter().map(|s| s.query.as_str()).collect();
+        assert_eq!(labels, vec!["Q1", "Q2"], "Q3 must be skipped for Crypt-ε");
+    }
+
+    #[test]
+    fn accessors() {
+        let a = analyst();
+        assert_eq!(a.queries().len(), 3);
+        assert_eq!(a.queries()[0].label, "Q1");
+        assert!(Analyst::default().queries().is_empty());
+    }
+}

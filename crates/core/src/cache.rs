@@ -1,0 +1,226 @@
+//! The owner's local cache σ.
+//!
+//! The cache is the lightweight staging area between record arrival and
+//! synchronization (§3.2.1).  It supports exactly the three operations the
+//! paper defines — `len(σ)`, `write(σ, r)` and `read(σ, n)` — where a read of
+//! more records than are cached pops everything and reports how many dummy
+//! records the caller must add to reach `n`.
+//!
+//! FIFO ordering is the default (and is what makes DP-Sync satisfy the strong
+//! "consistent eventually" property P3); a LIFO policy is provided for the
+//! scenario sketched in the paper where the analyst only cares about the most
+//! recent records.
+
+use dpsync_edb::Row;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The order in which cached records are drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CachePolicy {
+    /// First-in first-out (paper default; preserves arrival order — P3).
+    #[default]
+    Fifo,
+    /// Last-in first-out (freshest records first).
+    Lifo,
+}
+
+/// The result of a cache read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheRead {
+    /// Real records popped from the cache, in drain order.
+    pub records: Vec<Row>,
+    /// Number of dummy records the caller must append to reach the requested
+    /// read size.
+    pub dummies_needed: u64,
+}
+
+impl CacheRead {
+    /// Total number of records (real + dummy) this read will synchronize.
+    pub fn total(&self) -> u64 {
+        self.records.len() as u64 + self.dummies_needed
+    }
+}
+
+/// The owner's local cache.
+#[derive(Debug, Clone, Default)]
+pub struct LocalCache {
+    policy: CachePolicy,
+    queue: VecDeque<Row>,
+    /// High-water mark, useful for validating the cache-size bounds of
+    /// Theorems 6 and 8.
+    max_len_seen: u64,
+}
+
+impl LocalCache {
+    /// Creates an empty FIFO cache.
+    pub fn new() -> Self {
+        Self::with_policy(CachePolicy::Fifo)
+    }
+
+    /// Creates an empty cache with the given drain policy.
+    pub fn with_policy(policy: CachePolicy) -> Self {
+        Self {
+            policy,
+            queue: VecDeque::new(),
+            max_len_seen: 0,
+        }
+    }
+
+    /// The drain policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// `len(σ)`: number of records currently cached.
+    pub fn len(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The largest length the cache ever reached.
+    pub fn max_len_seen(&self) -> u64 {
+        self.max_len_seen
+    }
+
+    /// `write(σ, r)`: appends a record.
+    pub fn write(&mut self, row: Row) {
+        self.queue.push_back(row);
+        self.max_len_seen = self.max_len_seen.max(self.queue.len() as u64);
+    }
+
+    /// Writes a batch of records in arrival order.
+    pub fn write_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) {
+        for row in rows {
+            self.write(row);
+        }
+    }
+
+    /// `read(σ, n)`: pops up to `n` records according to the policy; if fewer
+    /// than `n` are cached, pops everything and reports the dummy deficit.
+    pub fn read(&mut self, n: u64) -> CacheRead {
+        let take = (n.min(self.queue.len() as u64)) as usize;
+        let mut records = Vec::with_capacity(take);
+        for _ in 0..take {
+            let row = match self.policy {
+                CachePolicy::Fifo => self.queue.pop_front(),
+                CachePolicy::Lifo => self.queue.pop_back(),
+            };
+            records.push(row.expect("length checked above"));
+        }
+        CacheRead {
+            dummies_needed: n - records.len() as u64,
+            records,
+        }
+    }
+
+    /// Drains the entire cache (used by the final catch-up synchronization in
+    /// simulations that need exact convergence at the horizon).
+    pub fn drain_all(&mut self) -> Vec<Row> {
+        let read = self.read(self.len());
+        read.records
+    }
+
+    /// A non-destructive view of the cached rows in storage order.
+    pub fn peek(&self) -> impl Iterator<Item = &Row> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsync_edb::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn write_and_len() {
+        let mut cache = LocalCache::new();
+        assert!(cache.is_empty());
+        cache.write(row(1));
+        cache.write_all([row(2), row(3)]);
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.is_empty());
+        assert_eq!(cache.policy(), CachePolicy::Fifo);
+    }
+
+    #[test]
+    fn fifo_read_preserves_arrival_order() {
+        let mut cache = LocalCache::new();
+        cache.write_all([row(1), row(2), row(3), row(4)]);
+        let read = cache.read(2);
+        assert_eq!(read.records, vec![row(1), row(2)]);
+        assert_eq!(read.dummies_needed, 0);
+        assert_eq!(read.total(), 2);
+        assert_eq!(cache.len(), 2);
+        // The remaining records are still in order.
+        let rest = cache.read(2);
+        assert_eq!(rest.records, vec![row(3), row(4)]);
+    }
+
+    #[test]
+    fn lifo_read_returns_freshest_first() {
+        let mut cache = LocalCache::with_policy(CachePolicy::Lifo);
+        cache.write_all([row(1), row(2), row(3)]);
+        let read = cache.read(2);
+        assert_eq!(read.records, vec![row(3), row(2)]);
+        assert_eq!(cache.policy(), CachePolicy::Lifo);
+    }
+
+    #[test]
+    fn oversized_read_reports_dummy_deficit() {
+        let mut cache = LocalCache::new();
+        cache.write_all([row(1), row(2)]);
+        let read = cache.read(5);
+        assert_eq!(read.records.len(), 2);
+        assert_eq!(read.dummies_needed, 3);
+        assert_eq!(read.total(), 5);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_read_is_a_noop() {
+        let mut cache = LocalCache::new();
+        cache.write(row(1));
+        let read = cache.read(0);
+        assert!(read.records.is_empty());
+        assert_eq!(read.dummies_needed, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn drain_all_empties_the_cache() {
+        let mut cache = LocalCache::new();
+        cache.write_all((0..10).map(row));
+        let drained = cache.drain_all();
+        assert_eq!(drained.len(), 10);
+        assert!(cache.is_empty());
+        assert_eq!(drained[0], row(0));
+        assert_eq!(drained[9], row(9));
+    }
+
+    #[test]
+    fn max_len_tracks_high_water_mark() {
+        let mut cache = LocalCache::new();
+        cache.write_all((0..7).map(row));
+        let _ = cache.read(5);
+        cache.write_all((0..2).map(row));
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.max_len_seen(), 7);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut cache = LocalCache::new();
+        cache.write_all([row(1), row(2)]);
+        assert_eq!(cache.peek().count(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

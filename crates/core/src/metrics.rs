@@ -1,0 +1,264 @@
+//! Evaluation metrics (§4.5) and the simulation report.
+//!
+//! Accuracy is measured by the **logical gap** (records received but not yet
+//! outsourced) and the **query error** (L1 distance between the answer over
+//! the outsourced data and the true answer over the logical database).
+//! Efficiency is measured by the **query execution time** (estimated through
+//! the engine's cost model and measured as wall-clock) and by the amount of
+//! outsourced / dummy data.  [`SimulationReport`] collects the full time
+//! series plus the aggregate statistics the paper reports in Table 5.
+
+use crate::strategy::StrategyKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One query-error observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySample {
+    /// The time unit the query was posed at.
+    pub time: u64,
+    /// Which query this was ("Q1", "Q2", "Q3").
+    pub query: String,
+    /// L1 error against the logical database (§4.5.2).
+    pub l1_error: f64,
+    /// Query execution time estimated by the engine's cost model, seconds.
+    pub estimated_qet: f64,
+    /// Wall-clock seconds of the simulated execution.
+    pub measured_qet: f64,
+}
+
+/// One storage-size observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SizeSample {
+    /// The time unit of the observation.
+    pub time: u64,
+    /// Ciphertexts stored on the server (all tables).
+    pub outsourced_records: u64,
+    /// Bytes stored on the server.
+    pub outsourced_bytes: u64,
+    /// Dummy records among them.
+    pub dummy_records: u64,
+    /// Bytes attributable to dummy records.
+    pub dummy_bytes: u64,
+    /// Rows in the logical database at this time.
+    pub logical_records: u64,
+    /// Logical gap at this time (received but not outsourced).
+    pub logical_gap: u64,
+}
+
+/// The full output of one simulated run (one strategy × one engine × one
+/// workload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// The synchronization strategy that was run.
+    pub strategy: StrategyKind,
+    /// Engine name ("oblidb", "crypt-epsilon").
+    pub engine: String,
+    /// Privacy budget, when the strategy is differentially private.
+    pub epsilon: Option<f64>,
+    /// The per-query error/QET time series.
+    pub query_samples: Vec<QuerySample>,
+    /// The storage-size time series.
+    pub size_samples: Vec<SizeSample>,
+    /// Number of update-protocol invocations (including setup).
+    pub sync_count: u64,
+    /// Time units simulated.
+    pub horizon: u64,
+}
+
+impl SimulationReport {
+    /// The distinct query labels present, in first-appearance order.
+    pub fn query_labels(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut labels = Vec::new();
+        for s in &self.query_samples {
+            if seen.insert(s.query.clone()) {
+                labels.push(s.query.clone());
+            }
+        }
+        labels
+    }
+
+    fn samples_for<'a>(&'a self, query: &'a str) -> impl Iterator<Item = &'a QuerySample> + 'a {
+        self.query_samples.iter().filter(move |s| s.query == query)
+    }
+
+    /// Mean L1 error for one query label (`NaN` when no samples exist).
+    pub fn mean_l1_error(&self, query: &str) -> f64 {
+        mean(self.samples_for(query).map(|s| s.l1_error))
+    }
+
+    /// Maximum L1 error for one query label (0 when no samples exist).
+    pub fn max_l1_error(&self, query: &str) -> f64 {
+        self.samples_for(query)
+            .map(|s| s.l1_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean estimated query execution time for one query label.
+    pub fn mean_estimated_qet(&self, query: &str) -> f64 {
+        mean(self.samples_for(query).map(|s| s.estimated_qet))
+    }
+
+    /// Mean measured (wall-clock) query execution time for one query label.
+    pub fn mean_measured_qet(&self, query: &str) -> f64 {
+        mean(self.samples_for(query).map(|s| s.measured_qet))
+    }
+
+    /// Mean estimated QET across all queries (the x-axis of Figure 4).
+    pub fn mean_estimated_qet_all(&self) -> f64 {
+        mean(self.query_samples.iter().map(|s| s.estimated_qet))
+    }
+
+    /// Mean L1 error across all queries (the y-axis of Figure 4).
+    pub fn mean_l1_error_all(&self) -> f64 {
+        mean(self.query_samples.iter().map(|s| s.l1_error))
+    }
+
+    /// Mean logical gap over the size samples.
+    pub fn mean_logical_gap(&self) -> f64 {
+        mean(self.size_samples.iter().map(|s| s.logical_gap as f64))
+    }
+
+    /// The final size sample (storage state at the end of the run).
+    pub fn final_sizes(&self) -> Option<SizeSample> {
+        self.size_samples.last().copied()
+    }
+
+    /// Total outsourced data at the end of the run, in megabytes.
+    pub fn total_outsourced_mb(&self) -> f64 {
+        self.final_sizes()
+            .map_or(0.0, |s| s.outsourced_bytes as f64 / 1_000_000.0)
+    }
+
+    /// Dummy data at the end of the run, in megabytes.
+    pub fn dummy_mb(&self) -> f64 {
+        self.final_sizes()
+            .map_or(0.0, |s| s.dummy_bytes as f64 / 1_000_000.0)
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimulationReport {
+        SimulationReport {
+            strategy: StrategyKind::DpTimer,
+            engine: "oblidb".into(),
+            epsilon: Some(0.5),
+            query_samples: vec![
+                QuerySample {
+                    time: 360,
+                    query: "Q1".into(),
+                    l1_error: 2.0,
+                    estimated_qet: 1.0,
+                    measured_qet: 0.01,
+                },
+                QuerySample {
+                    time: 720,
+                    query: "Q1".into(),
+                    l1_error: 6.0,
+                    estimated_qet: 3.0,
+                    measured_qet: 0.03,
+                },
+                QuerySample {
+                    time: 360,
+                    query: "Q2".into(),
+                    l1_error: 10.0,
+                    estimated_qet: 2.0,
+                    measured_qet: 0.02,
+                },
+            ],
+            size_samples: vec![
+                SizeSample {
+                    time: 7200,
+                    outsourced_records: 100,
+                    outsourced_bytes: 9_500,
+                    dummy_records: 10,
+                    dummy_bytes: 950,
+                    logical_records: 95,
+                    logical_gap: 5,
+                },
+                SizeSample {
+                    time: 14_400,
+                    outsourced_records: 220,
+                    outsourced_bytes: 20_900,
+                    dummy_records: 30,
+                    dummy_bytes: 2_850,
+                    logical_records: 200,
+                    logical_gap: 10,
+                },
+            ],
+            sync_count: 12,
+            horizon: 43_200,
+        }
+    }
+
+    #[test]
+    fn per_query_aggregates() {
+        let r = report();
+        assert_eq!(r.mean_l1_error("Q1"), 4.0);
+        assert_eq!(r.max_l1_error("Q1"), 6.0);
+        assert_eq!(r.mean_estimated_qet("Q1"), 2.0);
+        assert!((r.mean_measured_qet("Q1") - 0.02).abs() < 1e-12);
+        assert_eq!(r.mean_l1_error("Q2"), 10.0);
+        assert!(r.mean_l1_error("Q3").is_nan());
+        assert_eq!(r.max_l1_error("Q3"), 0.0);
+    }
+
+    #[test]
+    fn all_query_aggregates() {
+        let r = report();
+        assert!((r.mean_l1_error_all() - 6.0).abs() < 1e-12);
+        assert!((r.mean_estimated_qet_all() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_aggregates() {
+        let r = report();
+        assert_eq!(r.mean_logical_gap(), 7.5);
+        let last = r.final_sizes().unwrap();
+        assert_eq!(last.outsourced_records, 220);
+        assert!((r.total_outsourced_mb() - 0.0209).abs() < 1e-9);
+        assert!((r.dummy_mb() - 0.00285).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_in_first_appearance_order() {
+        let r = report();
+        assert_eq!(r.query_labels(), vec!["Q1".to_string(), "Q2".to_string()]);
+    }
+
+    #[test]
+    fn empty_report_is_well_behaved() {
+        let r = SimulationReport {
+            strategy: StrategyKind::Sur,
+            engine: "oblidb".into(),
+            epsilon: None,
+            query_samples: vec![],
+            size_samples: vec![],
+            sync_count: 0,
+            horizon: 0,
+        };
+        assert!(r.mean_l1_error_all().is_nan());
+        assert!(r.final_sizes().is_none());
+        assert_eq!(r.total_outsourced_mb(), 0.0);
+        assert!(r.query_labels().is_empty());
+        assert!(r.mean_logical_gap().is_nan());
+    }
+}

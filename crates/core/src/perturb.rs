@@ -1,0 +1,133 @@
+//! The `Perturb` operator (Algorithm 2).
+//!
+//! `Perturb(c, ε, σ)` adds `Lap(1/ε)` noise to the count `c`, and — when the
+//! noisy count is positive — reads that many records from the local cache σ,
+//! padding with dummy records when the cache holds fewer.  When the noisy
+//! count is non-positive, nothing is fetched (the owner skips the update).
+//!
+//! The cache interaction itself lives in [`crate::cache`]; this module
+//! computes the noisy fetch size so the strategies (and the Table-4 mechanism
+//! simulators, which must produce the *same* distribution over update
+//! volumes) share one implementation.
+
+use dpsync_dp::{Epsilon, Laplace};
+use rand::Rng;
+
+/// The outcome of the noisy-count step of `Perturb`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerturbedCount {
+    /// The noisy count was non-positive: fetch nothing, post no update.
+    Skip,
+    /// Fetch this many records (real records from the cache, topped up with
+    /// dummies as needed).
+    Fetch(u64),
+}
+
+impl PerturbedCount {
+    /// The fetch size, treating `Skip` as zero.
+    pub fn fetch_size(self) -> u64 {
+        match self {
+            PerturbedCount::Skip => 0,
+            PerturbedCount::Fetch(n) => n,
+        }
+    }
+
+    /// Whether an update will be posted.
+    pub fn is_fetch(self) -> bool {
+        matches!(self, PerturbedCount::Fetch(_))
+    }
+}
+
+/// Computes the noisy fetch size for a true count `c` under budget `epsilon`.
+///
+/// Matches Algorithm 2: `c̃ ← c + Lap(1/ε)`; if `c̃ > 0` read `c̃` (rounded to
+/// the nearest whole record) from the cache, otherwise return nothing.
+pub fn perturbed_count<R: Rng + ?Sized>(
+    count: u64,
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> PerturbedCount {
+    let noise = Laplace::new(0.0, 1.0 / epsilon.value()).expect("epsilon is validated");
+    let noisy = count as f64 + noise.sample(rng);
+    if noisy > 0.0 {
+        let fetch = noisy.round().max(1.0) as u64;
+        PerturbedCount::Fetch(fetch)
+    } else {
+        PerturbedCount::Skip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsync_dp::DpRng;
+
+    #[test]
+    fn skip_treated_as_zero_fetch() {
+        assert_eq!(PerturbedCount::Skip.fetch_size(), 0);
+        assert!(!PerturbedCount::Skip.is_fetch());
+        assert_eq!(PerturbedCount::Fetch(7).fetch_size(), 7);
+        assert!(PerturbedCount::Fetch(7).is_fetch());
+    }
+
+    #[test]
+    fn large_counts_rarely_skip_and_stay_close() {
+        let eps = Epsilon::new_unchecked(0.5);
+        let mut rng = DpRng::seed_from_u64(1);
+        let mut skips = 0;
+        let mut total_abs_err = 0.0;
+        let trials = 2_000;
+        for _ in 0..trials {
+            match perturbed_count(100, eps, &mut rng) {
+                PerturbedCount::Skip => skips += 1,
+                PerturbedCount::Fetch(n) => total_abs_err += (n as f64 - 100.0).abs(),
+            }
+        }
+        assert_eq!(skips, 0, "a count of 100 with scale 2 noise should never skip");
+        let mean_err = total_abs_err / f64::from(trials);
+        // Mean |Lap(2)| = 2.
+        assert!(mean_err < 4.0, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn zero_count_skips_about_half_the_time() {
+        let eps = Epsilon::new_unchecked(0.5);
+        let mut rng = DpRng::seed_from_u64(2);
+        let trials = 4_000;
+        let skips = (0..trials)
+            .filter(|_| !perturbed_count(0, eps, &mut rng).is_fetch())
+            .count();
+        let frac = skips as f64 / f64::from(trials);
+        assert!((frac - 0.5).abs() < 0.05, "skip fraction {frac}");
+    }
+
+    #[test]
+    fn fetch_size_is_at_least_one_when_posting() {
+        // Rounding a tiny positive noisy count must still fetch one record,
+        // otherwise the posted update would have volume zero and leak that
+        // the true count was (almost certainly) zero.
+        let eps = Epsilon::new_unchecked(10.0);
+        let mut rng = DpRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            if let PerturbedCount::Fetch(n) = perturbed_count(0, eps, &mut rng) {
+                assert!(n >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_means_wider_spread() {
+        let mut rng = DpRng::seed_from_u64(4);
+        let spread = |eps: f64, rng: &mut DpRng| {
+            let e = Epsilon::new_unchecked(eps);
+            let xs: Vec<f64> = (0..3_000)
+                .map(|_| perturbed_count(50, e, rng).fetch_size() as f64)
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).abs()).sum::<f64>() / xs.len() as f64
+        };
+        let tight = spread(1.0, &mut rng);
+        let loose = spread(0.1, &mut rng);
+        assert!(loose > tight * 3.0, "tight={tight} loose={loose}");
+    }
+}

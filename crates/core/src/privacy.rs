@@ -1,0 +1,329 @@
+//! Privacy verification: Table-4 mechanism simulators and an empirical
+//! differential-privacy tester.
+//!
+//! The paper proves (Theorems 10/11) that the update patterns produced by
+//! DP-Timer and DP-ANT are ε-DP by rewriting each strategy as a mechanism
+//! that outputs the update volumes instead of signalling the update protocol
+//! (`M_timer` and `M_ANT`, Table 4).  This module implements those rewritten
+//! mechanisms directly over an arrival bit-stream and adds a stochastic
+//! tester that estimates the odds ratio
+//! `Pr[M(D) ∈ O] / Pr[M(D') ∈ O]` over neighboring growing databases — the
+//! executable counterpart of the proofs, and a regression net for anyone who
+//! modifies the strategies.
+
+use crate::strategy::{CacheFlush, SyncDecision, SyncStrategy, TickContext};
+use crate::timeline::Timestamp;
+use dpsync_dp::{DpRng, Epsilon};
+use dpsync_edb::UpdatePattern;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An arrival stream: `arrivals[t - 1]` is the number of records received at
+/// time `t` (the paper's base model uses 0 or 1).
+pub type ArrivalStream = Vec<u64>;
+
+/// Builds a pair of neighboring growing databases: identical streams except
+/// that the second has one extra record at `diff_time` (1-based).
+pub fn neighboring_streams(base: &ArrivalStream, diff_time: usize) -> (ArrivalStream, ArrivalStream) {
+    assert!(diff_time >= 1 && diff_time <= base.len(), "diff_time out of range");
+    let mut with_extra = base.clone();
+    with_extra[diff_time - 1] += 1;
+    (base.clone(), with_extra)
+}
+
+/// Runs any strategy as a Table-4-style mechanism: feeds it the arrival
+/// stream and records the update pattern it would produce (setup volume at
+/// t = 0 plus every posted update).
+pub fn simulate_update_pattern(
+    strategy: &mut dyn SyncStrategy,
+    initial_size: u64,
+    arrivals: &ArrivalStream,
+    rng: &mut DpRng,
+) -> UpdatePattern {
+    let mut pattern = UpdatePattern::new();
+    let mut cache_len = initial_size;
+
+    let setup_volume = strategy.initial_fetch(initial_size, rng);
+    pattern.record(0, setup_volume);
+    cache_len = cache_len.saturating_sub(setup_volume);
+
+    for (i, &arrived) in arrivals.iter().enumerate() {
+        let time = Timestamp((i + 1) as u64);
+        cache_len += arrived;
+        let ctx = TickContext {
+            time,
+            arrived,
+            cache_len,
+        };
+        if let SyncDecision::Sync { fetch, .. } = strategy.on_tick(&ctx, rng) {
+            if fetch > 0 {
+                pattern.record(time.value(), fetch);
+                cache_len = cache_len.saturating_sub(fetch);
+            }
+        }
+    }
+    pattern
+}
+
+/// The statistic of an update pattern over which the tester builds its
+/// histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternStatistic {
+    /// Total volume uploaded over the whole run.
+    TotalVolume,
+    /// Volume of the first update at or after the given time (0 when none).
+    VolumeAfter(u64),
+    /// Number of updates posted.
+    UpdateCount,
+}
+
+impl PatternStatistic {
+    /// Evaluates the statistic on a pattern.
+    pub fn evaluate(self, pattern: &UpdatePattern) -> u64 {
+        match self {
+            PatternStatistic::TotalVolume => pattern.total_volume(),
+            PatternStatistic::UpdateCount => pattern.len() as u64,
+            PatternStatistic::VolumeAfter(t) => pattern
+                .events()
+                .iter()
+                .find(|e| e.time >= t)
+                .map_or(0, |e| e.volume),
+        }
+    }
+}
+
+/// The result of an empirical odds-ratio test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DpTestResult {
+    /// Largest observed probability ratio across well-populated buckets.
+    pub max_ratio: f64,
+    /// The theoretical bound `e^ε`.
+    pub bound: f64,
+    /// Number of buckets that were compared.
+    pub buckets_compared: usize,
+    /// Number of trials per database.
+    pub trials: u32,
+    /// Whether the observed ratio stays within `bound * slack`.
+    pub passes: bool,
+}
+
+/// Estimates the odds ratio of a mechanism's output distribution over two
+/// neighboring arrival streams.
+///
+/// `run` is called `trials` times per stream with independent RNGs and must
+/// return the statistic value for that run.  Buckets observed fewer than
+/// `min_bucket_count` times in *both* histograms are ignored (their ratio
+/// estimate would be dominated by sampling noise).  `slack` is a
+/// multiplicative tolerance on `e^ε` to absorb the remaining sampling error.
+#[allow(clippy::too_many_arguments)]
+pub fn empirical_odds_ratio(
+    epsilon: Epsilon,
+    trials: u32,
+    min_bucket_count: u32,
+    slack: f64,
+    seed: u64,
+    mut run: impl FnMut(bool, &mut DpRng) -> u64,
+) -> DpTestResult {
+    let root = DpRng::seed_from_u64(seed);
+    let mut histogram_a: HashMap<u64, u32> = HashMap::new();
+    let mut histogram_b: HashMap<u64, u32> = HashMap::new();
+    for trial in 0..trials {
+        let mut rng_a = root.derive_indexed("dp-test/a", u64::from(trial));
+        let mut rng_b = root.derive_indexed("dp-test/b", u64::from(trial));
+        *histogram_a.entry(run(false, &mut rng_a)).or_insert(0) += 1;
+        *histogram_b.entry(run(true, &mut rng_b)).or_insert(0) += 1;
+    }
+
+    let mut max_ratio: f64 = 1.0;
+    let mut buckets_compared = 0usize;
+    let keys: std::collections::BTreeSet<u64> = histogram_a
+        .keys()
+        .chain(histogram_b.keys())
+        .copied()
+        .collect();
+    for key in keys {
+        let a = histogram_a.get(&key).copied().unwrap_or(0);
+        let b = histogram_b.get(&key).copied().unwrap_or(0);
+        if a >= min_bucket_count && b >= min_bucket_count {
+            let ratio = f64::from(a) / f64::from(b);
+            let ratio = ratio.max(1.0 / ratio);
+            max_ratio = max_ratio.max(ratio);
+            buckets_compared += 1;
+        }
+    }
+
+    let bound = epsilon.value().exp();
+    DpTestResult {
+        max_ratio,
+        bound,
+        buckets_compared,
+        trials,
+        passes: buckets_compared > 0 && max_ratio <= bound * slack,
+    }
+}
+
+/// Convenience: tests a strategy constructor against neighboring streams by
+/// measuring the volume of the first update at or after the differing time.
+pub fn test_strategy_update_pattern(
+    epsilon: Epsilon,
+    base: &ArrivalStream,
+    diff_time: usize,
+    initial_size: u64,
+    trials: u32,
+    seed: u64,
+    mut make_strategy: impl FnMut() -> Box<dyn SyncStrategy>,
+) -> DpTestResult {
+    let (stream_a, stream_b) = neighboring_streams(base, diff_time);
+    let statistic = PatternStatistic::VolumeAfter(diff_time as u64);
+    empirical_odds_ratio(epsilon, trials, 20, 1.6, seed, move |use_neighbor, rng| {
+        let stream = if use_neighbor { &stream_b } else { &stream_a };
+        let mut strategy = make_strategy();
+        let pattern = simulate_update_pattern(strategy.as_mut(), initial_size, stream, rng);
+        statistic.evaluate(&pattern)
+    })
+}
+
+/// The paper-default cache flush used by the DP strategies in privacy tests
+/// (the flush is data-independent, so including it must not affect the test).
+pub fn default_flush() -> CacheFlush {
+    CacheFlush::paper_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{
+        AboveNoisyThresholdStrategy, DpTimerStrategy, SynchronizeUponReceipt,
+    };
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new_unchecked(v)
+    }
+
+    fn bursty_stream(len: usize) -> ArrivalStream {
+        (1..=len).map(|t| u64::from(t % 3 == 0)).collect()
+    }
+
+    #[test]
+    fn neighboring_streams_differ_in_exactly_one_position() {
+        let base = bursty_stream(50);
+        let (a, b) = neighboring_streams(&base, 10);
+        assert_eq!(a.len(), b.len());
+        let diffs: Vec<usize> = (0..a.len()).filter(|&i| a[i] != b[i]).collect();
+        assert_eq!(diffs, vec![9]);
+        assert_eq!(b[9], a[9] + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neighboring_streams_validate_diff_time() {
+        let _ = neighboring_streams(&bursty_stream(5), 9);
+    }
+
+    #[test]
+    fn statistics_evaluate_patterns() {
+        let mut p = UpdatePattern::new();
+        p.record(0, 10);
+        p.record(30, 4);
+        p.record(60, 6);
+        assert_eq!(PatternStatistic::TotalVolume.evaluate(&p), 20);
+        assert_eq!(PatternStatistic::UpdateCount.evaluate(&p), 3);
+        assert_eq!(PatternStatistic::VolumeAfter(30).evaluate(&p), 4);
+        assert_eq!(PatternStatistic::VolumeAfter(31).evaluate(&p), 6);
+        assert_eq!(PatternStatistic::VolumeAfter(100).evaluate(&p), 0);
+    }
+
+    #[test]
+    fn simulated_pattern_matches_strategy_behaviour() {
+        let mut rng = DpRng::seed_from_u64(1);
+        let mut strategy = SynchronizeUponReceipt::new();
+        let stream = bursty_stream(30);
+        let pattern = simulate_update_pattern(&mut strategy, 4, &stream, &mut rng);
+        // SUR: setup of 4 records, then one update per arrival tick.
+        assert_eq!(pattern.events()[0].volume, 4);
+        let arrival_ticks = stream.iter().filter(|&&a| a > 0).count();
+        assert_eq!(pattern.len(), 1 + arrival_ticks);
+    }
+
+    #[test]
+    fn dp_timer_update_pattern_passes_the_odds_ratio_test() {
+        let epsilon = eps(1.0);
+        let result = test_strategy_update_pattern(
+            epsilon,
+            &bursty_stream(60),
+            45,
+            5,
+            4_000,
+            7,
+            || Box::new(DpTimerStrategy::with_flush(epsilon, 30, None)),
+        );
+        assert!(result.buckets_compared > 0, "no comparable buckets");
+        assert!(
+            result.passes,
+            "DP-Timer failed the empirical test: max ratio {} vs bound {}",
+            result.max_ratio, result.bound
+        );
+    }
+
+    #[test]
+    fn dp_ant_update_pattern_passes_the_odds_ratio_test() {
+        let epsilon = eps(1.0);
+        let result = test_strategy_update_pattern(
+            epsilon,
+            &bursty_stream(60),
+            45,
+            5,
+            4_000,
+            11,
+            || Box::new(AboveNoisyThresholdStrategy::with_flush(epsilon, 10, None)),
+        );
+        assert!(result.buckets_compared > 0, "no comparable buckets");
+        assert!(
+            result.passes,
+            "DP-ANT failed the empirical test: max ratio {} vs bound {}",
+            result.max_ratio, result.bound
+        );
+    }
+
+    #[test]
+    fn sur_update_pattern_fails_the_odds_ratio_test() {
+        // SUR's update volume is exactly the arrival count, so the statistic
+        // distributions on neighboring streams are disjoint at the differing
+        // tick — the tester must flag it (no privacy).
+        let epsilon = eps(1.0);
+        let (stream_a, stream_b) = neighboring_streams(&bursty_stream(60), 45);
+        let statistic = PatternStatistic::TotalVolume;
+        let result = empirical_odds_ratio(epsilon, 500, 20, 1.5, 13, |use_neighbor, rng| {
+            let stream = if use_neighbor { &stream_b } else { &stream_a };
+            let mut s = SynchronizeUponReceipt::new();
+            let pattern = simulate_update_pattern(&mut s, 5, stream, rng);
+            statistic.evaluate(&pattern)
+        });
+        // Deterministic outputs on different inputs share no buckets at all,
+        // so either nothing is comparable or the ratio blows up; both mean
+        // the mechanism offers no ε-DP guarantee.
+        assert!(!result.passes);
+    }
+
+    #[test]
+    fn flush_does_not_change_the_privacy_verdict() {
+        let epsilon = eps(1.0);
+        let result = test_strategy_update_pattern(
+            epsilon,
+            &bursty_stream(60),
+            45,
+            5,
+            3_000,
+            17,
+            || {
+                Box::new(DpTimerStrategy::with_flush(
+                    epsilon,
+                    30,
+                    Some(CacheFlush::new(50, 3)),
+                ))
+            },
+        );
+        assert!(result.passes, "max ratio {}", result.max_ratio);
+        assert_eq!(default_flush(), CacheFlush::paper_default());
+    }
+}

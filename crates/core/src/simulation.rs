@@ -1,0 +1,402 @@
+//! The end-to-end simulation driver.
+//!
+//! A simulation replays a timestamped workload through the full DP-Sync
+//! stack: one [`Owner`] per table (each running its own copy of the
+//! configured strategy), one shared engine, and an [`Analyst`] that poses the
+//! evaluation queries on a fixed schedule.  The driver also maintains the
+//! plaintext logical database so that every query answer can be scored
+//! against the ground truth, and samples storage sizes for the data-volume
+//! figures.  Its output, a [`SimulationReport`], is what the experiment
+//! binaries in `dpsync-bench` turn into the paper's tables and figures.
+
+use crate::analyst::{Analyst, NamedQuery};
+use crate::metrics::{SimulationReport, SizeSample};
+use crate::owner::Owner;
+use crate::strategy::SyncStrategy;
+use crate::timeline::Timestamp;
+use dpsync_crypto::MasterKey;
+use dpsync_dp::DpRng;
+use dpsync_edb::exec::PlainDatabase;
+use dpsync_edb::sogdb::{EdbError, SecureOutsourcedDatabase};
+use dpsync_edb::{Query, Row, Schema};
+
+/// The workload for one outsourced table.
+#[derive(Debug, Clone)]
+pub struct TableWorkload {
+    /// Table name ("yellow", "green").
+    pub table: String,
+    /// Table schema.
+    pub schema: Schema,
+    /// Initial database `D₀`.
+    pub initial_rows: Vec<Row>,
+    /// Arrivals per time unit: `arrivals[t - 1]` are the rows received at
+    /// time `t` (empty vectors model `u_t = ∅`).
+    pub arrivals: Vec<Vec<Row>>,
+}
+
+impl TableWorkload {
+    /// Number of time units covered by this workload.
+    pub fn horizon(&self) -> u64 {
+        self.arrivals.len() as u64
+    }
+
+    /// Total rows (initial plus arrivals).
+    pub fn total_rows(&self) -> u64 {
+        self.initial_rows.len() as u64
+            + self.arrivals.iter().map(|a| a.len() as u64).sum::<u64>()
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Pose the analyst's queries every this many time units (§8 uses 360,
+    /// i.e. every six hours of one-minute ticks).
+    pub query_interval: u64,
+    /// Sample storage sizes every this many time units (Figure 3 samples
+    /// every 7200 units); a sample is always taken at the horizon.
+    pub size_sample_interval: u64,
+    /// The analyst's queries.
+    pub queries: Vec<(String, Query)>,
+    /// Master seed for every random draw in the run.
+    pub seed: u64,
+}
+
+impl SimulationConfig {
+    /// The evaluation defaults: queries every 360 units, sizes every 7200.
+    pub fn paper_default(queries: Vec<(String, Query)>, seed: u64) -> Self {
+        Self {
+            query_interval: 360,
+            size_sample_interval: 7200,
+            queries,
+            seed,
+        }
+    }
+}
+
+/// The simulation driver.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimulationConfig,
+}
+
+impl Simulation {
+    /// Creates a driver for `config`.
+    pub fn new(config: SimulationConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Runs the simulation.
+    ///
+    /// * `workloads` — one entry per table; all are replayed on a shared clock.
+    /// * `engine` — the shared encrypted database.
+    /// * `master` — the owners' master key (must be the key the engine was
+    ///   constructed with).
+    /// * `make_strategy` — called once per table to create that owner's
+    ///   strategy instance.
+    pub fn run(
+        &self,
+        workloads: &[TableWorkload],
+        engine: &mut dyn SecureOutsourcedDatabase,
+        master: &MasterKey,
+        mut make_strategy: impl FnMut(&str) -> Box<dyn SyncStrategy>,
+    ) -> Result<SimulationReport, EdbError> {
+        assert!(!workloads.is_empty(), "at least one table workload is required");
+        let rng = DpRng::seed_from_u64(self.config.seed);
+
+        // Ground-truth logical database.
+        let mut logical = PlainDatabase::new();
+        for w in workloads {
+            logical.create_table(&w.table, w.schema.clone());
+        }
+
+        // Owners and setup.
+        let mut owners: Vec<Owner> = Vec::with_capacity(workloads.len());
+        let mut sync_count = 0u64;
+        let mut strategy_kind = None;
+        let mut epsilon = None;
+        for w in workloads {
+            let strategy = make_strategy(&w.table);
+            strategy_kind.get_or_insert(strategy.kind());
+            if epsilon.is_none() {
+                epsilon = strategy.epsilon().map(|e| e.value());
+            }
+            let mut owner = Owner::new(&w.table, w.schema.clone(), master, strategy);
+            let mut owner_rng = rng.derive(&format!("owner/{}", w.table));
+            for row in &w.initial_rows {
+                logical.insert(&w.table, row.clone());
+            }
+            owner.setup(w.initial_rows.clone(), engine, &mut owner_rng)?;
+            sync_count += 1;
+            owners.push(owner);
+        }
+
+        let analyst = Analyst::new(
+            self.config
+                .queries
+                .iter()
+                .map(|(label, q)| NamedQuery::new(label.clone(), q.clone()))
+                .collect(),
+        );
+        let mut analyst_rng = rng.derive("analyst");
+        let mut owner_rngs: Vec<DpRng> = workloads
+            .iter()
+            .map(|w| rng.derive(&format!("owner-ticks/{}", w.table)))
+            .collect();
+
+        let horizon = workloads.iter().map(TableWorkload::horizon).max().unwrap_or(0);
+        let mut query_samples = Vec::new();
+        let mut size_samples = Vec::new();
+
+        for t in 1..=horizon {
+            let time = Timestamp(t);
+            for ((owner, workload), owner_rng) in
+                owners.iter_mut().zip(workloads).zip(owner_rngs.iter_mut())
+            {
+                let arrivals: &[Row] = workload
+                    .arrivals
+                    .get((t - 1) as usize)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                for row in arrivals {
+                    logical.insert(&workload.table, row.clone());
+                }
+                let report = owner.tick(time, arrivals, engine, owner_rng)?;
+                if report.synced {
+                    sync_count += 1;
+                }
+            }
+
+            if self.config.query_interval > 0 && t % self.config.query_interval == 0 {
+                query_samples.extend(analyst.pose_all(time, engine, &logical, &mut analyst_rng)?);
+            }
+
+            if (self.config.size_sample_interval > 0 && t % self.config.size_sample_interval == 0)
+                || t == horizon
+            {
+                size_samples.push(self.sample_sizes(time, workloads, engine, &owners, &logical));
+            }
+        }
+
+        Ok(SimulationReport {
+            strategy: strategy_kind.expect("at least one workload"),
+            engine: engine.name().to_string(),
+            epsilon,
+            query_samples,
+            size_samples,
+            sync_count,
+            horizon,
+        })
+    }
+
+    fn sample_sizes(
+        &self,
+        time: Timestamp,
+        workloads: &[TableWorkload],
+        engine: &dyn SecureOutsourcedDatabase,
+        owners: &[Owner],
+        logical: &PlainDatabase,
+    ) -> SizeSample {
+        let mut outsourced_records = 0u64;
+        let mut outsourced_bytes = 0u64;
+        let mut dummy_records = 0u64;
+        let mut dummy_bytes = 0u64;
+        for w in workloads {
+            let stats = engine.table_stats(&w.table);
+            outsourced_records += stats.ciphertext_count;
+            outsourced_bytes += stats.ciphertext_bytes;
+            dummy_records += stats.dummy_records;
+            dummy_bytes += stats.dummy_bytes();
+        }
+        SizeSample {
+            time: time.value(),
+            outsourced_records,
+            outsourced_bytes,
+            dummy_records,
+            dummy_bytes,
+            logical_records: logical.total_rows() as u64,
+            logical_gap: owners.iter().map(Owner::logical_gap).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{
+        AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, OneTimeOutsourcing,
+        StrategyKind, SynchronizeEveryTime, SynchronizeUponReceipt,
+    };
+    use dpsync_dp::Epsilon;
+    use dpsync_edb::engines::ObliDbEngine;
+    use dpsync_edb::query::paper_queries;
+    use dpsync_edb::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("pick_time", DataType::Timestamp),
+            ("pickup_id", DataType::Int),
+        ])
+    }
+
+    fn row(t: u64, p: i64) -> Row {
+        Row::new(vec![Value::Timestamp(t), Value::Int(p)])
+    }
+
+    /// A small deterministic workload: one arrival every other tick.
+    fn workload(horizon: u64) -> TableWorkload {
+        TableWorkload {
+            table: "yellow".into(),
+            schema: schema(),
+            initial_rows: (0..5).map(|i| row(0, 50 + i)).collect(),
+            arrivals: (1..=horizon)
+                .map(|t| {
+                    if t % 2 == 0 {
+                        vec![row(t, (t % 200) as i64)]
+                    } else {
+                        vec![]
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn config(horizon: u64) -> SimulationConfig {
+        SimulationConfig {
+            query_interval: horizon / 8,
+            size_sample_interval: horizon / 4,
+            queries: vec![
+                ("Q1".into(), paper_queries::q1_range_count("yellow")),
+                ("Q2".into(), paper_queries::q2_group_by_count("yellow")),
+            ],
+            seed: 99,
+        }
+    }
+
+    fn run(strategy: StrategyKind, horizon: u64) -> SimulationReport {
+        let master = MasterKey::from_bytes([5u8; 32]);
+        let mut engine = ObliDbEngine::new(&master);
+        let sim = Simulation::new(config(horizon));
+        sim.run(&[workload(horizon)], &mut engine, &master, |_| match strategy {
+            StrategyKind::Sur => Box::new(SynchronizeUponReceipt::new()),
+            StrategyKind::Oto => Box::new(OneTimeOutsourcing::new()),
+            StrategyKind::Set => Box::new(SynchronizeEveryTime::new()),
+            StrategyKind::DpTimer => Box::new(DpTimerStrategy::with_flush(
+                Epsilon::new_unchecked(0.5),
+                30,
+                Some(CacheFlush::new(400, 15)),
+            )),
+            StrategyKind::DpAnt => Box::new(AboveNoisyThresholdStrategy::with_flush(
+                Epsilon::new_unchecked(0.5),
+                15,
+                Some(CacheFlush::new(400, 15)),
+            )),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sur_has_zero_error_and_zero_gap() {
+        let report = run(StrategyKind::Sur, 800);
+        assert_eq!(report.strategy, StrategyKind::Sur);
+        assert_eq!(report.mean_l1_error("Q1"), 0.0);
+        assert_eq!(report.mean_l1_error("Q2"), 0.0);
+        assert_eq!(report.mean_logical_gap(), 0.0);
+        assert_eq!(report.final_sizes().unwrap().dummy_records, 0);
+    }
+
+    #[test]
+    fn oto_error_grows_with_unsynced_data() {
+        let report = run(StrategyKind::Oto, 800);
+        // OTO outsources only the 5 initial rows; by the end ~400 rows are missing.
+        assert!(report.mean_l1_error("Q2") > 100.0);
+        assert_eq!(report.final_sizes().unwrap().outsourced_records, 5);
+        assert_eq!(report.sync_count, 1);
+    }
+
+    #[test]
+    fn set_outsources_one_record_per_tick() {
+        let report = run(StrategyKind::Set, 800);
+        let sizes = report.final_sizes().unwrap();
+        assert_eq!(sizes.outsourced_records, 5 + 800);
+        // Half the ticks had no arrival, so roughly half the uploads are dummies.
+        assert!(sizes.dummy_records >= 390 && sizes.dummy_records <= 410);
+        assert_eq!(report.mean_l1_error("Q2"), 0.0);
+    }
+
+    #[test]
+    fn dp_strategies_bound_error_and_overhead() {
+        for kind in [StrategyKind::DpTimer, StrategyKind::DpAnt] {
+            let report = run(kind, 800);
+            let sizes = report.final_sizes().unwrap();
+            // Bounded error: far below OTO's hundreds.
+            assert!(
+                report.mean_l1_error("Q2") < 60.0,
+                "{kind:?} mean error {}",
+                report.mean_l1_error("Q2")
+            );
+            // Bounded overhead: clearly fewer dummies than SET, which uploads
+            // a dummy at every one of the ~400 empty ticks.
+            assert!(
+                sizes.dummy_records < 280,
+                "{kind:?} dummies {}",
+                sizes.dummy_records
+            );
+            assert!(report.epsilon.is_some());
+            assert!(report.sync_count > 2);
+        }
+    }
+
+    #[test]
+    fn join_workload_runs_two_owners() {
+        let master = MasterKey::from_bytes([6u8; 32]);
+        let mut engine = ObliDbEngine::new(&master);
+        let mut cfg = config(400);
+        cfg.queries = vec![("Q3".into(), paper_queries::q3_join_count("yellow", "green"))];
+        let sim = Simulation::new(cfg);
+        let mut green = workload(400);
+        green.table = "green".into();
+        let report = sim
+            .run(
+                &[workload(400), green],
+                &mut engine,
+                &master,
+                |_| Box::new(SynchronizeUponReceipt::new()),
+            )
+            .unwrap();
+        assert_eq!(report.mean_l1_error("Q3"), 0.0);
+        assert!(report.final_sizes().unwrap().outsourced_records > 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic_for_a_fixed_seed() {
+        // Everything except wall-clock timings must be bit-identical across
+        // runs with the same seed.
+        let strip_wall_clock = |mut r: SimulationReport| {
+            for s in &mut r.query_samples {
+                s.measured_qet = 0.0;
+            }
+            r
+        };
+        let a = strip_wall_clock(run(StrategyKind::DpTimer, 400));
+        let b = strip_wall_clock(run(StrategyKind::DpTimer, 400));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let w = workload(100);
+        assert_eq!(w.horizon(), 100);
+        assert_eq!(w.total_rows(), 5 + 50);
+        let cfg = SimulationConfig::paper_default(vec![], 1);
+        assert_eq!(cfg.query_interval, 360);
+        assert_eq!(cfg.size_sample_interval, 7200);
+        let sim = Simulation::new(cfg);
+        assert_eq!(sim.config().seed, 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! DP-ANT: Above-Noisy-Threshold synchronization (Algorithm 3).
+//!
+//! DP-ANT synchronizes when the owner has received *approximately* θ records
+//! since the last synchronization.  The "approximately" is the sparse-vector
+//! technique: the threshold is perturbed once per round (`Lap(2/ε₁)`), every
+//! tick the running count is compared after adding fresh noise (`Lap(4/ε₁)`),
+//! and when the noisy count crosses the noisy threshold the owner fetches a
+//! noisy number of records (`Perturb` with ε₂) and starts a new round with a
+//! fresh threshold.  The budget is split ε₁ = ε₂ = ε/2 (Algorithm 3, line 3),
+//! and rounds compose in parallel because they observe disjoint arrivals
+//! (Theorem 11).
+
+use super::{CacheFlush, StrategyKind, SyncDecision, SyncReason, SyncStrategy, TickContext};
+use crate::perturb::{perturbed_count, PerturbedCount};
+use dpsync_dp::{AboveNoisyThreshold, Composition, Epsilon, PrivacyAccountant, SvtOutcome};
+use rand::RngCore;
+
+/// The DP-ANT strategy.
+#[derive(Debug, Clone)]
+pub struct AboveNoisyThresholdStrategy {
+    epsilon: Epsilon,
+    epsilon_1: Epsilon,
+    epsilon_2: Epsilon,
+    theta: f64,
+    flush: Option<CacheFlush>,
+    svt: Option<AboveNoisyThreshold>,
+    /// Records received since the last strategy-scheduled sync (`c`).
+    count_since_sync: u64,
+    syncs_posted: u64,
+    accountant: PrivacyAccountant,
+}
+
+impl AboveNoisyThresholdStrategy {
+    /// Creates a DP-ANT with threshold θ, total budget ε, and the paper's
+    /// default cache-flush configuration.
+    pub fn new(epsilon: Epsilon, theta: u64) -> Self {
+        Self::with_flush(epsilon, theta, Some(CacheFlush::paper_default()))
+    }
+
+    /// Creates a DP-ANT with an explicit (or disabled) cache flush.
+    ///
+    /// # Panics
+    /// Panics if `theta` is zero.
+    pub fn with_flush(epsilon: Epsilon, theta: u64, flush: Option<CacheFlush>) -> Self {
+        assert!(theta > 0, "DP-ANT threshold θ must be positive");
+        Self {
+            epsilon,
+            epsilon_1: epsilon.halved(),
+            epsilon_2: epsilon.halved(),
+            theta: theta as f64,
+            flush,
+            svt: None,
+            count_since_sync: 0,
+            syncs_posted: 0,
+            accountant: PrivacyAccountant::new(epsilon),
+        }
+    }
+
+    /// The configured threshold θ.
+    pub fn theta(&self) -> u64 {
+        self.theta as u64
+    }
+
+    /// The cache-flush configuration, if enabled.
+    pub fn flush(&self) -> Option<CacheFlush> {
+        self.flush
+    }
+
+    /// Number of strategy-scheduled synchronizations posted so far.
+    pub fn syncs_posted(&self) -> u64 {
+        self.syncs_posted
+    }
+
+    fn svt_mut(&mut self, rng: &mut dyn RngCore) -> &mut AboveNoisyThreshold {
+        if self.svt.is_none() {
+            self.svt = Some(AboveNoisyThreshold::new(self.theta, self.epsilon_1, rng));
+        }
+        self.svt.as_mut().expect("just initialized")
+    }
+}
+
+impl SyncStrategy for AboveNoisyThresholdStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::DpAnt
+    }
+
+    fn epsilon(&self) -> Option<Epsilon> {
+        Some(self.epsilon)
+    }
+
+    fn initial_fetch(&mut self, initial_size: u64, rng: &mut dyn RngCore) -> u64 {
+        self.accountant
+            .spend("setup", self.epsilon, Composition::Parallel);
+        // Algorithm 3 uses the full budget for the initial Perturb, then
+        // splits for the online phase.
+        perturbed_count(initial_size, self.epsilon, rng).fetch_size()
+    }
+
+    fn on_tick(&mut self, ctx: &TickContext, rng: &mut dyn RngCore) -> SyncDecision {
+        self.count_since_sync += ctx.arrived;
+        let count = self.count_since_sync;
+
+        let mut fetch = 0u64;
+        let mut reason = SyncReason::Strategy;
+        let mut fires = false;
+
+        let outcome = self.svt_mut(rng).observe(count, rng);
+        if outcome == SvtOutcome::Above {
+            // The round halted: this round consumed ε₁ (SVT) + ε₂ (Perturb),
+            // composing sequentially within the round and in parallel across
+            // rounds (disjoint arrivals).
+            self.accountant.spend(
+                format!("svt-round@{}", ctx.time.value()),
+                self.epsilon_1,
+                Composition::Parallel,
+            );
+            self.accountant.spend(
+                format!("perturb@{}", ctx.time.value()),
+                self.epsilon_2,
+                Composition::Sequential,
+            );
+            let perturbed = perturbed_count(count, self.epsilon_2, rng);
+            self.count_since_sync = 0;
+            self.svt_mut(rng).reset(rng);
+            if let PerturbedCount::Fetch(n) = perturbed {
+                fetch += n;
+                fires = true;
+                self.syncs_posted += 1;
+            }
+        }
+
+        if let Some(flush) = self.flush {
+            if flush.fires_at(ctx.time) {
+                fetch += flush.size;
+                reason = SyncReason::Flush;
+                fires = true;
+            }
+        }
+
+        if fires {
+            SyncDecision::Sync { fetch, reason }
+        } else {
+            SyncDecision::None
+        }
+    }
+
+    fn accountant(&self) -> Option<&PrivacyAccountant> {
+        Some(&self.accountant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Timestamp;
+    use dpsync_dp::DpRng;
+
+    fn ctx(time: u64, arrived: u64) -> TickContext {
+        TickContext {
+            time: Timestamp(time),
+            arrived,
+            cache_len: 0,
+        }
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new_unchecked(v)
+    }
+
+    #[test]
+    fn syncs_roughly_every_theta_arrivals() {
+        // One arrival per tick, θ = 15: over 15 000 ticks DP-ANT should post
+        // on the order of 1 000 synchronizations.
+        let mut s = AboveNoisyThresholdStrategy::with_flush(eps(1.0), 15, None);
+        let mut rng = DpRng::seed_from_u64(1);
+        let mut gaps = Vec::new();
+        let mut last = 0u64;
+        for t in 1..=15_000u64 {
+            if s.on_tick(&ctx(t, 1), &mut rng).is_sync() {
+                gaps.push((t - last) as f64);
+                last = t;
+            }
+        }
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(
+            (mean_gap - 15.0).abs() < 8.0,
+            "mean inter-sync gap {mean_gap} (expected ≈ θ = 15)"
+        );
+    }
+
+    #[test]
+    fn no_arrivals_means_few_syncs() {
+        let mut s = AboveNoisyThresholdStrategy::with_flush(eps(1.0), 50, None);
+        let mut rng = DpRng::seed_from_u64(2);
+        let mut syncs = 0;
+        for t in 1..=5_000u64 {
+            if s.on_tick(&ctx(t, 0), &mut rng).is_sync() {
+                syncs += 1;
+            }
+        }
+        // With count always 0 and threshold 50 the SVT should essentially
+        // never trip at epsilon = 1.
+        assert!(syncs <= 10, "syncs={syncs}");
+    }
+
+    #[test]
+    fn smaller_epsilon_triggers_earlier_syncs() {
+        // Observation 4: larger SVT noise (small ε) trips the threshold before
+        // enough data accumulates, so syncs become *more* frequent.
+        let count_syncs = |epsilon: f64, seed: u64| {
+            let mut s = AboveNoisyThresholdStrategy::with_flush(eps(epsilon), 30, None);
+            let mut rng = DpRng::seed_from_u64(seed);
+            let mut syncs = 0u32;
+            for t in 1..=10_000u64 {
+                if s.on_tick(&ctx(t, 1), &mut rng).is_sync() {
+                    syncs += 1;
+                }
+            }
+            syncs
+        };
+        let low_eps = count_syncs(0.05, 3);
+        let high_eps = count_syncs(2.0, 4);
+        assert!(
+            low_eps > high_eps,
+            "low-epsilon syncs {low_eps} should exceed high-epsilon syncs {high_eps}"
+        );
+    }
+
+    #[test]
+    fn flush_fires_on_schedule_even_without_data() {
+        let flush = CacheFlush::new(500, 9);
+        let mut s = AboveNoisyThresholdStrategy::with_flush(eps(0.5), 1_000_000, Some(flush));
+        let mut rng = DpRng::seed_from_u64(5);
+        let mut flush_volumes = Vec::new();
+        for t in 1..=2_000u64 {
+            let d = s.on_tick(&ctx(t, 0), &mut rng);
+            if flush.fires_at(Timestamp(t)) {
+                assert!(d.is_sync());
+                flush_volumes.push(d.fetch());
+            }
+        }
+        assert_eq!(flush_volumes.len(), 4);
+        assert!(flush_volumes.iter().all(|&v| v >= 9));
+    }
+
+    #[test]
+    fn accountant_spends_at_most_epsilon_per_round_pair() {
+        let mut s = AboveNoisyThresholdStrategy::with_flush(eps(0.5), 10, None);
+        let mut rng = DpRng::seed_from_u64(6);
+        let _ = s.initial_fetch(20, &mut rng);
+        for t in 1..=2_000u64 {
+            let _ = s.on_tick(&ctx(t, 1), &mut rng);
+        }
+        let ledger = s.accountant().unwrap().ledger();
+        // Every SVT round spend is ε/2 and every perturb spend is ε/2.
+        for entry in ledger.iter().filter(|e| e.label.starts_with("svt-round")) {
+            assert_eq!(entry.epsilon.value(), 0.25);
+        }
+        for entry in ledger.iter().filter(|e| e.label.starts_with("perturb")) {
+            assert_eq!(entry.epsilon.value(), 0.25);
+        }
+        assert!(s.syncs_posted() > 0);
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let s = AboveNoisyThresholdStrategy::new(eps(0.5), 15);
+        assert_eq!(s.kind(), StrategyKind::DpAnt);
+        assert_eq!(s.theta(), 15);
+        assert_eq!(s.epsilon().unwrap().value(), 0.5);
+        assert_eq!(s.flush(), Some(CacheFlush::paper_default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_theta_is_rejected() {
+        let _ = AboveNoisyThresholdStrategy::new(eps(0.5), 0);
+    }
+
+    #[test]
+    fn initial_fetch_tracks_initial_size() {
+        let rng = DpRng::seed_from_u64(7);
+        let mut total = 0u64;
+        for i in 0..200u64 {
+            let mut s = AboveNoisyThresholdStrategy::with_flush(eps(0.5), 15, None);
+            total += s.initial_fetch(60, &mut rng.derive_indexed("init", i));
+        }
+        let mean = total as f64 / 200.0;
+        assert!((mean - 60.0).abs() < 3.0, "mean {mean}");
+    }
+}

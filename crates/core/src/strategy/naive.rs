@@ -1,0 +1,198 @@
+//! The naïve synchronization baselines (§5.1).
+//!
+//! * **SUR** — synchronize upon receipt: every arrival is uploaded
+//!   immediately.  Perfect accuracy and performance, zero privacy (the update
+//!   pattern *is* the arrival pattern).
+//! * **OTO** — one-time outsourcing: only the initial database is uploaded;
+//!   the owner then goes offline.  Perfect privacy and performance, unbounded
+//!   error.
+//! * **SET** — synchronize every time unit: exactly one record (real if one
+//!   arrived, dummy otherwise) is uploaded at every tick.  Perfect privacy
+//!   and accuracy, maximal overhead.
+
+use super::{StrategyKind, SyncDecision, SyncReason, SyncStrategy, TickContext};
+use dpsync_dp::Epsilon;
+use rand::RngCore;
+
+/// Synchronize upon receipt (SUR).
+#[derive(Debug, Clone, Default)]
+pub struct SynchronizeUponReceipt;
+
+impl SynchronizeUponReceipt {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SyncStrategy for SynchronizeUponReceipt {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Sur
+    }
+
+    fn epsilon(&self) -> Option<Epsilon> {
+        None
+    }
+
+    fn initial_fetch(&mut self, initial_size: u64, _rng: &mut dyn RngCore) -> u64 {
+        initial_size
+    }
+
+    fn on_tick(&mut self, ctx: &TickContext, _rng: &mut dyn RngCore) -> SyncDecision {
+        if ctx.arrived > 0 {
+            SyncDecision::Sync {
+                fetch: ctx.arrived,
+                reason: SyncReason::Strategy,
+            }
+        } else {
+            SyncDecision::None
+        }
+    }
+}
+
+/// One-time outsourcing (OTO).
+#[derive(Debug, Clone, Default)]
+pub struct OneTimeOutsourcing;
+
+impl OneTimeOutsourcing {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SyncStrategy for OneTimeOutsourcing {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Oto
+    }
+
+    fn epsilon(&self) -> Option<Epsilon> {
+        None
+    }
+
+    fn initial_fetch(&mut self, initial_size: u64, _rng: &mut dyn RngCore) -> u64 {
+        initial_size
+    }
+
+    fn on_tick(&mut self, _ctx: &TickContext, _rng: &mut dyn RngCore) -> SyncDecision {
+        SyncDecision::None
+    }
+}
+
+/// Synchronize every time unit (SET).
+#[derive(Debug, Clone, Default)]
+pub struct SynchronizeEveryTime;
+
+impl SynchronizeEveryTime {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SyncStrategy for SynchronizeEveryTime {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Set
+    }
+
+    fn epsilon(&self) -> Option<Epsilon> {
+        None
+    }
+
+    fn initial_fetch(&mut self, initial_size: u64, _rng: &mut dyn RngCore) -> u64 {
+        initial_size
+    }
+
+    fn on_tick(&mut self, ctx: &TickContext, _rng: &mut dyn RngCore) -> SyncDecision {
+        // Upload whatever arrived; if nothing arrived, upload one dummy so the
+        // update pattern is completely data-independent.
+        SyncDecision::Sync {
+            fetch: ctx.arrived.max(1),
+            reason: SyncReason::Strategy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Timestamp;
+    use dpsync_dp::DpRng;
+
+    fn ctx(time: u64, arrived: u64, cache_len: u64) -> TickContext {
+        TickContext {
+            time: Timestamp(time),
+            arrived,
+            cache_len,
+        }
+    }
+
+    #[test]
+    fn sur_mirrors_arrivals_exactly() {
+        let mut s = SynchronizeUponReceipt::new();
+        let mut rng = DpRng::seed_from_u64(1);
+        assert_eq!(s.initial_fetch(120, &mut rng), 120);
+        assert_eq!(s.kind(), StrategyKind::Sur);
+        assert_eq!(s.epsilon(), None);
+        assert_eq!(s.on_tick(&ctx(1, 0, 0), &mut rng), SyncDecision::None);
+        assert_eq!(
+            s.on_tick(&ctx(2, 1, 1), &mut rng),
+            SyncDecision::Sync {
+                fetch: 1,
+                reason: SyncReason::Strategy
+            }
+        );
+        assert_eq!(
+            s.on_tick(&ctx(3, 4, 4), &mut rng),
+            SyncDecision::Sync {
+                fetch: 4,
+                reason: SyncReason::Strategy
+            }
+        );
+        assert!(s.accountant().is_none());
+    }
+
+    #[test]
+    fn oto_never_syncs_after_setup() {
+        let mut s = OneTimeOutsourcing::new();
+        let mut rng = DpRng::seed_from_u64(2);
+        assert_eq!(s.initial_fetch(300, &mut rng), 300);
+        assert_eq!(s.kind(), StrategyKind::Oto);
+        for t in 1..1_000 {
+            assert_eq!(s.on_tick(&ctx(t, t % 2, t), &mut rng), SyncDecision::None);
+        }
+    }
+
+    #[test]
+    fn set_uploads_exactly_one_record_when_idle() {
+        let mut s = SynchronizeEveryTime::new();
+        let mut rng = DpRng::seed_from_u64(3);
+        assert_eq!(s.kind(), StrategyKind::Set);
+        assert_eq!(
+            s.on_tick(&ctx(1, 0, 0), &mut rng),
+            SyncDecision::Sync {
+                fetch: 1,
+                reason: SyncReason::Strategy
+            }
+        );
+        assert_eq!(
+            s.on_tick(&ctx(2, 3, 3), &mut rng),
+            SyncDecision::Sync {
+                fetch: 3,
+                reason: SyncReason::Strategy
+            }
+        );
+    }
+
+    #[test]
+    fn set_update_volume_is_data_independent_for_single_arrivals() {
+        // With at most one record per tick (the paper's base model), the SET
+        // update pattern is (t, 1) for every t regardless of the data.
+        let mut s = SynchronizeEveryTime::new();
+        let mut rng = DpRng::seed_from_u64(4);
+        for t in 1..500 {
+            let arrived = u64::from(t % 3 == 0);
+            assert_eq!(s.on_tick(&ctx(t, arrived, 0), &mut rng).fetch(), 1);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! DP-Timer: timer-based differentially-private synchronization (Algorithm 1).
+//!
+//! DP-Timer synchronizes on a fixed schedule — every `T` time units — but
+//! perturbs *how many* records each synchronization carries: the count of
+//! records received in the window is passed through the `Perturb` operator
+//! (Laplace noise with scale `1/ε`), and the owner fetches the noisy count
+//! from the cache, padding with dummies or deferring surplus records as the
+//! noise dictates.  Because each window's count touches disjoint records, the
+//! per-window mechanisms compose in parallel and the whole update pattern is
+//! ε-DP (Theorem 10).
+
+use super::{CacheFlush, StrategyKind, SyncDecision, SyncReason, SyncStrategy, TickContext};
+use crate::perturb::{perturbed_count, PerturbedCount};
+use dpsync_dp::{Composition, Epsilon, PrivacyAccountant};
+use rand::RngCore;
+
+/// The DP-Timer strategy.
+#[derive(Debug, Clone)]
+pub struct DpTimerStrategy {
+    epsilon: Epsilon,
+    period: u64,
+    flush: Option<CacheFlush>,
+    /// Records received in the current window (`c` in Algorithm 1).
+    window_count: u64,
+    /// Number of strategy-scheduled synchronizations posted so far (`k`).
+    syncs_posted: u64,
+    accountant: PrivacyAccountant,
+}
+
+impl DpTimerStrategy {
+    /// Creates a DP-Timer with period `T`, privacy budget ε, and the paper's
+    /// default cache-flush configuration.
+    pub fn new(epsilon: Epsilon, period: u64) -> Self {
+        Self::with_flush(epsilon, period, Some(CacheFlush::paper_default()))
+    }
+
+    /// Creates a DP-Timer with an explicit (or disabled) cache flush.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn with_flush(epsilon: Epsilon, period: u64, flush: Option<CacheFlush>) -> Self {
+        assert!(period > 0, "DP-Timer period T must be positive");
+        Self {
+            epsilon,
+            period,
+            flush,
+            window_count: 0,
+            syncs_posted: 0,
+            accountant: PrivacyAccountant::new(epsilon),
+        }
+    }
+
+    /// The timer period `T`.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The cache-flush configuration, if enabled.
+    pub fn flush(&self) -> Option<CacheFlush> {
+        self.flush
+    }
+
+    /// Number of strategy-scheduled synchronizations posted so far.
+    pub fn syncs_posted(&self) -> u64 {
+        self.syncs_posted
+    }
+}
+
+impl SyncStrategy for DpTimerStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::DpTimer
+    }
+
+    fn epsilon(&self) -> Option<Epsilon> {
+        Some(self.epsilon)
+    }
+
+    fn initial_fetch(&mut self, initial_size: u64, rng: &mut dyn RngCore) -> u64 {
+        self.accountant
+            .spend("setup", self.epsilon, Composition::Parallel);
+        perturbed_count(initial_size, self.epsilon, rng).fetch_size()
+    }
+
+    fn on_tick(&mut self, ctx: &TickContext, rng: &mut dyn RngCore) -> SyncDecision {
+        self.window_count += ctx.arrived;
+
+        let mut fetch = 0u64;
+        let mut reason = SyncReason::Strategy;
+        let mut fires = false;
+
+        if ctx.time.is_multiple_of(self.period) {
+            // Window boundary: release a noisy count of this window's arrivals
+            // and reset the window counter (Algorithm 1, lines 7-10).
+            self.accountant.spend(
+                format!("window@{}", ctx.time.value()),
+                self.epsilon,
+                Composition::Parallel,
+            );
+            let perturbed = perturbed_count(self.window_count, self.epsilon, rng);
+            self.window_count = 0;
+            if let PerturbedCount::Fetch(n) = perturbed {
+                fetch += n;
+                fires = true;
+                self.syncs_posted += 1;
+            }
+        }
+
+        if let Some(flush) = self.flush {
+            if flush.fires_at(ctx.time) {
+                // The flush volume is fixed and data-independent (0-DP).
+                fetch += flush.size;
+                reason = SyncReason::Flush;
+                fires = true;
+            }
+        }
+
+        if fires {
+            SyncDecision::Sync { fetch, reason }
+        } else {
+            SyncDecision::None
+        }
+    }
+
+    fn accountant(&self) -> Option<&PrivacyAccountant> {
+        Some(&self.accountant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Timestamp;
+    use dpsync_dp::DpRng;
+
+    fn ctx(time: u64, arrived: u64) -> TickContext {
+        TickContext {
+            time: Timestamp(time),
+            arrived,
+            cache_len: 0,
+        }
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new_unchecked(v)
+    }
+
+    #[test]
+    fn syncs_only_at_multiples_of_t_or_flush() {
+        let mut s = DpTimerStrategy::with_flush(eps(0.5), 30, Some(CacheFlush::new(2000, 15)));
+        let mut rng = DpRng::seed_from_u64(1);
+        for t in 1..=4_000u64 {
+            let decision = s.on_tick(&ctx(t, u64::from(t % 2 == 0)), &mut rng);
+            let is_boundary = t % 30 == 0 || t % 2000 == 0;
+            if !is_boundary {
+                assert_eq!(decision, SyncDecision::None, "unexpected sync at t={t}");
+            }
+        }
+        assert!(s.syncs_posted() > 0);
+    }
+
+    #[test]
+    fn flush_ticks_always_upload_at_least_the_flush_size() {
+        let flush = CacheFlush::new(100, 7);
+        let mut s = DpTimerStrategy::with_flush(eps(0.5), 30, Some(flush));
+        let mut rng = DpRng::seed_from_u64(2);
+        for t in 1..=1_000u64 {
+            let decision = s.on_tick(&ctx(t, 1), &mut rng);
+            if flush.fires_at(Timestamp(t)) {
+                assert!(decision.is_sync());
+                assert!(decision.fetch() >= 7, "flush at t={t} fetched {}", decision.fetch());
+            }
+        }
+    }
+
+    #[test]
+    fn window_counts_track_arrivals_on_average() {
+        // With one arrival per tick and T=30, the average fetch at window
+        // boundaries should be close to 30 (the Laplace noise has mean 0).
+        let mut s = DpTimerStrategy::with_flush(eps(1.0), 30, None);
+        let mut rng = DpRng::seed_from_u64(3);
+        let mut fetches = Vec::new();
+        for t in 1..=30_000u64 {
+            let d = s.on_tick(&ctx(t, 1), &mut rng);
+            if d.is_sync() {
+                fetches.push(d.fetch() as f64);
+            }
+        }
+        let mean = fetches.iter().sum::<f64>() / fetches.len() as f64;
+        assert!((mean - 30.0).abs() < 1.0, "mean fetch {mean}");
+        assert_eq!(fetches.len() as u64, s.syncs_posted());
+    }
+
+    #[test]
+    fn initial_fetch_is_noisy_but_near_the_initial_size() {
+        let rng = DpRng::seed_from_u64(4);
+        let mut total = 0u64;
+        let trials = 200;
+        for i in 0..trials {
+            let mut s = DpTimerStrategy::with_flush(eps(0.5), 30, None);
+            total += s.initial_fetch(100, &mut rng.derive_indexed("init", i));
+        }
+        let mean = total as f64 / f64::from(trials as u32);
+        assert!((mean - 100.0).abs() < 3.0, "mean initial fetch {mean}");
+    }
+
+    #[test]
+    fn accountant_never_exceeds_epsilon_via_parallel_composition() {
+        let mut s = DpTimerStrategy::with_flush(eps(0.5), 10, None);
+        let mut rng = DpRng::seed_from_u64(5);
+        let _ = s.initial_fetch(50, &mut rng);
+        for t in 1..=500u64 {
+            let _ = s.on_tick(&ctx(t, 1), &mut rng);
+        }
+        let budget = s.accountant().unwrap().budget();
+        assert!(!budget.exhausted(), "consumed {}", budget.consumed);
+        assert_eq!(budget.consumed, 0.5);
+    }
+
+    #[test]
+    fn kind_epsilon_and_period_accessors() {
+        let s = DpTimerStrategy::new(eps(0.5), 30);
+        assert_eq!(s.kind(), StrategyKind::DpTimer);
+        assert_eq!(s.epsilon().unwrap().value(), 0.5);
+        assert_eq!(s.period(), 30);
+        assert_eq!(s.flush(), Some(CacheFlush::paper_default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_is_rejected() {
+        let _ = DpTimerStrategy::new(eps(0.5), 0);
+    }
+
+    #[test]
+    fn sparse_windows_sometimes_skip() {
+        // With no arrivals at all, roughly half the windows should skip
+        // (noisy count <= 0), so the update pattern is not a deterministic
+        // every-T schedule when the data is empty.
+        let mut s = DpTimerStrategy::with_flush(eps(0.5), 10, None);
+        let mut rng = DpRng::seed_from_u64(6);
+        let mut skipped = 0;
+        let mut fired = 0;
+        for t in 1..=10_000u64 {
+            let d = s.on_tick(&ctx(t, 0), &mut rng);
+            if t % 10 == 0 {
+                if d.is_sync() {
+                    fired += 1;
+                } else {
+                    skipped += 1;
+                }
+            }
+        }
+        assert!(skipped > 300, "skipped={skipped}");
+        assert!(fired > 300, "fired={fired}");
+    }
+}

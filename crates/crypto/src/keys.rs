@@ -1,0 +1,182 @@
+//! Master keys and per-purpose sub-key derivation.
+//!
+//! The data owner holds a single [`MasterKey`]; every cryptographic purpose
+//! (record encryption, record authentication, nonce derivation, index
+//! tokens) uses an independent [`SubKey`] derived through the PRF with a
+//! domain-separation label, so compromising one purpose never exposes the
+//! others.
+
+use crate::chacha::CHACHA_KEY_LEN;
+use crate::prf::Prf;
+use rand::Rng;
+
+/// The purposes DP-Sync derives sub-keys for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyPurpose {
+    /// Stream-cipher key for record payload encryption.
+    RecordEncryption,
+    /// MAC key for record authentication.
+    RecordAuthentication,
+    /// PRF key for deriving per-record nonces.
+    NonceDerivation,
+    /// PRF key for computing searchable index tokens (used by the engines).
+    IndexToken,
+}
+
+impl KeyPurpose {
+    /// The domain-separation label baked into the derivation.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyPurpose::RecordEncryption => "dpsync/v1/record-encryption",
+            KeyPurpose::RecordAuthentication => "dpsync/v1/record-authentication",
+            KeyPurpose::NonceDerivation => "dpsync/v1/nonce-derivation",
+            KeyPurpose::IndexToken => "dpsync/v1/index-token",
+        }
+    }
+
+    /// All purposes, in a stable order.
+    pub const ALL: [KeyPurpose; 4] = [
+        KeyPurpose::RecordEncryption,
+        KeyPurpose::RecordAuthentication,
+        KeyPurpose::NonceDerivation,
+        KeyPurpose::IndexToken,
+    ];
+}
+
+/// A 256-bit sub-key bound to a purpose.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SubKey {
+    purpose: KeyPurpose,
+    bytes: [u8; CHACHA_KEY_LEN],
+}
+
+impl std::fmt::Debug for SubKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubKey")
+            .field("purpose", &self.purpose)
+            .field("bytes", &"<redacted>")
+            .finish()
+    }
+}
+
+impl SubKey {
+    /// The purpose this key was derived for.
+    pub fn purpose(&self) -> KeyPurpose {
+        self.purpose
+    }
+
+    /// The raw key bytes.
+    pub fn bytes(&self) -> &[u8; CHACHA_KEY_LEN] {
+        &self.bytes
+    }
+}
+
+/// The owner's master key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MasterKey {
+    bytes: [u8; CHACHA_KEY_LEN],
+}
+
+impl std::fmt::Debug for MasterKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MasterKey").field("bytes", &"<redacted>").finish()
+    }
+}
+
+impl MasterKey {
+    /// Wraps existing key bytes (e.g. loaded from a key-management system).
+    pub fn from_bytes(bytes: [u8; CHACHA_KEY_LEN]) -> Self {
+        Self { bytes }
+    }
+
+    /// Generates a fresh master key from the supplied RNG.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; CHACHA_KEY_LEN];
+        rng.fill(&mut bytes);
+        Self { bytes }
+    }
+
+    /// Derives the sub-key for `purpose`.
+    pub fn derive(&self, purpose: KeyPurpose) -> SubKey {
+        let prf = Prf::new(self.bytes);
+        SubKey {
+            purpose,
+            bytes: prf.derive_key(purpose.label()),
+        }
+    }
+
+    /// The raw master key bytes (needed when persisting the key).
+    pub fn bytes(&self) -> &[u8; CHACHA_KEY_LEN] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let mk = MasterKey::from_bytes([5u8; 32]);
+        assert_eq!(
+            mk.derive(KeyPurpose::RecordEncryption).bytes(),
+            mk.derive(KeyPurpose::RecordEncryption).bytes()
+        );
+    }
+
+    #[test]
+    fn purposes_yield_distinct_keys() {
+        let mk = MasterKey::from_bytes([5u8; 32]);
+        let keys: Vec<_> = KeyPurpose::ALL
+            .iter()
+            .map(|&p| mk.derive(p).bytes().to_vec())
+            .collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "purposes {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn different_master_keys_yield_different_subkeys() {
+        let a = MasterKey::from_bytes([1u8; 32]);
+        let b = MasterKey::from_bytes([2u8; 32]);
+        assert_ne!(
+            a.derive(KeyPurpose::IndexToken).bytes(),
+            b.derive(KeyPurpose::IndexToken).bytes()
+        );
+    }
+
+    #[test]
+    fn generate_uses_rng_deterministically() {
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        assert_eq!(MasterKey::generate(&mut r1).bytes(), MasterKey::generate(&mut r2).bytes());
+        let mut r3 = StdRng::seed_from_u64(78);
+        assert_ne!(MasterKey::generate(&mut r1).bytes(), MasterKey::generate(&mut r3).bytes());
+    }
+
+    #[test]
+    fn subkey_knows_its_purpose() {
+        let mk = MasterKey::from_bytes([9u8; 32]);
+        let sk = mk.derive(KeyPurpose::RecordAuthentication);
+        assert_eq!(sk.purpose(), KeyPurpose::RecordAuthentication);
+    }
+
+    #[test]
+    fn debug_output_redacts_material() {
+        let mk = MasterKey::from_bytes([0xEE; 32]);
+        assert!(format!("{mk:?}").contains("redacted"));
+        assert!(format!("{:?}", mk.derive(KeyPurpose::IndexToken)).contains("redacted"));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            KeyPurpose::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), KeyPurpose::ALL.len());
+    }
+}

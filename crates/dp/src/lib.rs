@@ -1,0 +1,167 @@
+//! Differential-privacy primitives used by DP-Sync.
+//!
+//! This crate provides the mechanism toolbox the paper relies on:
+//!
+//! * [`laplace`] — the Laplace distribution and the classic Laplace mechanism
+//!   used by the `Perturb` operator (Algorithm 2) and the setup mechanism
+//!   `M_setup` (Table 4).
+//! * [`svt`] — the sparse-vector technique ("Above Noisy Threshold") that
+//!   underlies DP-ANT (Algorithm 3 / `M_sparse` in Table 4).
+//! * [`composition`] — sequential and parallel composition (Lemmas 15/16) and
+//!   a running [`composition::PrivacyAccountant`].
+//! * [`bounds`] — the tail bounds on sums of Laplace random variables
+//!   (Lemma 19, Corollaries 20/21) and the closed-form accuracy/performance
+//!   bounds of Theorems 6–9.
+//! * [`rng`] — a seedable RNG wrapper so every randomized component in the
+//!   workspace is reproducible.
+//!
+//! All samplers take `&mut impl rand::Rng` so callers control determinism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod composition;
+pub mod continual;
+pub mod laplace;
+pub mod rng;
+pub mod svt;
+
+pub use bounds::{
+    ant_logical_gap_bound, ant_outsourced_bound, laplace_sum_tail, laplace_sum_tail_alpha,
+    timer_logical_gap_bound, timer_outsourced_bound,
+};
+pub use composition::{Composition, PrivacyAccountant, PrivacyBudget};
+pub use continual::TreeCounter;
+pub use laplace::{Laplace, LaplaceMechanism};
+pub use rng::DpRng;
+pub use svt::{AboveNoisyThreshold, SvtOutcome};
+
+/// The privacy parameter epsilon of a differentially private mechanism.
+///
+/// A thin newtype so that privacy budgets are not accidentally confused with
+/// other `f64` parameters (thresholds, sensitivities, ...).  The value must be
+/// strictly positive and finite; `Epsilon::new` enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Creates a new epsilon, returning `None` when `value` is not a strictly
+    /// positive finite number.
+    pub fn new(value: f64) -> Option<Self> {
+        if value.is_finite() && value > 0.0 {
+            Some(Self(value))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a new epsilon, panicking on invalid input.
+    ///
+    /// Convenient in tests and experiment configuration where the value is a
+    /// literal constant.
+    pub fn new_unchecked(value: f64) -> Self {
+        Self::new(value).expect("epsilon must be finite and > 0")
+    }
+
+    /// The raw floating point value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Splits the budget evenly into `parts` pieces (simple composition).
+    pub fn split(self, parts: u32) -> Self {
+        assert!(parts > 0, "cannot split a budget into zero parts");
+        Self(self.0 / f64::from(parts))
+    }
+
+    /// Returns half the budget — DP-ANT splits its budget into
+    /// `epsilon_1 = epsilon_2 = epsilon / 2` (Algorithm 3, line 3).
+    pub fn halved(self) -> Self {
+        self.split(2)
+    }
+
+    /// Multiplies the budget by `e^eps`-odds group factor `l` (group privacy).
+    pub fn group(self, l: u32) -> Self {
+        Self(self.0 * f64::from(l))
+    }
+}
+
+impl std::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// The L1 sensitivity of a numeric query.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+pub struct Sensitivity(f64);
+
+impl Sensitivity {
+    /// Creates a sensitivity, returning `None` for non-positive or non-finite values.
+    pub fn new(value: f64) -> Option<Self> {
+        if value.is_finite() && value > 0.0 {
+            Some(Self(value))
+        } else {
+            None
+        }
+    }
+
+    /// Sensitivity 1 — the sensitivity of every counting query in the paper.
+    pub const ONE: Sensitivity = Sensitivity(1.0);
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_rejects_invalid_values() {
+        assert!(Epsilon::new(0.0).is_none());
+        assert!(Epsilon::new(-1.0).is_none());
+        assert!(Epsilon::new(f64::NAN).is_none());
+        assert!(Epsilon::new(f64::INFINITY).is_none());
+        assert!(Epsilon::new(0.5).is_some());
+    }
+
+    #[test]
+    fn epsilon_split_divides_evenly() {
+        let eps = Epsilon::new_unchecked(1.0);
+        assert_eq!(eps.split(4).value(), 0.25);
+        assert_eq!(eps.halved().value(), 0.5);
+    }
+
+    #[test]
+    fn epsilon_group_scales_up() {
+        let eps = Epsilon::new_unchecked(0.5);
+        assert_eq!(eps.group(3).value(), 1.5);
+    }
+
+    #[test]
+    fn sensitivity_one_is_one() {
+        assert_eq!(Sensitivity::ONE.value(), 1.0);
+    }
+
+    #[test]
+    fn sensitivity_rejects_invalid() {
+        assert!(Sensitivity::new(0.0).is_none());
+        assert!(Sensitivity::new(f64::NEG_INFINITY).is_none());
+        assert!(Sensitivity::new(2.0).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn epsilon_unchecked_panics_on_invalid() {
+        let _ = Epsilon::new_unchecked(-3.0);
+    }
+
+    #[test]
+    fn epsilon_display() {
+        assert_eq!(Epsilon::new_unchecked(0.5).to_string(), "ε=0.5");
+    }
+}

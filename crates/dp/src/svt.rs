@@ -1,0 +1,242 @@
+//! The sparse-vector technique ("Above Noisy Threshold").
+//!
+//! DP-ANT (Algorithm 3) synchronizes "when the owner has received
+//! approximately θ records".  The decision procedure is exactly one round of
+//! the sparse-vector technique: a noisy threshold `θ̃ = θ + Lap(2/ε₁)` is
+//! fixed, every time step the running count `c` is compared against `θ̃`
+//! after adding fresh noise `v_t = Lap(4/ε₁)`, and the first time the noisy
+//! count exceeds the noisy threshold the round *halts* (the owner
+//! synchronizes) and a fresh threshold is drawn.  Each completed round
+//! consumes `ε₁`; the noisy count released at the halt consumes `ε₂`.
+
+use crate::laplace::Laplace;
+use crate::Epsilon;
+use rand::Rng;
+
+/// The outcome of feeding one observation to [`AboveNoisyThreshold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvtOutcome {
+    /// The noisy count stayed below the noisy threshold; nothing is released.
+    Below,
+    /// The noisy count reached the noisy threshold; the round halted.
+    Above,
+}
+
+/// One resettable round of the sparse-vector technique.
+///
+/// The struct owns the noisy threshold and the query-noise distribution; the
+/// caller owns the running count (DP-ANT counts records received since the
+/// last synchronization).
+#[derive(Debug, Clone)]
+pub struct AboveNoisyThreshold {
+    threshold: f64,
+    epsilon: Epsilon,
+    noisy_threshold: f64,
+    threshold_noise: Laplace,
+    query_noise: Laplace,
+    halted: bool,
+    comparisons: u64,
+    rounds_completed: u64,
+}
+
+impl AboveNoisyThreshold {
+    /// Creates a new SVT instance for threshold `theta` with per-round budget
+    /// `epsilon_1`.  Following Algorithm 3, the threshold noise has scale
+    /// `2/ε₁` and the per-comparison noise has scale `4/ε₁`.
+    pub fn new<R: Rng + ?Sized>(theta: f64, epsilon_1: Epsilon, rng: &mut R) -> Self {
+        let threshold_noise = Laplace::new(0.0, 2.0 / epsilon_1.value())
+            .expect("epsilon is validated, scale is finite and positive");
+        let query_noise = Laplace::new(0.0, 4.0 / epsilon_1.value())
+            .expect("epsilon is validated, scale is finite and positive");
+        let noisy_threshold = theta + threshold_noise.sample(rng);
+        Self {
+            threshold: theta,
+            epsilon: epsilon_1,
+            noisy_threshold,
+            threshold_noise,
+            query_noise,
+            halted: false,
+            comparisons: 0,
+            rounds_completed: 0,
+        }
+    }
+
+    /// The configured (non-noisy) threshold θ.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The per-round privacy budget ε₁.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The current noisy threshold θ̃ (exposed for the Table-4 mechanism
+    /// simulator and for white-box tests; a real adversary never sees it).
+    pub fn noisy_threshold(&self) -> f64 {
+        self.noisy_threshold
+    }
+
+    /// Whether the current round has halted and needs [`Self::reset`].
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total number of noisy comparisons performed across all rounds.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of completed (halted + reset) rounds so far.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// Performs one noisy comparison of `count` against the noisy threshold.
+    ///
+    /// # Panics
+    /// Panics if called after the round halted without an intervening
+    /// [`Self::reset`]; continuing to answer after the halt would void the
+    /// privacy guarantee.
+    pub fn observe<R: Rng + ?Sized>(&mut self, count: u64, rng: &mut R) -> SvtOutcome {
+        assert!(
+            !self.halted,
+            "AboveNoisyThreshold::observe called after the round halted; call reset() first"
+        );
+        self.comparisons += 1;
+        let v = self.query_noise.sample(rng);
+        if count as f64 + v >= self.noisy_threshold {
+            self.halted = true;
+            SvtOutcome::Above
+        } else {
+            SvtOutcome::Below
+        }
+    }
+
+    /// Starts a new round by drawing a fresh noisy threshold.
+    pub fn reset<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.noisy_threshold = self.threshold + self.threshold_noise.sample(rng);
+        if self.halted {
+            self.rounds_completed += 1;
+        }
+        self.halted = false;
+    }
+
+    /// Changes the threshold (takes effect at the next [`Self::reset`]).
+    pub fn set_threshold(&mut self, theta: f64) {
+        self.threshold = theta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DpRng;
+
+    #[test]
+    fn halts_quickly_once_count_is_far_above_threshold() {
+        let mut rng = DpRng::seed_from_u64(1);
+        let eps = Epsilon::new_unchecked(1.0);
+        let mut trials_halted = 0;
+        for t in 0..200 {
+            let mut svt = AboveNoisyThreshold::new(10.0, eps, &mut rng.derive_indexed("svt", t));
+            // A count far above the threshold should trip essentially always.
+            if svt.observe(200, &mut rng) == SvtOutcome::Above {
+                trials_halted += 1;
+            }
+        }
+        assert!(trials_halted >= 198, "halted {trials_halted}/200");
+    }
+
+    #[test]
+    fn rarely_halts_when_count_is_far_below_threshold() {
+        let mut rng = DpRng::seed_from_u64(2);
+        let eps = Epsilon::new_unchecked(1.0);
+        let mut halts = 0;
+        for t in 0..200 {
+            let mut svt =
+                AboveNoisyThreshold::new(200.0, eps, &mut rng.derive_indexed("svt-low", t));
+            if svt.observe(0, &mut rng) == SvtOutcome::Above {
+                halts += 1;
+            }
+        }
+        assert!(halts <= 4, "halted {halts}/200 with count far below threshold");
+    }
+
+    #[test]
+    #[should_panic(expected = "halted")]
+    fn observing_after_halt_panics() {
+        let mut rng = DpRng::seed_from_u64(3);
+        let mut svt = AboveNoisyThreshold::new(0.0, Epsilon::new_unchecked(1.0), &mut rng);
+        // Count astronomically above threshold => certain halt.
+        let _ = svt.observe(1_000_000, &mut rng);
+        let _ = svt.observe(1_000_000, &mut rng);
+    }
+
+    #[test]
+    fn reset_starts_a_new_round_and_counts_rounds() {
+        let mut rng = DpRng::seed_from_u64(4);
+        let mut svt = AboveNoisyThreshold::new(5.0, Epsilon::new_unchecked(2.0), &mut rng);
+        assert_eq!(svt.rounds_completed(), 0);
+        let _ = svt.observe(1_000_000, &mut rng);
+        assert!(svt.halted());
+        svt.reset(&mut rng);
+        assert!(!svt.halted());
+        assert_eq!(svt.rounds_completed(), 1);
+        // Resetting a non-halted round draws fresh noise but does not count a round.
+        svt.reset(&mut rng);
+        assert_eq!(svt.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn average_halt_time_tracks_threshold() {
+        // With one new record per step, the expected halt step is near θ.
+        let eps = Epsilon::new_unchecked(1.0);
+        let rng = DpRng::seed_from_u64(5);
+        for &theta in &[10.0_f64, 30.0, 60.0] {
+            let mut total = 0u64;
+            let trials = 300;
+            for t in 0..trials {
+                let mut local = rng.derive_indexed(&format!("halt-{theta}"), t);
+                let mut svt = AboveNoisyThreshold::new(theta, eps, &mut local);
+                let mut step = 0u64;
+                loop {
+                    step += 1;
+                    if svt.observe(step, &mut local) == SvtOutcome::Above || step > 10_000 {
+                        break;
+                    }
+                }
+                total += step;
+            }
+            let mean = total as f64 / f64::from(trials as u32);
+            assert!(
+                (mean - theta).abs() < theta * 0.5 + 8.0,
+                "theta={theta} mean halt step={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn comparisons_are_counted() {
+        let mut rng = DpRng::seed_from_u64(6);
+        let mut svt = AboveNoisyThreshold::new(1_000.0, Epsilon::new_unchecked(0.5), &mut rng);
+        for c in 0..10 {
+            let _ = svt.observe(c, &mut rng);
+            if svt.halted() {
+                svt.reset(&mut rng);
+            }
+        }
+        assert_eq!(svt.comparisons(), 10);
+    }
+
+    #[test]
+    fn set_threshold_takes_effect_after_reset() {
+        let mut rng = DpRng::seed_from_u64(7);
+        let mut svt = AboveNoisyThreshold::new(10.0, Epsilon::new_unchecked(5.0), &mut rng);
+        svt.set_threshold(1_000.0);
+        assert_eq!(svt.threshold(), 1_000.0);
+        svt.reset(&mut rng);
+        // With a huge threshold and tight noise, a small count must stay below.
+        assert_eq!(svt.observe(5, &mut rng), SvtOutcome::Below);
+    }
+}

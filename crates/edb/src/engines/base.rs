@@ -1,0 +1,356 @@
+//! Shared plumbing for the simulated engines.
+//!
+//! Both engines follow the same storage discipline:
+//!
+//! 1. Every `Π_Setup` / `Π_Update` batch is stored as ciphertext on the
+//!    [`ServerStorage`] (this is what the adversary sees and what the size
+//!    metrics measure), and
+//! 2. decrypted once into an internal plaintext mirror ("inside the enclave"
+//!    for ObliDB, "inside the MPC" for Crypt-ε) with the recovered
+//!    `is_dummy` flag appended, so queries can be executed with the
+//!    dummy-aware rewriting of Appendix B.
+//!
+//! The engines differ only in leakage, cost model, answer perturbation and
+//! query support, which live in their own modules.
+
+use crate::exec;
+use crate::query::{Query, QueryAnswer};
+use crate::rewrite::{self, IS_DUMMY_COLUMN};
+use crate::row::Row;
+use crate::schema::{Schema, Value};
+use crate::server::ServerStorage;
+use crate::sogdb::{EdbError, TableStats};
+use dpsync_crypto::{EncryptedRecord, MasterKey, RecordCryptor};
+use std::collections::BTreeMap;
+
+/// One decrypted table held inside the trusted boundary of the engine.
+#[derive(Debug, Clone)]
+pub struct EngineTable {
+    /// Schema extended with the `is_dummy` flag column.
+    pub schema: Schema,
+    /// Decrypted rows (flag column included).
+    pub rows: Vec<Row>,
+    /// Number of real records ingested.
+    pub real_records: u64,
+    /// Number of dummy records ingested.
+    pub dummy_records: u64,
+}
+
+/// Shared engine state: ciphertext storage plus the decrypted mirror.
+#[derive(Debug)]
+pub struct EngineCore {
+    cryptor: RecordCryptor,
+    storage: ServerStorage,
+    tables: BTreeMap<String, EngineTable>,
+    query_sequence: u64,
+}
+
+impl EngineCore {
+    /// Creates the core with the owner's master key (the engine needs the key
+    /// material inside its trusted boundary to process queries).
+    pub fn new(master: &MasterKey) -> Self {
+        Self {
+            cryptor: RecordCryptor::new(master),
+            storage: ServerStorage::new(),
+            tables: BTreeMap::new(),
+            query_sequence: 0,
+        }
+    }
+
+    /// Whether `table` has been set up.
+    pub fn has_table(&self, table: &str) -> bool {
+        self.tables.contains_key(table)
+    }
+
+    /// `Π_Setup` plumbing: registers the schema and ingests the initial batch
+    /// at time 0.
+    pub fn setup(
+        &mut self,
+        table: &str,
+        schema: Schema,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError> {
+        if self.tables.contains_key(table) {
+            return Err(EdbError::AlreadySetUp(table.to_string()));
+        }
+        let extended = rewrite::schema_with_dummy_flag(&schema);
+        self.tables.insert(
+            table.to_string(),
+            EngineTable {
+                schema: extended,
+                rows: Vec::new(),
+                real_records: 0,
+                dummy_records: 0,
+            },
+        );
+        self.ingest(table, 0, records)
+    }
+
+    /// `Π_Update` plumbing: ingests an encrypted batch at `time`.
+    pub fn ingest(
+        &mut self,
+        table: &str,
+        time: u64,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError> {
+        if !self.tables.contains_key(table) {
+            return Err(EdbError::NotSetUp(table.to_string()));
+        }
+        // The server stores (and observes) the ciphertexts first.
+        let ciphertexts: Vec<_> = records.iter().map(EncryptedRecord::to_bytes).collect();
+        self.storage.ingest(table, time, ciphertexts);
+
+        // Then the trusted side decrypts into the plaintext mirror.
+        let entry = self.tables.get_mut(table).expect("checked above");
+        let base_arity = entry.schema.arity() - 1; // without the flag column
+        for record in &records {
+            let plaintext = self.cryptor.decrypt(record)?;
+            if plaintext.is_dummy {
+                let mut values = vec![Value::Null; base_arity];
+                values.push(Value::Bool(true));
+                entry.rows.push(Row::new(values));
+                entry.dummy_records += 1;
+            } else {
+                let row = Row::from_bytes(&plaintext.payload)
+                    .map_err(|e| EdbError::CorruptRow(e.to_string()))?;
+                let values = rewrite::values_with_dummy_flag(row.values().to_vec(), false);
+                entry.rows.push(Row::new(values));
+                entry.real_records += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes `query` over the decrypted mirror with dummy-aware rewriting.
+    ///
+    /// Returns the exact answer plus the number of ciphertexts touched (used
+    /// by the cost models and the adversary's transcript).
+    pub fn execute(&self, query: &Query) -> Result<(QueryAnswer, u64), EdbError> {
+        let rewritten = rewrite::rewrite_query(query);
+        let touched: u64 = query
+            .tables()
+            .iter()
+            .map(|t| self.tables.get(*t).map_or(0, |tbl| tbl.rows.len() as u64))
+            .sum();
+        // Joins: the AST rewrite is the identity, so filter dummies by
+        // materializing dummy-free sides here.
+        let answer = match &rewritten {
+            Query::JoinCount { .. } => {
+                let filtered: BTreeMap<&str, Vec<Row>> = query
+                    .tables()
+                    .iter()
+                    .map(|name| {
+                        let rows = self
+                            .tables
+                            .get(*name)
+                            .map(|t| {
+                                let flag = t
+                                    .schema
+                                    .column_index(IS_DUMMY_COLUMN)
+                                    .expect("flag column present");
+                                t.rows
+                                    .iter()
+                                    .filter(|r| r.value(flag) == Some(&Value::Bool(false)))
+                                    .cloned()
+                                    .collect::<Vec<_>>()
+                            })
+                            .unwrap_or_default();
+                        (*name, rows)
+                    })
+                    .collect();
+                exec::execute(&rewritten, |name| {
+                    let table = self.tables.get(name)?;
+                    let rows = filtered.get(name)?;
+                    Some((Some(table.schema.clone()), rows.as_slice()))
+                })?
+            }
+            _ => exec::execute(&rewritten, |name| {
+                let table = self.tables.get(name)?;
+                Some((Some(table.schema.clone()), table.rows.as_slice()))
+            })?,
+        };
+        Ok((answer, touched))
+    }
+
+    /// Number of ciphertexts stored for `table`.
+    pub fn ciphertext_count(&self, table: &str) -> u64 {
+        self.storage.ciphertext_count(table)
+    }
+
+    /// Size statistics for `table`.
+    pub fn table_stats(&self, table: &str) -> TableStats {
+        let (real, dummy) = self
+            .tables
+            .get(table)
+            .map(|t| (t.real_records, t.dummy_records))
+            .unwrap_or((0, 0));
+        TableStats {
+            ciphertext_count: self.storage.ciphertext_count(table),
+            ciphertext_bytes: self.storage.table(table).map_or(0, |t| t.bytes()),
+            real_records: real,
+            dummy_records: dummy,
+        }
+    }
+
+    /// Mutable access to the server storage (for recording query observations).
+    pub fn storage_mut(&mut self) -> &mut ServerStorage {
+        &mut self.storage
+    }
+
+    /// Read access to the server storage.
+    pub fn storage(&self) -> &ServerStorage {
+        &self.storage
+    }
+
+    /// Returns and increments the query sequence counter.
+    pub fn next_query_sequence(&mut self) -> u64 {
+        let s = self.query_sequence;
+        self.query_sequence += 1;
+        s
+    }
+
+    /// The decrypted mirror for `table` (used in white-box tests).
+    pub fn table(&self, table: &str) -> Option<&EngineTable> {
+        self.tables.get(table)
+    }
+}
+
+/// Helper shared by the engines' tests and the workload crate: encrypts a
+/// batch of plaintext rows (plus `dummies` dummy records) with the owner-side
+/// cryptor.
+pub fn encrypt_batch(
+    cryptor: &mut RecordCryptor,
+    rows: &[Row],
+    dummies: usize,
+) -> Vec<EncryptedRecord> {
+    let mut out = Vec::with_capacity(rows.len() + dummies);
+    for row in rows {
+        let plaintext = dpsync_crypto::RecordPlaintext::real(row.to_bytes());
+        out.push(cryptor.encrypt(&plaintext).expect("row fits record payload"));
+    }
+    for _ in 0..dummies {
+        out.push(cryptor.encrypt_dummy().expect("dummy encryption cannot fail"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::paper_queries;
+    use crate::schema::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("pick_time", DataType::Timestamp),
+            ("pickup_id", DataType::Int),
+        ])
+    }
+
+    fn row(t: u64, p: i64) -> Row {
+        Row::new(vec![Value::Timestamp(t), Value::Int(p)])
+    }
+
+    fn core_with_data() -> (EngineCore, RecordCryptor) {
+        let master = MasterKey::from_bytes([9u8; 32]);
+        let mut owner_cryptor = RecordCryptor::new(&master);
+        let mut core = EngineCore::new(&master);
+        let initial = encrypt_batch(&mut owner_cryptor, &[row(1, 60), row(2, 80)], 3);
+        core.setup("yellow", schema(), initial).unwrap();
+        (core, owner_cryptor)
+    }
+
+    #[test]
+    fn setup_then_update_accumulates_rows_and_ciphertexts() {
+        let (mut core, mut cryptor) = core_with_data();
+        let batch = encrypt_batch(&mut cryptor, &[row(3, 90)], 1);
+        core.ingest("yellow", 30, batch).unwrap();
+        let stats = core.table_stats("yellow");
+        assert_eq!(stats.ciphertext_count, 7);
+        assert_eq!(stats.real_records, 3);
+        assert_eq!(stats.dummy_records, 4);
+        assert_eq!(
+            stats.ciphertext_bytes,
+            7 * EncryptedRecord::TOTAL_LEN as u64
+        );
+        // The adversary saw two updates: setup (t=0) and the t=30 batch.
+        let pattern = core.storage().adversary_view().update_pattern().clone();
+        assert_eq!(pattern.times(), vec![0, 30]);
+        assert_eq!(pattern.volumes(), vec![5, 2]);
+    }
+
+    #[test]
+    fn execute_ignores_dummies() {
+        let (core, _) = core_with_data();
+        let (answer, touched) = core.execute(&paper_queries::q1_range_count("yellow")).unwrap();
+        assert_eq!(answer, QueryAnswer::Scalar(2.0));
+        assert_eq!(touched, 5);
+    }
+
+    #[test]
+    fn join_execution_filters_both_sides() {
+        let master = MasterKey::from_bytes([9u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let mut core = EngineCore::new(&master);
+        core.setup(
+            "yellow",
+            schema(),
+            encrypt_batch(&mut cryptor, &[row(5, 1), row(6, 2)], 4),
+        )
+        .unwrap();
+        core.setup(
+            "green",
+            schema(),
+            encrypt_batch(&mut cryptor, &[row(5, 3), row(7, 4)], 4),
+        )
+        .unwrap();
+        let (answer, touched) = core
+            .execute(&paper_queries::q3_join_count("yellow", "green"))
+            .unwrap();
+        // Only t=5 matches, and dummy rows (NULL pick_time) must not join.
+        assert_eq!(answer, QueryAnswer::Scalar(1.0));
+        assert_eq!(touched, 12);
+    }
+
+    #[test]
+    fn double_setup_and_missing_table_errors() {
+        let (mut core, mut cryptor) = core_with_data();
+        assert!(matches!(
+            core.setup("yellow", schema(), vec![]),
+            Err(EdbError::AlreadySetUp(_))
+        ));
+        let batch = encrypt_batch(&mut cryptor, &[row(9, 9)], 0);
+        assert!(matches!(
+            core.ingest("green", 10, batch),
+            Err(EdbError::NotSetUp(_))
+        ));
+        assert!(core.has_table("yellow"));
+        assert!(!core.has_table("green"));
+    }
+
+    #[test]
+    fn wrong_key_records_fail_to_ingest() {
+        let master = MasterKey::from_bytes([9u8; 32]);
+        let other = MasterKey::from_bytes([1u8; 32]);
+        let mut wrong_cryptor = RecordCryptor::new(&other);
+        let mut core = EngineCore::new(&master);
+        let batch = encrypt_batch(&mut wrong_cryptor, &[row(1, 1)], 0);
+        let err = core.setup("yellow", schema(), batch).unwrap_err();
+        assert!(matches!(err, EdbError::Crypto(_)));
+    }
+
+    #[test]
+    fn query_sequence_increments() {
+        let (mut core, _) = core_with_data();
+        assert_eq!(core.next_query_sequence(), 0);
+        assert_eq!(core.next_query_sequence(), 1);
+    }
+
+    #[test]
+    fn stats_for_unknown_table_are_zero() {
+        let (core, _) = core_with_data();
+        assert_eq!(core.table_stats("nope"), TableStats::default());
+        assert!(core.table("nope").is_none());
+        assert_eq!(core.ciphertext_count("yellow"), 5);
+    }
+}

@@ -1,0 +1,301 @@
+//! A Crypt-ε-like engine: crypto-assisted DP query answering, L-DP leakage.
+//!
+//! Crypt-ε (Roy Chowdhury et al.) answers aggregate queries over encrypted
+//! data with a per-query differential-privacy budget: released counts carry
+//! Laplace noise, so the scheme only ever leaks differentially-private
+//! response volumes (the L-DP group of §6).  The paper's evaluation sets the
+//! query budget to ε = 3 and notes that Crypt-ε does not support joins
+//! (footnote 2), both of which this simulator reproduces.
+//!
+//! What the simulator preserves from the real system, for the purposes of
+//! evaluating DP-Sync:
+//!
+//! * query answers are the exact count over synced non-dummy records **plus
+//!   Laplace noise** with scale `1/ε_query` (per released value),
+//! * join queries are rejected,
+//! * per-record query cost is an order of magnitude heavier than the
+//!   SGX-based engine (crypto-assisted aggregation), and
+//! * the adversary observes the update pattern and noisy response volumes
+//!   only.
+
+use crate::cost::CostModel;
+use crate::engines::base::EngineCore;
+use crate::leakage::{LeakageClass, LeakageProfile};
+use crate::query::{Query, QueryAnswer};
+use crate::schema::Schema;
+use crate::server::{AdversaryView, QueryObservation};
+use crate::sogdb::{EdbError, QueryOutcome, SecureOutsourcedDatabase, TableStats};
+use dpsync_crypto::{EncryptedRecord, MasterKey};
+use dpsync_dp::{Epsilon, Laplace};
+use rand::RngCore;
+use std::time::Instant;
+
+/// Default per-query privacy budget used in the paper's evaluation (§8).
+pub const DEFAULT_QUERY_EPSILON: f64 = 3.0;
+
+/// The Crypt-ε-like engine.
+#[derive(Debug)]
+pub struct CryptEpsilonEngine {
+    core: EngineCore,
+    cost: CostModel,
+    query_epsilon: Epsilon,
+}
+
+impl CryptEpsilonEngine {
+    /// Creates an engine with the paper's default query budget (ε = 3).
+    pub fn new(master: &MasterKey) -> Self {
+        Self::with_query_epsilon(master, Epsilon::new_unchecked(DEFAULT_QUERY_EPSILON))
+    }
+
+    /// Creates an engine with a custom per-query budget.
+    pub fn with_query_epsilon(master: &MasterKey, query_epsilon: Epsilon) -> Self {
+        Self {
+            core: EngineCore::new(master),
+            cost: CostModel::crypt_epsilon(),
+            query_epsilon,
+        }
+    }
+
+    /// The per-query privacy budget used to perturb released answers.
+    pub fn query_epsilon(&self) -> Epsilon {
+        self.query_epsilon
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        match query {
+            Query::Count { table, .. } | Query::Select { table, .. } => {
+                self.cost.count_cost(self.core.ciphertext_count(table))
+            }
+            Query::GroupByCount { table, .. } => {
+                self.cost.group_by_cost(self.core.ciphertext_count(table))
+            }
+            Query::JoinCount { .. } => f64::INFINITY,
+        }
+    }
+
+    fn perturb_answer(&self, answer: QueryAnswer, rng: &mut dyn RngCore) -> QueryAnswer {
+        let noise = Laplace::new(0.0, 1.0 / self.query_epsilon.value())
+            .expect("query epsilon is validated");
+        match answer {
+            QueryAnswer::Scalar(v) => {
+                QueryAnswer::Scalar((v + noise.sample(rng)).round().max(0.0))
+            }
+            QueryAnswer::Groups(groups) => QueryAnswer::Groups(
+                groups
+                    .into_iter()
+                    .map(|(k, v)| (k, (v + noise.sample(rng)).round().max(0.0)))
+                    .collect(),
+            ),
+            QueryAnswer::Rows(rows) => QueryAnswer::Rows(rows),
+        }
+    }
+}
+
+impl SecureOutsourcedDatabase for CryptEpsilonEngine {
+    fn name(&self) -> &'static str {
+        "crypt-epsilon"
+    }
+
+    fn leakage_profile(&self) -> LeakageProfile {
+        LeakageProfile {
+            class: LeakageClass::LDpDifferentiallyPrivateVolume,
+            update_leaks_beyond_pattern: false,
+            native_dummy_support: false,
+        }
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn setup(
+        &mut self,
+        table: &str,
+        schema: Schema,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError> {
+        self.core.setup(table, schema, records)
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        time: u64,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError> {
+        self.core.ingest(table, time, records)
+    }
+
+    fn query(&mut self, query: &Query, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+        if matches!(query, Query::JoinCount { .. }) {
+            return Err(EdbError::UnsupportedQuery {
+                engine: self.name(),
+                kind: "join",
+            });
+        }
+        let started = Instant::now();
+        let (exact, touched) = self.core.execute(query)?;
+        let answer = self.perturb_answer(exact, rng);
+        let measured = started.elapsed().as_secs_f64();
+        let estimated = self.estimate(query);
+
+        let sequence = self.core.next_query_sequence();
+        let noisy_volume = answer.total().max(0.0).round() as u64;
+        self.core.storage_mut().observe_query(QueryObservation {
+            sequence,
+            kind: query.kind().to_string(),
+            touched_records: touched,
+            // L-DP: the server learns only the differentially-private volume.
+            observed_response_volume: Some(noisy_volume),
+        });
+
+        Ok(QueryOutcome {
+            answer,
+            estimated_seconds: estimated,
+            measured_seconds: measured,
+            touched_records: touched,
+        })
+    }
+
+    fn supports(&self, query: &Query) -> bool {
+        !matches!(query, Query::JoinCount { .. })
+    }
+
+    fn table_stats(&self, table: &str) -> TableStats {
+        self.core.table_stats(table)
+    }
+
+    fn adversary_view(&self) -> AdversaryView {
+        self.core.storage().adversary_view().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::base::encrypt_batch;
+    use crate::query::paper_queries;
+    use crate::row::Row;
+    use crate::schema::{DataType, Value};
+    use dpsync_crypto::RecordCryptor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("pick_time", DataType::Timestamp),
+            ("pickup_id", DataType::Int),
+        ])
+    }
+
+    fn row(t: u64, p: i64) -> Row {
+        Row::new(vec![Value::Timestamp(t), Value::Int(p)])
+    }
+
+    fn engine_with_data(n: usize) -> (CryptEpsilonEngine, RecordCryptor) {
+        let master = MasterKey::from_bytes([11u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let mut engine = CryptEpsilonEngine::new(&master);
+        let rows: Vec<Row> = (0..n).map(|i| row(i as u64, 75)).collect();
+        let batch = encrypt_batch(&mut cryptor, &rows, n / 2);
+        engine.setup("yellow", schema(), batch).unwrap();
+        (engine, cryptor)
+    }
+
+    #[test]
+    fn answers_are_noisy_but_close() {
+        let (mut engine, _) = engine_with_data(200);
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = paper_queries::q1_range_count("yellow");
+        let mut errors = Vec::new();
+        for _ in 0..50 {
+            let outcome = engine.query(&q, &mut rng).unwrap();
+            errors.push((outcome.answer.as_scalar().unwrap() - 200.0).abs());
+        }
+        let mean_error = errors.iter().sum::<f64>() / errors.len() as f64;
+        // With epsilon = 3 the expected absolute Laplace error is 1/3.
+        assert!(mean_error < 2.0, "mean error {mean_error}");
+        assert!(errors.iter().any(|e| *e > 0.0), "noise was never added");
+    }
+
+    #[test]
+    fn group_by_answers_are_noisy_per_group() {
+        let (mut engine, _) = engine_with_data(100);
+        let mut rng = StdRng::seed_from_u64(6);
+        let outcome = engine
+            .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
+            .unwrap();
+        let groups = outcome.answer.as_groups().unwrap();
+        assert_eq!(groups.len(), 1);
+        let count = groups.values().next().unwrap();
+        assert!((count - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn joins_are_rejected() {
+        let (mut engine, _) = engine_with_data(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = paper_queries::q3_join_count("yellow", "yellow");
+        assert!(!engine.supports(&q));
+        assert!(matches!(
+            engine.query(&q, &mut rng),
+            Err(EdbError::UnsupportedQuery { kind: "join", .. })
+        ));
+    }
+
+    #[test]
+    fn leakage_profile_is_ldp_and_compatible() {
+        let (engine, _) = engine_with_data(10);
+        let profile = engine.leakage_profile();
+        assert_eq!(profile.class, LeakageClass::LDpDifferentiallyPrivateVolume);
+        assert!(profile.dp_sync_compatible());
+        assert!(!profile.native_dummy_support);
+        assert_eq!(engine.name(), "crypt-epsilon");
+        assert_eq!(engine.query_epsilon().value(), DEFAULT_QUERY_EPSILON);
+    }
+
+    #[test]
+    fn adversary_sees_noisy_volumes_only() {
+        let (mut engine, _) = engine_with_data(50);
+        let mut rng = StdRng::seed_from_u64(8);
+        engine
+            .query(&paper_queries::q1_range_count("yellow"), &mut rng)
+            .unwrap();
+        let view = engine.adversary_view();
+        assert_eq!(view.queries().len(), 1);
+        let observed = view.queries()[0].observed_response_volume.unwrap();
+        // The observed volume is the noisy released count, close to but not
+        // guaranteed equal to the true 50.
+        assert!((observed as i64 - 50).abs() < 20);
+    }
+
+    #[test]
+    fn cost_model_is_heavier_than_oblidb() {
+        let (mut engine, _) = engine_with_data(100);
+        let mut rng = StdRng::seed_from_u64(9);
+        let outcome = engine
+            .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
+            .unwrap();
+        assert!(outcome.estimated_seconds > CostModel::oblidb().group_by_cost(150));
+    }
+
+    #[test]
+    fn negative_noisy_counts_are_clamped_to_zero() {
+        // An empty table with a very small query budget produces large noise;
+        // released counts must never go negative.
+        let master = MasterKey::from_bytes([12u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let mut engine =
+            CryptEpsilonEngine::with_query_epsilon(&master, Epsilon::new_unchecked(0.05));
+        engine
+            .setup("yellow", schema(), encrypt_batch(&mut cryptor, &[], 0))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            let outcome = engine
+                .query(&paper_queries::q1_range_count("yellow"), &mut rng)
+                .unwrap();
+            assert!(outcome.answer.as_scalar().unwrap() >= 0.0);
+        }
+    }
+}

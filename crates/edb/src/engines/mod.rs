@@ -1,0 +1,20 @@
+//! Concrete encrypted-database engines.
+//!
+//! The paper evaluates DP-Sync on two systems drawn from different leakage
+//! groups (§8): ObliDB (L-0, oblivious query processing inside SGX) and
+//! Crypt-ε (L-DP, crypto-assisted differential privacy).  This module
+//! provides simulators for both, sharing the storage/decryption plumbing in
+//! [`base`]:
+//!
+//! * [`oblidb::ObliDbEngine`] — exact answers, oblivious full-scan cost,
+//!   supports joins, reveals nothing about response volumes.
+//! * [`crypte::CryptEpsilonEngine`] — DP-noised answers (per-query budget),
+//!   heavier per-record cost, no join support, reveals only
+//!   differentially-private response volumes.
+
+pub mod base;
+pub mod crypte;
+pub mod oblidb;
+
+pub use crypte::CryptEpsilonEngine;
+pub use oblidb::ObliDbEngine;

@@ -1,0 +1,255 @@
+//! An ObliDB-like engine: oblivious query processing, L-0 leakage.
+//!
+//! ObliDB (Eskandarian & Zaharia) runs relational operators obliviously
+//! inside an SGX enclave: every select/aggregate touches all records, joins
+//! touch all pairs, and result sizes are padded, so the server learns neither
+//! access patterns nor response volumes.  The simulator preserves exactly the
+//! properties DP-Sync relies on:
+//!
+//! * answers are **exact** over the synced (non-dummy) records,
+//! * query cost is **linear** in the number of stored ciphertexts for
+//!   Q1/Q2-style queries and **quadratic** for joins (the cost model charges
+//!   enclave-like per-record / per-pair constants),
+//! * the adversary observes the update pattern and the query kinds, but no
+//!   response volumes ([`LeakageClass::L0ResponseVolumeHiding`]).
+
+use crate::cost::CostModel;
+use crate::engines::base::EngineCore;
+use crate::leakage::{LeakageClass, LeakageProfile};
+use crate::query::Query;
+use crate::schema::Schema;
+use crate::server::{AdversaryView, QueryObservation};
+use crate::sogdb::{EdbError, QueryOutcome, SecureOutsourcedDatabase, TableStats};
+use dpsync_crypto::{EncryptedRecord, MasterKey};
+use rand::RngCore;
+use std::time::Instant;
+
+/// The ObliDB-like engine.
+#[derive(Debug)]
+pub struct ObliDbEngine {
+    core: EngineCore,
+    cost: CostModel,
+}
+
+impl ObliDbEngine {
+    /// Creates an engine sharing the owner's master key, with the default
+    /// ObliDB cost model.
+    pub fn new(master: &MasterKey) -> Self {
+        Self::with_cost_model(master, CostModel::oblidb())
+    }
+
+    /// Creates an engine with a custom cost model (used by ablation benches).
+    pub fn with_cost_model(master: &MasterKey, cost: CostModel) -> Self {
+        Self {
+            core: EngineCore::new(master),
+            cost,
+        }
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        match query {
+            Query::Count { table, .. } | Query::Select { table, .. } => {
+                self.cost.count_cost(self.core.ciphertext_count(table))
+            }
+            Query::GroupByCount { table, .. } => {
+                self.cost.group_by_cost(self.core.ciphertext_count(table))
+            }
+            Query::JoinCount { left, right, .. } => self
+                .cost
+                .join_cost(self.core.ciphertext_count(left), self.core.ciphertext_count(right)),
+        }
+    }
+}
+
+impl SecureOutsourcedDatabase for ObliDbEngine {
+    fn name(&self) -> &'static str {
+        "oblidb"
+    }
+
+    fn leakage_profile(&self) -> LeakageProfile {
+        LeakageProfile {
+            class: LeakageClass::L0ResponseVolumeHiding,
+            update_leaks_beyond_pattern: false,
+            native_dummy_support: true,
+        }
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn setup(
+        &mut self,
+        table: &str,
+        schema: Schema,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError> {
+        self.core.setup(table, schema, records)
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        time: u64,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError> {
+        self.core.ingest(table, time, records)
+    }
+
+    fn query(&mut self, query: &Query, _rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+        let started = Instant::now();
+        let (answer, touched) = self.core.execute(query)?;
+        let measured = started.elapsed().as_secs_f64();
+        let estimated = self.estimate(query);
+
+        let sequence = self.core.next_query_sequence();
+        self.core.storage_mut().observe_query(QueryObservation {
+            sequence,
+            kind: query.kind().to_string(),
+            touched_records: touched,
+            // L-0: response volumes are hidden from the server.
+            observed_response_volume: None,
+        });
+
+        Ok(QueryOutcome {
+            answer,
+            estimated_seconds: estimated,
+            measured_seconds: measured,
+            touched_records: touched,
+        })
+    }
+
+    fn supports(&self, _query: &Query) -> bool {
+        true
+    }
+
+    fn table_stats(&self, table: &str) -> TableStats {
+        self.core.table_stats(table)
+    }
+
+    fn adversary_view(&self) -> AdversaryView {
+        self.core.storage().adversary_view().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::base::encrypt_batch;
+    use crate::query::{paper_queries, QueryAnswer};
+    use crate::row::Row;
+    use crate::schema::{DataType, Value};
+    use dpsync_crypto::RecordCryptor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("pick_time", DataType::Timestamp),
+            ("pickup_id", DataType::Int),
+        ])
+    }
+
+    fn row(t: u64, p: i64) -> Row {
+        Row::new(vec![Value::Timestamp(t), Value::Int(p)])
+    }
+
+    fn engine_with_data() -> (ObliDbEngine, RecordCryptor) {
+        let master = MasterKey::from_bytes([42u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let mut engine = ObliDbEngine::new(&master);
+        let rows: Vec<Row> = (0..20).map(|i| row(i, 40 + i as i64 * 5)).collect();
+        let batch = encrypt_batch(&mut cryptor, &rows, 10);
+        engine.setup("yellow", schema(), batch).unwrap();
+        (engine, cryptor)
+    }
+
+    #[test]
+    fn answers_are_exact_and_ignore_dummies() {
+        let (mut engine, _) = engine_with_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = engine
+            .query(&paper_queries::q1_range_count("yellow"), &mut rng)
+            .unwrap();
+        // pickup_id = 40 + 5i in [50,100] -> i in [2,12] -> 11 rows.
+        assert_eq!(outcome.answer, QueryAnswer::Scalar(11.0));
+        assert_eq!(outcome.touched_records, 30);
+    }
+
+    #[test]
+    fn group_by_and_join_supported() {
+        let (mut engine, mut cryptor) = engine_with_data();
+        let rows: Vec<Row> = (0..5).map(|i| row(i, 7)).collect();
+        engine
+            .update("green_setup_placeholder", 1, encrypt_batch(&mut cryptor, &rows, 0))
+            .unwrap_err(); // not set up yet
+        engine
+            .setup("green", schema(), encrypt_batch(&mut cryptor, &rows, 2))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let q2 = engine
+            .query(&paper_queries::q2_group_by_count("green"), &mut rng)
+            .unwrap();
+        assert_eq!(q2.answer.total(), 5.0);
+        let q3 = engine
+            .query(&paper_queries::q3_join_count("yellow", "green"), &mut rng)
+            .unwrap();
+        // yellow times 0..20 (one each), green times 0..5 (one each) -> 5 matches.
+        assert_eq!(q3.answer, QueryAnswer::Scalar(5.0));
+        assert!(engine.supports(&paper_queries::q3_join_count("yellow", "green")));
+    }
+
+    #[test]
+    fn estimated_cost_grows_with_outsourced_data() {
+        let (mut engine, mut cryptor) = engine_with_data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let before = engine
+            .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
+            .unwrap()
+            .estimated_seconds;
+        let more: Vec<Row> = (0..100).map(|i| row(100 + i, 60)).collect();
+        engine
+            .update("yellow", 50, encrypt_batch(&mut cryptor, &more, 50))
+            .unwrap();
+        let after = engine
+            .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
+            .unwrap()
+            .estimated_seconds;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn leakage_profile_is_l0_and_compatible() {
+        let (engine, _) = engine_with_data();
+        let profile = engine.leakage_profile();
+        assert_eq!(profile.class, LeakageClass::L0ResponseVolumeHiding);
+        assert!(profile.dp_sync_compatible());
+        assert_eq!(engine.name(), "oblidb");
+    }
+
+    #[test]
+    fn adversary_never_sees_response_volumes() {
+        let (mut engine, _) = engine_with_data();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..3 {
+            engine
+                .query(&paper_queries::q1_range_count("yellow"), &mut rng)
+                .unwrap();
+        }
+        let view = engine.adversary_view();
+        assert_eq!(view.queries().len(), 3);
+        assert!(view.queries().iter().all(|q| q.observed_response_volume.is_none()));
+        // The update pattern is still fully visible.
+        assert_eq!(view.update_pattern().len(), 1);
+        assert_eq!(view.update_pattern().total_volume(), 30);
+    }
+
+    #[test]
+    fn table_stats_reflect_dummy_split() {
+        let (engine, _) = engine_with_data();
+        let stats = engine.table_stats("yellow");
+        assert_eq!(stats.real_records, 20);
+        assert_eq!(stats.dummy_records, 10);
+        assert_eq!(stats.ciphertext_count, 30);
+    }
+}

@@ -1,0 +1,46 @@
+//! Encrypted-database substrate for DP-Sync.
+//!
+//! DP-Sync (the `dpsync-core` crate) is a *synchronization framework*: it
+//! decides when the owner uploads records and how many dummies pad each
+//! upload, and it requires an underlying encrypted database (an "edb") that
+//! satisfies the paper's interoperability constraints (§2, P4).  This crate
+//! provides everything below that line:
+//!
+//! * [`schema`] / [`row`] — a small typed relational model with compact row
+//!   serialization that fits the fixed-size encrypted record format.
+//! * [`query`] — the query AST covering the paper's evaluation queries
+//!   (filtered counts, group-by counts, equi-join counts) plus projections.
+//! * [`exec`] — a plaintext reference executor used both for computing true
+//!   answers over the logical database and inside the simulated engines.
+//! * [`rewrite`] — dummy-aware query rewriting (Appendix B) so dummy records
+//!   never affect query answers.
+//! * [`sogdb`] — the Secure Outsourced Growing Database protocol trait
+//!   (Definition 1: Setup / Update / Query) and its supporting types.
+//! * [`leakage`] — the update-pattern definition (Definition 2) and the
+//!   leakage classification of §6 (L-0, L-DP, L-1, L-2).
+//! * [`server`] — the untrusted server's storage together with the
+//!   [`server::AdversaryView`] transcript of everything the server observes.
+//! * [`cost`] — an explicit query-cost model standing in for the paper's
+//!   SGX / crypto testbed wall-clock numbers.
+//! * [`engines`] — two concrete engines mirroring the paper's evaluation:
+//!   a Crypt-ε-like engine (L-DP leakage) and an ObliDB-like engine (L-0).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engines;
+pub mod exec;
+pub mod leakage;
+pub mod query;
+pub mod rewrite;
+pub mod row;
+pub mod schema;
+pub mod server;
+pub mod sogdb;
+
+pub use leakage::{LeakageClass, UpdatePattern, UpdateEvent};
+pub use query::{Predicate, Query, QueryAnswer};
+pub use row::Row;
+pub use schema::{ColumnDef, DataType, Schema, Value};
+pub use sogdb::{EdbError, QueryOutcome, SecureOutsourcedDatabase, TableStats};

@@ -1,0 +1,253 @@
+//! The untrusted server's storage and its adversarial view.
+//!
+//! DP-Sync's adversary is the semi-honest server (§4.3).  Everything the
+//! server can observe while following the protocol is captured in
+//! [`AdversaryView`]:
+//!
+//! * the **update pattern** — when updates happened and how many ciphertexts
+//!   each carried (Definition 2),
+//! * the **setup volume** — the size of the initial outsourcing,
+//! * per-query observations — which kind of query ran and, depending on the
+//!   engine's leakage class, the (possibly noisy) response volume.
+//!
+//! The privacy verification machinery in `dpsync-core` operates exclusively
+//! on this transcript: it never looks at owner-side state, mirroring the
+//! formal model in which the leakage function is all the adversary gets.
+
+use crate::leakage::{UpdateEvent, UpdatePattern};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One query observation in the adversary's transcript.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryObservation {
+    /// Monotone sequence number of the query.
+    pub sequence: u64,
+    /// Query kind label ("count", "group-by", "join", "select").
+    pub kind: String,
+    /// Number of ciphertexts the engine touched to answer (always leaked —
+    /// the server hosts the computation).
+    pub touched_records: u64,
+    /// The response volume the server learns, if the leakage class reveals
+    /// one (`None` for volume-hiding engines).
+    pub observed_response_volume: Option<u64>,
+}
+
+/// Everything the semi-honest server observes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryView {
+    update_pattern: UpdatePattern,
+    queries: Vec<QueryObservation>,
+    total_ciphertext_bytes: u64,
+}
+
+impl AdversaryView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an update (or the setup) of `volume` ciphertexts at `time`.
+    pub fn observe_update(&mut self, time: u64, volume: u64, ciphertext_bytes: u64) {
+        self.update_pattern.record(time, volume);
+        self.total_ciphertext_bytes += ciphertext_bytes;
+    }
+
+    /// Records a query observation.
+    pub fn observe_query(&mut self, observation: QueryObservation) {
+        self.queries.push(observation);
+    }
+
+    /// The observed update pattern.
+    pub fn update_pattern(&self) -> &UpdatePattern {
+        &self.update_pattern
+    }
+
+    /// The observed query transcript.
+    pub fn queries(&self) -> &[QueryObservation] {
+        &self.queries
+    }
+
+    /// Total ciphertext bytes received so far.
+    pub fn total_ciphertext_bytes(&self) -> u64 {
+        self.total_ciphertext_bytes
+    }
+
+    /// The update events observed (convenience passthrough).
+    pub fn update_events(&self) -> &[UpdateEvent] {
+        self.update_pattern.events()
+    }
+}
+
+/// Ciphertext storage for one table.
+#[derive(Debug, Clone, Default)]
+pub struct StoredTable {
+    ciphertexts: Vec<Bytes>,
+}
+
+impl StoredTable {
+    /// Number of stored ciphertexts.
+    pub fn len(&self) -> usize {
+        self.ciphertexts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ciphertexts.is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn bytes(&self) -> u64 {
+        self.ciphertexts.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// The raw ciphertexts.
+    pub fn ciphertexts(&self) -> &[Bytes] {
+        &self.ciphertexts
+    }
+}
+
+/// The server's ciphertext store across tables, plus the adversary view.
+///
+/// Wrapped in `Arc<RwLock<...>>`-friendly interior so an engine and an
+/// experiment harness can share read access; writes go through the engine.
+#[derive(Debug, Default)]
+pub struct ServerStorage {
+    tables: BTreeMap<String, StoredTable>,
+    view: AdversaryView,
+}
+
+impl ServerStorage {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends ciphertexts to a table and records the update observation.
+    pub fn ingest(&mut self, table: &str, time: u64, ciphertexts: Vec<Bytes>) {
+        let volume = ciphertexts.len() as u64;
+        let bytes: u64 = ciphertexts.iter().map(|c| c.len() as u64).sum();
+        let entry = self.tables.entry(table.to_string()).or_default();
+        entry.ciphertexts.extend(ciphertexts);
+        self.view.observe_update(time, volume, bytes);
+    }
+
+    /// Records a query observation.
+    pub fn observe_query(&mut self, observation: QueryObservation) {
+        self.view.observe_query(observation);
+    }
+
+    /// The stored table, if present.
+    pub fn table(&self, name: &str) -> Option<&StoredTable> {
+        self.tables.get(name)
+    }
+
+    /// Number of ciphertexts in a table (0 when missing).
+    pub fn ciphertext_count(&self, table: &str) -> u64 {
+        self.tables.get(table).map_or(0, |t| t.len() as u64)
+    }
+
+    /// Total ciphertexts across all tables.
+    pub fn total_ciphertexts(&self) -> u64 {
+        self.tables.values().map(|t| t.len() as u64).sum()
+    }
+
+    /// Total stored bytes across all tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.values().map(StoredTable::bytes).sum()
+    }
+
+    /// The adversary's transcript.
+    pub fn adversary_view(&self) -> &AdversaryView {
+        &self.view
+    }
+}
+
+/// A shareable handle to server storage (the analyst and the experiment
+/// harness hold clones; the engine holds the writer side).
+pub type SharedServerStorage = Arc<RwLock<ServerStorage>>;
+
+/// Creates a new shared server storage handle.
+pub fn shared_storage() -> SharedServerStorage {
+    Arc::new(RwLock::new(ServerStorage::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ct(len: usize) -> Bytes {
+        Bytes::from(vec![0u8; len])
+    }
+
+    #[test]
+    fn ingest_accumulates_ciphertexts_and_pattern() {
+        let mut s = ServerStorage::new();
+        s.ingest("yellow", 0, vec![ct(95); 120]);
+        s.ingest("yellow", 30, vec![ct(95); 4]);
+        s.ingest("green", 30, vec![ct(95); 2]);
+        assert_eq!(s.ciphertext_count("yellow"), 124);
+        assert_eq!(s.ciphertext_count("green"), 2);
+        assert_eq!(s.ciphertext_count("missing"), 0);
+        assert_eq!(s.total_ciphertexts(), 126);
+        assert_eq!(s.total_bytes(), 126 * 95);
+        let pattern = s.adversary_view().update_pattern();
+        assert_eq!(pattern.len(), 3);
+        assert_eq!(pattern.total_volume(), 126);
+        assert_eq!(s.adversary_view().total_ciphertext_bytes(), 126 * 95);
+    }
+
+    #[test]
+    fn empty_updates_are_still_visible_events() {
+        // An update carrying only zero ciphertexts would still be observed as
+        // a protocol run; DP-Sync never produces one (Perturb returns nothing
+        // when the noisy count is <= 0), but the server model must not hide it.
+        let mut s = ServerStorage::new();
+        s.ingest("t", 5, vec![]);
+        assert_eq!(s.adversary_view().update_pattern().len(), 1);
+        assert_eq!(s.adversary_view().update_pattern().total_volume(), 0);
+    }
+
+    #[test]
+    fn query_observations_are_appended_in_order() {
+        let mut s = ServerStorage::new();
+        for i in 0..3 {
+            s.observe_query(QueryObservation {
+                sequence: i,
+                kind: "count".into(),
+                touched_records: 10 * i,
+                observed_response_volume: if i == 2 { Some(5) } else { None },
+            });
+        }
+        let qs = s.adversary_view().queries();
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[2].observed_response_volume, Some(5));
+        assert_eq!(qs[1].touched_records, 10);
+    }
+
+    #[test]
+    fn stored_table_accessors() {
+        let mut s = ServerStorage::new();
+        s.ingest("t", 1, vec![ct(10), ct(20)]);
+        let table = s.table("t").unwrap();
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+        assert_eq!(table.bytes(), 30);
+        assert_eq!(table.ciphertexts().len(), 2);
+        assert!(s.table("other").is_none());
+    }
+
+    #[test]
+    fn shared_storage_allows_concurrent_reads() {
+        let shared = shared_storage();
+        shared.write().ingest("t", 0, vec![ct(5)]);
+        let a = shared.clone();
+        let b = shared.clone();
+        let ra = a.read();
+        let rb = b.read();
+        assert_eq!(ra.total_ciphertexts(), rb.total_ciphertexts());
+    }
+}

@@ -1,0 +1,188 @@
+//! The Secure Outsourced Growing Database (SOGDB) protocol interface.
+//!
+//! Definition 1 of the paper specifies a SOGDB as three protocols plus a
+//! synchronization algorithm:
+//!
+//! * `Π_Setup((λ, D₀), ⊥, ⊥)` — owner outsources the initial database;
+//! * `Π_Update(γ, DS_t, ⊥)` — owner appends a batch of (real + dummy)
+//!   encrypted records;
+//! * `Π_Query(⊥, DS_t, q_t)` — analyst evaluates a query against the
+//!   outsourced structure;
+//! * `Sync(D)` — the owner-side strategy (implemented in `dpsync-core`).
+//!
+//! [`SecureOutsourcedDatabase`] is the Rust rendering of the first three.
+//! Engines are object-safe so the owner runtime and the experiment harness
+//! can swap them freely (`Box<dyn SecureOutsourcedDatabase>`).
+
+use crate::cost::CostModel;
+use crate::exec::ExecError;
+use crate::leakage::LeakageProfile;
+use crate::query::{Query, QueryAnswer};
+use crate::schema::Schema;
+use crate::server::AdversaryView;
+use dpsync_crypto::{CryptoError, EncryptedRecord};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by SOGDB protocol implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdbError {
+    /// A cryptographic failure (authentication, malformed ciphertext, ...).
+    Crypto(CryptoError),
+    /// A relational execution failure (unknown table/column).
+    Exec(ExecError),
+    /// The engine does not support this query shape (e.g. joins on the
+    /// Crypt-ε-like engine, mirroring footnote 2 of the paper).
+    UnsupportedQuery {
+        /// Engine name.
+        engine: &'static str,
+        /// Query kind that was rejected.
+        kind: &'static str,
+    },
+    /// Setup was called twice for the same table.
+    AlreadySetUp(String),
+    /// Update or query referenced a table that was never set up.
+    NotSetUp(String),
+    /// A stored row failed to decode after decryption.
+    CorruptRow(String),
+}
+
+impl std::fmt::Display for EdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdbError::Crypto(e) => write!(f, "crypto error: {e}"),
+            EdbError::Exec(e) => write!(f, "execution error: {e}"),
+            EdbError::UnsupportedQuery { engine, kind } => {
+                write!(f, "engine `{engine}` does not support {kind} queries")
+            }
+            EdbError::AlreadySetUp(t) => write!(f, "table `{t}` was already set up"),
+            EdbError::NotSetUp(t) => write!(f, "table `{t}` has not been set up"),
+            EdbError::CorruptRow(msg) => write!(f, "corrupt row: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EdbError {}
+
+impl From<CryptoError> for EdbError {
+    fn from(e: CryptoError) -> Self {
+        EdbError::Crypto(e)
+    }
+}
+
+impl From<ExecError> for EdbError {
+    fn from(e: ExecError) -> Self {
+        EdbError::Exec(e)
+    }
+}
+
+/// Size statistics of one outsourced table, as measurable by the owner or the
+/// experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Number of ciphertexts stored on the server.
+    pub ciphertext_count: u64,
+    /// Total ciphertext bytes stored on the server.
+    pub ciphertext_bytes: u64,
+    /// Number of real (non-dummy) records among them.
+    pub real_records: u64,
+    /// Number of dummy records among them.
+    pub dummy_records: u64,
+}
+
+impl TableStats {
+    /// Dummy bytes, assuming all ciphertexts share the fixed record size.
+    pub fn dummy_bytes(&self) -> u64 {
+        self.ciphertext_bytes
+            .checked_div(self.ciphertext_count)
+            .map_or(0, |per_record| self.dummy_records * per_record)
+    }
+}
+
+/// The outcome of one `Π_Query` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The answer released to the analyst.
+    pub answer: QueryAnswer,
+    /// Estimated query execution time under the engine's [`CostModel`]
+    /// (stands in for the paper's testbed wall-clock QET).
+    pub estimated_seconds: f64,
+    /// Wall-clock seconds this simulated execution actually took.
+    pub measured_seconds: f64,
+    /// Number of ciphertexts the engine touched.
+    pub touched_records: u64,
+}
+
+/// The SOGDB protocol suite exposed by every engine.
+pub trait SecureOutsourcedDatabase {
+    /// A short engine name ("oblidb", "crypt-epsilon").
+    fn name(&self) -> &'static str;
+
+    /// The engine's leakage profile (determines DP-Sync compatibility, §6).
+    fn leakage_profile(&self) -> LeakageProfile;
+
+    /// The engine's cost model.
+    fn cost_model(&self) -> CostModel;
+
+    /// `Π_Setup`: creates `table` with `schema` and ingests the initial batch
+    /// of encrypted records at time 0.
+    fn setup(
+        &mut self,
+        table: &str,
+        schema: Schema,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError>;
+
+    /// `Π_Update`: appends a batch of encrypted records to `table` at `time`.
+    fn update(
+        &mut self,
+        table: &str,
+        time: u64,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError>;
+
+    /// `Π_Query`: evaluates `query` over the current outsourced structure.
+    fn query(&mut self, query: &Query, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError>;
+
+    /// Whether the engine supports this query shape.
+    fn supports(&self, query: &Query) -> bool;
+
+    /// Size statistics for `table` (zeroes when the table does not exist).
+    fn table_stats(&self, table: &str) -> TableStats;
+
+    /// The transcript of everything the server has observed.
+    fn adversary_view(&self) -> AdversaryView;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_stats_dummy_bytes() {
+        let stats = TableStats {
+            ciphertext_count: 10,
+            ciphertext_bytes: 950,
+            real_records: 7,
+            dummy_records: 3,
+        };
+        assert_eq!(stats.dummy_bytes(), 3 * 95);
+        assert_eq!(TableStats::default().dummy_bytes(), 0);
+    }
+
+    #[test]
+    fn error_display_and_conversions() {
+        let e: EdbError = CryptoError::AuthenticationFailed.into();
+        assert!(e.to_string().contains("crypto"));
+        let e: EdbError = ExecError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        let e = EdbError::UnsupportedQuery {
+            engine: "crypt-epsilon",
+            kind: "join",
+        };
+        assert!(e.to_string().contains("join"));
+        assert!(EdbError::AlreadySetUp("x".into()).to_string().contains("already"));
+        assert!(EdbError::NotSetUp("x".into()).to_string().contains("not been set up"));
+        assert!(EdbError::CorruptRow("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Loader for the real NYC TLC trip-record CSV files.
+//!
+//! The paper's evaluation uses the June 2020 Yellow Cab and Green Boro CSVs
+//! from the TLC Trip Record project.  When those files are available locally
+//! they can be loaded here and passed through the same cleaning steps the
+//! paper describes (§8, "Data"):
+//!
+//! 1. drop rows with missing or invalid values,
+//! 2. keep at most one record per minute,
+//! 3. map pickup timestamps to minute offsets within the month.
+//!
+//! The parser is deliberately dependency-free (plain `std`), handles both the
+//! Yellow (`tpep_pickup_datetime`) and Green (`lpep_pickup_datetime`) header
+//! variants, and ignores columns it does not need.
+
+use crate::taxi::{TaxiDataset, TaxiRecord, JUNE_2020_MINUTES, TLC_ZONE_COUNT};
+use std::io::Read;
+use std::path::Path;
+
+/// Errors raised while loading a TLC CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header row is missing one of the required columns.
+    MissingColumn(String),
+    /// The file contained no usable data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::MissingColumn(c) => write!(f, "CSV is missing required column `{c}`"),
+            CsvError::Empty => write!(f, "CSV contained no valid records"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses TLC CSV text into a cleaned [`TaxiDataset`].
+///
+/// `month_start` is the `YYYY-MM` prefix records must carry (e.g. "2020-06");
+/// rows from other months are dropped, matching the paper's month-scoped
+/// evaluation.
+pub fn parse_csv_str(contents: &str, month_start: &str) -> Result<TaxiDataset, CsvError> {
+    let mut lines = contents.lines();
+    let header = lines.next().ok_or(CsvError::Empty)?;
+    let columns: Vec<&str> = header.split(',').map(str::trim).collect();
+
+    let find = |candidates: &[&str]| -> Option<usize> {
+        columns.iter().position(|c| {
+            candidates
+                .iter()
+                .any(|cand| c.eq_ignore_ascii_case(cand))
+        })
+    };
+
+    let pickup_time_idx = find(&["tpep_pickup_datetime", "lpep_pickup_datetime", "pickup_datetime"])
+        .ok_or_else(|| CsvError::MissingColumn("pickup_datetime".into()))?;
+    let pu_idx = find(&["PULocationID", "pulocationid"])
+        .ok_or_else(|| CsvError::MissingColumn("PULocationID".into()))?;
+    let do_idx = find(&["DOLocationID", "dolocationid"])
+        .ok_or_else(|| CsvError::MissingColumn("DOLocationID".into()))?;
+    let distance_idx = find(&["trip_distance"]);
+    let fare_idx = find(&["fare_amount", "total_amount"]);
+
+    let mut records = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let Some(minute) = fields
+            .get(pickup_time_idx)
+            .and_then(|ts| minute_offset(ts, month_start))
+        else {
+            continue;
+        };
+        let Some(pickup_id) = fields.get(pu_idx).and_then(|v| v.parse::<i64>().ok()) else {
+            continue;
+        };
+        let Some(dropoff_id) = fields.get(do_idx).and_then(|v| v.parse::<i64>().ok()) else {
+            continue;
+        };
+        if !(1..=TLC_ZONE_COUNT).contains(&pickup_id) || !(1..=TLC_ZONE_COUNT).contains(&dropoff_id)
+        {
+            continue;
+        }
+        let distance = distance_idx
+            .and_then(|i| fields.get(i))
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        let fare = fare_idx
+            .and_then(|i| fields.get(i))
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(10.0);
+        if !(distance.is_finite() && fare.is_finite()) || distance < 0.0 || fare < 0.0 {
+            continue;
+        }
+        records.push(TaxiRecord {
+            pick_time: minute,
+            pickup_id,
+            dropoff_id,
+            distance,
+            fare,
+        });
+    }
+    if records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(TaxiDataset::from_records(records, JUNE_2020_MINUTES))
+}
+
+/// Loads and cleans a TLC CSV file from disk.
+pub fn load_csv_file(path: impl AsRef<Path>, month_start: &str) -> Result<TaxiDataset, CsvError> {
+    let mut contents = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut contents)?;
+    parse_csv_str(&contents, month_start)
+}
+
+/// Converts a `YYYY-MM-DD HH:MM[:SS]` timestamp into a minute offset within
+/// the month identified by `month_start` (`YYYY-MM`).  Returns `None` when
+/// the timestamp is malformed or falls outside that month.
+fn minute_offset(timestamp: &str, month_start: &str) -> Option<u64> {
+    let timestamp = timestamp.trim_matches(|c| c == '"' || c == '\'');
+    if !timestamp.starts_with(month_start) {
+        return None;
+    }
+    // "YYYY-MM-DD HH:MM:SS" — day is chars 8..10, hour 11..13, minute 14..16.
+    if timestamp.len() < 16 {
+        return None;
+    }
+    let day: u64 = timestamp.get(8..10)?.parse().ok()?;
+    let hour: u64 = timestamp.get(11..13)?.parse().ok()?;
+    let minute: u64 = timestamp.get(14..16)?.parse().ok()?;
+    if day == 0 || day > 31 || hour > 23 || minute > 59 {
+        return None;
+    }
+    Some((day - 1) * 1_440 + hour * 60 + minute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+VendorID,tpep_pickup_datetime,tpep_dropoff_datetime,passenger_count,trip_distance,PULocationID,DOLocationID,fare_amount
+1,2020-06-01 00:03:12,2020-06-01 00:15:00,1,2.5,132,48,12.0
+2,2020-06-01 00:03:40,2020-06-01 00:20:00,1,3.0,90,68,14.5
+1,2020-06-02 08:30:00,2020-06-02 08:45:00,2,1.2,237,236,7.0
+1,2020-06-02 08:31:00,2020-06-02 08:45:00,2,,237,236,7.0
+1,2020-07-01 09:00:00,2020-07-01 09:10:00,1,1.0,10,20,5.0
+1,2020-06-03 12:00:00,2020-06-03 12:30:00,1,4.0,999,20,20.0
+1,2020-06-03 13:00:00,2020-06-03 13:30:00,1,-4.0,100,20,20.0
+";
+
+    #[test]
+    fn parses_and_cleans_a_yellow_style_csv() {
+        let ds = parse_csv_str(SAMPLE, "2020-06").unwrap();
+        // Row 2 is dropped (same minute as row 1), July row dropped, zone 999
+        // dropped, negative distance dropped, missing distance defaults to 1.0.
+        assert_eq!(ds.len(), 3);
+        let first = ds.records()[0];
+        assert_eq!(first.pick_time, 3);
+        assert_eq!(first.pickup_id, 132);
+        assert_eq!(first.dropoff_id, 48);
+        assert!((first.distance - 2.5).abs() < 1e-9);
+        // Day 2, 08:30 -> (2-1)*1440 + 8*60 + 30 = 1950.
+        assert_eq!(ds.records()[1].pick_time, 1950);
+        assert!((ds.records()[1].distance - 1.2).abs() < 1e-9);
+        // The 08:31 row has an empty trip_distance field, which defaults to 1.0.
+        assert_eq!(ds.records()[2].pick_time, 1951);
+        assert!((ds.records()[2].distance - 1.0).abs() < 1e-9, "missing distance defaulted");
+    }
+
+    #[test]
+    fn green_header_variant_is_accepted() {
+        let csv = "\
+lpep_pickup_datetime,PULocationID,DOLocationID,trip_distance,total_amount
+2020-06-05 10:00:00,7,8,1.5,9.0
+";
+        let ds = parse_csv_str(csv, "2020-06").unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.records()[0].pick_time, (5 - 1) * 1440 + 10 * 60);
+    }
+
+    #[test]
+    fn missing_required_column_is_an_error() {
+        let csv = "a,b,c\n1,2,3\n";
+        assert!(matches!(
+            parse_csv_str(csv, "2020-06"),
+            Err(CsvError::MissingColumn(_))
+        ));
+    }
+
+    #[test]
+    fn empty_or_all_invalid_input_is_an_error() {
+        assert!(matches!(parse_csv_str("", "2020-06"), Err(CsvError::Empty)));
+        let csv = "tpep_pickup_datetime,PULocationID,DOLocationID\nnot-a-date,1,2\n";
+        assert!(matches!(parse_csv_str(csv, "2020-06"), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn minute_offsets_are_computed_correctly() {
+        assert_eq!(minute_offset("2020-06-01 00:00:00", "2020-06"), Some(0));
+        assert_eq!(minute_offset("2020-06-01 00:59:59", "2020-06"), Some(59));
+        assert_eq!(minute_offset("2020-06-30 23:59:00", "2020-06"), Some(43_199));
+        assert_eq!(minute_offset("2020-07-01 00:00:00", "2020-06"), None);
+        assert_eq!(minute_offset("garbage", "2020-06"), None);
+        assert_eq!(minute_offset("2020-06-01 99:00:00", "2020-06"), None);
+    }
+
+    #[test]
+    fn load_csv_file_reads_from_disk() {
+        let dir = std::env::temp_dir().join("dpsync-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("yellow_sample.csv");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let ds = load_csv_file(&path, "2020-06").unwrap();
+        assert_eq!(ds.len(), 3);
+        assert!(load_csv_file(dir.join("missing.csv"), "2020-06").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CsvError::MissingColumn("x".into()).to_string().contains('x'));
+        assert!(CsvError::Empty.to_string().contains("no valid"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Workload generation for the DP-Sync evaluation.
+//!
+//! The paper evaluates on the June 2020 NYC Yellow Cab and Green Boro taxi
+//! trip records (≈18.4k and ≈21.3k records after cleaning, replayed over the
+//! month's 43 200 one-minute time units with at most one record per minute).
+//! Those CSVs are not redistributable with this repository, so this crate
+//! provides:
+//!
+//! * [`taxi`] — a synthetic generator that reproduces the statistical shape
+//!   that the evaluation depends on: record counts, a diurnal arrival
+//!   process over 43 200 minutes, the ≤1-record-per-minute dedup rule, and
+//!   the taxi schema (pickup time, pickup/dropoff zone 1–265, distance,
+//!   fare).  The generator is deterministic given a seed.
+//! * [`csv`] — a loader for the real TLC CSV files, so the experiments can be
+//!   re-run against the original data when it is available locally.
+//! * [`arrival`] — reusable arrival-process models (Bernoulli, Poisson-like
+//!   bursts, diurnal profiles) for workloads beyond the taxi trace.
+//! * [`queries`] — the evaluation queries Q1/Q2/Q3 with their paper labels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod csv;
+pub mod queries;
+pub mod taxi;
+
+pub use arrival::ArrivalProcess;
+pub use taxi::{TaxiConfig, TaxiDataset, TaxiRecord};

@@ -1,0 +1,104 @@
+//! The evaluation queries Q1, Q2 and Q3 (§8, "Testing query").
+//!
+//! * **Q1** — linear range count over the Yellow Cab table:
+//!   `SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100`.
+//! * **Q2** — aggregation grouped by pickup zone:
+//!   `SELECT pickupID, COUNT(*) FROM YellowCab GROUP BY pickupID`.
+//! * **Q3** — join counting minutes in which both providers had a pickup:
+//!   `SELECT COUNT(*) FROM YellowCab INNER JOIN GreenTaxi ON pickTime = pickTime`.
+//!
+//! Table names default to `"yellow"` and `"green"`, matching the workload
+//! builders in [`crate::taxi`].
+
+use dpsync_edb::query::paper_queries;
+use dpsync_edb::Query;
+
+/// Default Yellow Cab table name.
+pub const YELLOW_TABLE: &str = "yellow";
+/// Default Green Boro table name.
+pub const GREEN_TABLE: &str = "green";
+
+/// Q1: the linear range count.
+pub fn q1() -> Query {
+    paper_queries::q1_range_count(YELLOW_TABLE)
+}
+
+/// Q2: the group-by aggregation (the paper's default testing query).
+pub fn q2() -> Query {
+    paper_queries::q2_group_by_count(YELLOW_TABLE)
+}
+
+/// Q3: the equi-join count across both providers.
+pub fn q3() -> Query {
+    paper_queries::q3_join_count(YELLOW_TABLE, GREEN_TABLE)
+}
+
+/// The full labelled query set used by the end-to-end experiments.
+pub fn paper_query_set() -> Vec<(String, Query)> {
+    vec![
+        ("Q1".to_string(), q1()),
+        ("Q2".to_string(), q2()),
+        ("Q3".to_string(), q3()),
+    ]
+}
+
+/// The single-table query set (Q1 and Q2 only), used when only the Yellow
+/// Cab workload is replayed (e.g. the parameter sweeps of Figures 5 and 6,
+/// which use Q2 as the default testing query).
+pub fn single_table_query_set() -> Vec<(String, Query)> {
+    vec![("Q1".to_string(), q1()), ("Q2".to_string(), q2())]
+}
+
+/// The paper's default testing query (Q2) on its own.
+pub fn default_query_set() -> Vec<(String, Query)> {
+    vec![("Q2".to_string(), q2())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsync_edb::Predicate;
+
+    #[test]
+    fn q1_filters_pickup_range() {
+        match q1() {
+            Query::Count { table, predicate } => {
+                assert_eq!(table, YELLOW_TABLE);
+                assert!(matches!(predicate, Some(Predicate::Between(_, 50.0, 100.0))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q2_groups_by_pickup_zone() {
+        match q2() {
+            Query::GroupByCount { table, group_by, .. } => {
+                assert_eq!(table, YELLOW_TABLE);
+                assert_eq!(group_by, "pickup_id");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q3_joins_both_tables_on_pick_time() {
+        match q3() {
+            Query::JoinCount { left, right, left_column, right_column } => {
+                assert_eq!(left, YELLOW_TABLE);
+                assert_eq!(right, GREEN_TABLE);
+                assert_eq!(left_column, "pick_time");
+                assert_eq!(right_column, "pick_time");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_sets_have_expected_labels() {
+        let labels: Vec<String> = paper_query_set().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["Q1", "Q2", "Q3"]);
+        assert_eq!(single_table_query_set().len(), 2);
+        assert_eq!(default_query_set()[0].0, "Q2");
+    }
+}

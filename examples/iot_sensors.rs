@@ -1,0 +1,110 @@
+//! The paper's motivating scenario (§1): an IoT provider backs up building
+//! sensor events to an encrypted database maintained by the building admin.
+//! With the default synchronize-upon-receipt behaviour, the admin learns when
+//! someone walked past each sensor just from the backup *timing*; with
+//! DP-Sync's DP-ANT strategy, the upload times reveal (almost) nothing.
+//!
+//! The example simulates one person entering the building at 07:00 and
+//! triggering three sensors ten seconds apart (scaled here to one-minute
+//! ticks), then compares the update patterns produced by SUR and DP-ANT.
+//!
+//! Run with: `cargo run --example iot_sensors`
+
+use dp_sync::core::strategy::{
+    AboveNoisyThresholdStrategy, CacheFlush, SynchronizeUponReceipt, SyncStrategy,
+};
+use dp_sync::core::{Owner, Timestamp};
+use dp_sync::crypto::MasterKey;
+use dp_sync::dp::{DpRng, Epsilon};
+use dp_sync::edb::engines::ObliDbEngine;
+use dp_sync::edb::sogdb::SecureOutsourcedDatabase;
+use dp_sync::edb::{DataType, Row, Schema, Value};
+
+/// One day of one-minute ticks.
+const HORIZON: u64 = 1_440;
+
+fn sensor_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("event_time", DataType::Timestamp),
+        ("sensor_id", DataType::Int),
+        ("floor", DataType::Int),
+    ])
+}
+
+/// The sensor events: a person enters at minute 420 (07:00) and trips the
+/// three third-floor sensors in consecutive minutes.
+fn sensor_events() -> Vec<(u64, Row)> {
+    vec![
+        (420, Row::new(vec![Value::Timestamp(420), Value::Int(31), Value::Int(3)])),
+        (421, Row::new(vec![Value::Timestamp(421), Value::Int(32), Value::Int(3)])),
+        (422, Row::new(vec![Value::Timestamp(422), Value::Int(33), Value::Int(3)])),
+    ]
+}
+
+fn run_with(strategy: Box<dyn SyncStrategy>, label: &str) {
+    let mut rng = DpRng::seed_from_u64(7);
+    let master = MasterKey::generate(&mut rng);
+    let mut engine = ObliDbEngine::new(&master);
+    let mut owner = Owner::new("sensor_events", sensor_schema(), &master, strategy);
+    owner.setup(vec![], &mut engine, &mut rng).expect("setup succeeds");
+
+    let events = sensor_events();
+    for t in 1..=HORIZON {
+        let arrivals: Vec<Row> = events
+            .iter()
+            .filter(|(time, _)| *time == t)
+            .map(|(_, row)| row.clone())
+            .collect();
+        owner
+            .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+            .expect("tick succeeds");
+    }
+
+    let view = engine.adversary_view();
+    println!("--- {label} ---");
+    println!(
+        "updates observed by the building admin: {} (total volume {})",
+        view.update_pattern().len(),
+        view.update_pattern().total_volume()
+    );
+
+    // What can the admin infer about the 07:00 entry?  Compare the upload
+    // activity in the ten minutes around the event with the activity in an
+    // arbitrary quiet window (03:00-03:10): if uploads only ever happen when
+    // sensors fire, the two differ starkly; if uploads happen on a
+    // data-independent schedule, they look alike.
+    let uploads_in = |from: u64, to: u64| {
+        view.update_events()
+            .iter()
+            .filter(|e| (from..=to).contains(&e.time))
+            .count()
+    };
+    let around_event = uploads_in(416, 426);
+    let quiet_window = uploads_in(180, 190);
+    println!(
+        "uploads in the 10 minutes around the 07:00 entry: {around_event}, in a quiet 03:00 window: {quiet_window}"
+    );
+    if around_event > 0 && quiet_window == 0 {
+        println!("=> upload timing mirrors the sensor events — the admin learns when someone entered\n");
+    } else {
+        println!("=> upload timing is indistinguishable from any other window — the entry time is hidden\n");
+    }
+}
+
+fn main() {
+    println!("IoT sensor backup: what does the building admin learn from upload timings?\n");
+
+    // Synchronize-upon-receipt: every sensor event is backed up immediately.
+    run_with(Box::new(SynchronizeUponReceipt::new()), "SUR (backup immediately)");
+
+    // DP-ANT with epsilon = 0.5, threshold 30, and an hourly flush: uploads
+    // are decoupled from event times with a differential-privacy guarantee.
+    run_with(
+        Box::new(AboveNoisyThresholdStrategy::with_flush(
+            Epsilon::new_unchecked(0.5),
+            30,
+            Some(CacheFlush::new(60, 5)),
+        )),
+        "DP-ANT (DP-Sync)",
+    );
+}

@@ -39,5 +39,10 @@ fn bench_perturb(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_laplace_sampling, bench_sparse_vector, bench_perturb);
+criterion_group!(
+    benches,
+    bench_laplace_sampling,
+    bench_sparse_vector,
+    bench_perturb
+);
 criterion_main!(benches);

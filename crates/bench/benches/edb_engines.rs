@@ -41,10 +41,18 @@ fn loaded_oblidb(n: usize) -> ObliDbEngine {
     let mut cryptor = RecordCryptor::new(&master);
     let mut engine = ObliDbEngine::new(&master);
     engine
-        .setup("yellow", schema(), encrypt_batch(&mut cryptor, &rows(n), n / 10))
+        .setup(
+            "yellow",
+            schema(),
+            encrypt_batch(&mut cryptor, &rows(n), n / 10),
+        )
         .unwrap();
     engine
-        .setup("green", schema(), encrypt_batch(&mut cryptor, &rows(n / 2), n / 20))
+        .setup(
+            "green",
+            schema(),
+            encrypt_batch(&mut cryptor, &rows(n / 2), n / 20),
+        )
         .unwrap();
     engine
 }
@@ -107,7 +115,11 @@ fn bench_queries(c: &mut Criterion) {
         let mut cryptor = RecordCryptor::new(&master);
         let mut crypte = CryptEpsilonEngine::new(&master);
         crypte
-            .setup("yellow", schema(), encrypt_batch(&mut cryptor, &rows(n), n / 10))
+            .setup(
+                "yellow",
+                schema(),
+                encrypt_batch(&mut cryptor, &rows(n), n / 10),
+            )
             .unwrap();
         group.bench_with_input(BenchmarkId::new("crypt_epsilon_q2", n), &n, |b, _| {
             b.iter(|| {

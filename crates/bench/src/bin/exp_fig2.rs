@@ -20,7 +20,10 @@ fn main() {
         };
         for metric in [Fig2Metric::Error, Fig2Metric::Qet] {
             for query in queries {
-                print!("{}", figure2_series(*engine, query, metric, reports).render());
+                print!(
+                    "{}",
+                    figure2_series(*engine, query, metric, reports).render()
+                );
                 println!();
             }
         }

@@ -20,7 +20,10 @@ fn main() {
         print!(
             "{}",
             sweep_series(
-                &format!("Figure 5: {} vs privacy parameter epsilon", strategy.label()),
+                &format!(
+                    "Figure 5: {} vs privacy parameter epsilon",
+                    strategy.label()
+                ),
                 "epsilon",
                 &points
             )

@@ -17,7 +17,12 @@ fn main() {
     let timer_points = timer_period_sweep(config, &parameters);
     print!(
         "{}",
-        sweep_series("Figure 6: DP-Timer vs sync interval span T", "T", &timer_points).render()
+        sweep_series(
+            "Figure 6: DP-Timer vs sync interval span T",
+            "T",
+            &timer_points
+        )
+        .render()
     );
     println!();
 

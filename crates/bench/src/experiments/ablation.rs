@@ -59,21 +59,26 @@ fn run_with_flush(
         queries: spec.query_set(),
         seed: config.seed,
     });
-    sim.run(&workloads, engine.as_mut(), &master, |_| -> Box<dyn SyncStrategy> {
-        match strategy {
-            StrategyKind::DpTimer => Box::new(DpTimerStrategy::with_flush(
-                eps,
-                config.params.timer_period,
-                flush,
-            )),
-            StrategyKind::DpAnt => Box::new(AboveNoisyThresholdStrategy::with_flush(
-                eps,
-                config.params.ant_threshold,
-                flush,
-            )),
-            other => config.params.build(other),
-        }
-    })
+    sim.run(
+        &workloads,
+        engine.as_mut(),
+        &master,
+        |_| -> Box<dyn SyncStrategy> {
+            match strategy {
+                StrategyKind::DpTimer => Box::new(DpTimerStrategy::with_flush(
+                    eps,
+                    config.params.timer_period,
+                    flush,
+                )),
+                StrategyKind::DpAnt => Box::new(AboveNoisyThresholdStrategy::with_flush(
+                    eps,
+                    config.params.ant_threshold,
+                    flush,
+                )),
+                other => config.params.build(other),
+            }
+        },
+    )
     .expect("simulation over generated workloads cannot fail")
 }
 
@@ -83,11 +88,7 @@ pub fn flush_ablation(config: ExperimentConfig) -> Vec<AblationRow> {
     let mut rows = Vec::new();
     for strategy in [StrategyKind::DpTimer, StrategyKind::DpAnt] {
         for flush_enabled in [true, false] {
-            let report = run_with_flush(
-                strategy,
-                flush_enabled.then_some(flush),
-                config,
-            );
+            let report = run_with_flush(strategy, flush_enabled.then_some(flush), config);
             let sizes = report.final_sizes().unwrap_or_default();
             rows.push(AblationRow {
                 strategy,

@@ -7,7 +7,7 @@
 
 use dpsync_core::strategy::{
     AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, OneTimeOutsourcing, StrategyKind,
-    SynchronizeEveryTime, SynchronizeUponReceipt, SyncStrategy,
+    SyncStrategy, SynchronizeEveryTime, SynchronizeUponReceipt,
 };
 use dpsync_dp::Epsilon;
 use dpsync_workloads::taxi::{TaxiConfig, TaxiDataset};

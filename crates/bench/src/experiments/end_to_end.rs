@@ -46,10 +46,7 @@ pub fn figure2_series(
     };
     let mut columns = vec!["time".to_string()];
     columns.extend(reports.iter().map(|(k, _)| k.label().to_string()));
-    let mut series = CsvSeries::new(
-        format!("Figure 2: {engine} {query} {metric_name}"),
-        columns,
-    );
+    let mut series = CsvSeries::new(format!("Figure 2: {engine} {query} {metric_name}"), columns);
 
     // Collect the union of query times (all strategies share the schedule).
     let times: Vec<u64> = reports
@@ -85,7 +82,11 @@ pub fn figure2_series(
 /// Figure 3: total outsourced data size (or dummy data size) over time, in
 /// megabytes, one column per strategy.
 pub fn figure3_series(engine: EngineKind, dummy_only: bool, reports: &EngineReports) -> CsvSeries {
-    let what = if dummy_only { "dummy" } else { "total outsourced" };
+    let what = if dummy_only {
+        "dummy"
+    } else {
+        "total outsourced"
+    };
     let mut columns = vec!["time".to_string()];
     columns.extend(reports.iter().map(|(k, _)| k.label().to_string()));
     let mut series = CsvSeries::new(format!("Figure 3: {engine} {what} data size (MB)"), columns);
@@ -102,7 +103,11 @@ pub fn figure3_series(engine: EngineKind, dummy_only: bool, reports: &EngineRepo
                 .iter()
                 .find(|s| s.time == time)
                 .map(|s| {
-                    let bytes = if dummy_only { s.dummy_bytes } else { s.outsourced_bytes };
+                    let bytes = if dummy_only {
+                        s.dummy_bytes
+                    } else {
+                        s.outsourced_bytes
+                    };
                     bytes as f64 / 1_000_000.0
                 })
                 .unwrap_or(f64::NAN);
@@ -169,8 +174,11 @@ pub fn table5(engine: EngineKind, reports: &EngineReports) -> TextTable {
 
     for query in &queries {
         for (metric, f) in [
-            ("Mean L1 Err", &(|r: &SimulationReport, q: &str| r.mean_l1_error(q))
-                as &dyn Fn(&SimulationReport, &str) -> f64),
+            (
+                "Mean L1 Err",
+                &(|r: &SimulationReport, q: &str| r.mean_l1_error(q))
+                    as &dyn Fn(&SimulationReport, &str) -> f64,
+            ),
             ("Max L1 Err", &|r, q| r.max_l1_error(q)),
             ("Mean QET (s)", &|r, q| r.mean_estimated_qet(q)),
         ] {
@@ -300,7 +308,10 @@ mod tests {
         // performance gain vs SET; at smoke scale we only require the
         // direction (both ratios must be comfortably above 1).
         assert!(accuracy_gain > 5.0, "accuracy gain {accuracy_gain}");
-        assert!(performance_gain > 1.2, "performance gain {performance_gain}");
+        assert!(
+            performance_gain > 1.2,
+            "performance gain {performance_gain}"
+        );
         assert!(headline_summary(EngineKind::ObliDb, &reports).contains("more accurate"));
     }
 }

@@ -55,9 +55,16 @@ pub fn build_engine(kind: EngineKind, master: &MasterKey) -> Box<dyn SecureOutso
 
 /// Builds the table workloads for a run.
 pub fn build_workloads(spec: &RunSpec) -> Vec<TableWorkload> {
-    let mut workloads = vec![spec.config.yellow_dataset().to_workload(queries::YELLOW_TABLE)];
+    let mut workloads = vec![spec
+        .config
+        .yellow_dataset()
+        .to_workload(queries::YELLOW_TABLE)];
     if spec.includes_green() {
-        workloads.push(spec.config.green_dataset().to_workload(queries::GREEN_TABLE));
+        workloads.push(
+            spec.config
+                .green_dataset()
+                .to_workload(queries::GREEN_TABLE),
+        );
     }
     workloads
 }
@@ -151,12 +158,13 @@ mod tests {
         assert_eq!(results[4].0, StrategyKind::DpAnt);
         // Qualitative shape of Table 5: OTO's error dwarfs everyone else's,
         // SET stores the most data.
-        let report_for = |kind: StrategyKind| {
-            &results.iter().find(|(k, _)| *k == kind).unwrap().1
-        };
+        let report_for = |kind: StrategyKind| &results.iter().find(|(k, _)| *k == kind).unwrap().1;
         let oto_err = report_for(StrategyKind::Oto).mean_l1_error("Q2");
         let timer_err = report_for(StrategyKind::DpTimer).mean_l1_error("Q2");
-        assert!(oto_err > timer_err * 5.0, "oto {oto_err} vs timer {timer_err}");
+        assert!(
+            oto_err > timer_err * 5.0,
+            "oto {oto_err} vs timer {timer_err}"
+        );
         let set_records = report_for(StrategyKind::Set)
             .final_sizes()
             .unwrap()

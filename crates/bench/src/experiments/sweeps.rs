@@ -46,7 +46,10 @@ pub fn privacy_sweep(
     base: ExperimentConfig,
     epsilons: &[f64],
 ) -> Vec<SweepPoint> {
-    assert!(matches!(strategy, StrategyKind::DpTimer | StrategyKind::DpAnt));
+    assert!(matches!(
+        strategy,
+        StrategyKind::DpTimer | StrategyKind::DpAnt
+    ));
     epsilons
         .iter()
         .map(|&epsilon| {
@@ -114,10 +117,7 @@ pub fn ant_threshold_sweep(base: ExperimentConfig, thresholds: &[u64]) -> Vec<Sw
 
 /// Renders a sweep as a CSV series (`parameter, mean_l1_error, mean_qet`).
 pub fn sweep_series(title: &str, parameter_name: &str, points: &[SweepPoint]) -> CsvSeries {
-    let mut series = CsvSeries::new(
-        title,
-        [parameter_name, "mean_l1_error", "mean_qet_seconds"],
-    );
+    let mut series = CsvSeries::new(title, [parameter_name, "mean_l1_error", "mean_qet_seconds"]);
     for p in points {
         series.push(vec![p.parameter, p.mean_l1_error, p.mean_qet]);
     }
@@ -201,16 +201,30 @@ mod tests {
     fn baselines_and_series_rendering() {
         let baselines = baseline_points(smoke_config());
         assert_eq!(baselines.len(), 3);
-        let sur = &baselines.iter().find(|(k, _)| *k == StrategyKind::Sur).unwrap().1;
+        let sur = &baselines
+            .iter()
+            .find(|(k, _)| *k == StrategyKind::Sur)
+            .unwrap()
+            .1;
         assert_eq!(sur.mean_l1_error, 0.0);
-        let oto = &baselines.iter().find(|(k, _)| *k == StrategyKind::Oto).unwrap().1;
+        let oto = &baselines
+            .iter()
+            .find(|(k, _)| *k == StrategyKind::Oto)
+            .unwrap()
+            .1;
         assert!(oto.mean_l1_error > sur.mean_l1_error);
 
-        let series = sweep_series("Figure 5a", "epsilon", &[SweepPoint {
-            parameter: 0.5,
-            mean_l1_error: 3.0,
-            mean_qet: 2.5,
-        }]);
-        assert!(series.render().contains("epsilon,mean_l1_error,mean_qet_seconds"));
+        let series = sweep_series(
+            "Figure 5a",
+            "epsilon",
+            &[SweepPoint {
+                parameter: 0.5,
+                mean_l1_error: 3.0,
+                mean_qet: 2.5,
+            }],
+        );
+        assert!(series
+            .render()
+            .contains("epsilon,mean_l1_error,mean_qet_seconds"));
     }
 }

@@ -56,9 +56,10 @@ impl TextTable {
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let columns = self.headers.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());

@@ -136,7 +136,12 @@ mod tests {
             .unwrap();
         let mut rng = DpRng::seed_from_u64(1);
         let samples = analyst()
-            .pose_all(Timestamp(360), &mut engine, &logical(&yellow, &green), &mut rng)
+            .pose_all(
+                Timestamp(360),
+                &mut engine,
+                &logical(&yellow, &green),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(samples.len(), 3);
         for s in &samples {
@@ -177,7 +182,12 @@ mod tests {
         engine.setup("green", schema(), vec![]).unwrap();
         let mut rng = DpRng::seed_from_u64(3);
         let samples = analyst()
-            .pose_all(Timestamp(360), &mut engine, &logical(&yellow, &[]), &mut rng)
+            .pose_all(
+                Timestamp(360),
+                &mut engine,
+                &logical(&yellow, &[]),
+                &mut rng,
+            )
             .unwrap();
         let labels: Vec<_> = samples.iter().map(|s| s.query.as_str()).collect();
         assert_eq!(labels, vec!["Q1", "Q2"], "Q3 must be skipped for Crypt-ε");

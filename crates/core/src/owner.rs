@@ -164,7 +164,11 @@ impl Owner {
         edb: &mut dyn SecureOutsourcedDatabase,
         rng: &mut dyn RngCore,
     ) -> Result<TickReport, EdbError> {
-        assert!(!self.set_up, "Owner::setup called twice for table {}", self.table);
+        assert!(
+            !self.set_up,
+            "Owner::setup called twice for table {}",
+            self.table
+        );
         self.received_total += initial_rows.len() as u64;
         self.cache.write_all(initial_rows);
         let fetch = self.strategy.initial_fetch(self.cache.len(), rng);
@@ -190,7 +194,11 @@ impl Owner {
         edb: &mut dyn SecureOutsourcedDatabase,
         rng: &mut dyn RngCore,
     ) -> Result<TickReport, EdbError> {
-        assert!(self.set_up, "Owner::tick called before setup for table {}", self.table);
+        assert!(
+            self.set_up,
+            "Owner::tick called before setup for table {}",
+            self.table
+        );
         self.received_total += arrivals.len() as u64;
         self.cache.write_all(arrivals.iter().cloned());
 
@@ -275,10 +283,14 @@ mod tests {
             Box::new(SynchronizeUponReceipt::new()),
         );
         let mut rng = DpRng::seed_from_u64(1);
-        owner.setup(vec![row(0, 1), row(0, 2)], &mut engine, &mut rng).unwrap();
+        owner
+            .setup(vec![row(0, 1), row(0, 2)], &mut engine, &mut rng)
+            .unwrap();
         for t in 1..=50u64 {
             let arrivals = if t % 3 == 0 { vec![row(t, 60)] } else { vec![] };
-            owner.tick(Timestamp(t), &arrivals, &mut engine, &mut rng).unwrap();
+            owner
+                .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+                .unwrap();
             assert_eq!(owner.logical_gap(), 0, "SUR must never lag");
         }
         assert_eq!(owner.outsourced_dummy(), 0);
@@ -303,12 +315,17 @@ mod tests {
         let mut total_uploaded = 1u64;
         for t in 1..=40u64 {
             let arrivals = if t % 4 == 0 { vec![row(t, 70)] } else { vec![] };
-            let report = owner.tick(Timestamp(t), &arrivals, &mut engine, &mut rng).unwrap();
+            let report = owner
+                .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+                .unwrap();
             assert!(report.synced);
             assert_eq!(report.synced_total(), 1);
             total_uploaded += 1;
         }
-        assert_eq!(engine.table_stats("yellow").ciphertext_count, total_uploaded);
+        assert_eq!(
+            engine.table_stats("yellow").ciphertext_count,
+            total_uploaded
+        );
         // 10 arrivals out of 40 ticks -> 30 dummies.
         assert_eq!(owner.outsourced_dummy(), 30);
         assert_eq!(owner.logical_gap(), 0);
@@ -324,7 +341,9 @@ mod tests {
         owner.setup(vec![], &mut engine, &mut rng).unwrap();
         for t in 1..=3_000u64 {
             let arrivals = if t % 2 == 0 { vec![row(t, 55)] } else { vec![] };
-            owner.tick(Timestamp(t), &arrivals, &mut engine, &mut rng).unwrap();
+            owner
+                .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+                .unwrap();
         }
         // The logical gap stays bounded (Theorem 6): with eps=1 and k=100 the
         // 95% bound is c + 2*sqrt(k*ln 20) ≈ 30 + 35; give generous slack.
@@ -349,14 +368,22 @@ mod tests {
         );
         let mut owner = Owner::new("yellow", schema(), &master, Box::new(strategy));
         let mut rng = DpRng::seed_from_u64(4);
-        owner.setup(vec![row(0, 1); 5], &mut engine, &mut rng).unwrap();
+        owner
+            .setup(vec![row(0, 1); 5], &mut engine, &mut rng)
+            .unwrap();
         // A short burst of arrivals followed by a long quiet period: the
         // flush must eventually push everything to the server.
         for t in 1..=2_000u64 {
             let arrivals = if t <= 30 { vec![row(t, 60)] } else { vec![] };
-            owner.tick(Timestamp(t), &arrivals, &mut engine, &mut rng).unwrap();
+            owner
+                .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+                .unwrap();
         }
-        assert_eq!(owner.logical_gap(), 0, "flush should have drained the cache");
+        assert_eq!(
+            owner.logical_gap(),
+            0,
+            "flush should have drained the cache"
+        );
         assert_eq!(owner.outsourced_real(), 35);
     }
 
@@ -431,11 +458,17 @@ mod tests {
             Box::new(SynchronizeUponReceipt::new()),
         );
         let mut rng = DpRng::seed_from_u64(7);
-        yellow.setup(vec![row(1, 1)], &mut engine, &mut rng).unwrap();
+        yellow
+            .setup(vec![row(1, 1)], &mut engine, &mut rng)
+            .unwrap();
         green.setup(vec![row(1, 2)], &mut engine, &mut rng).unwrap();
         for t in 1..=10u64 {
-            yellow.tick(Timestamp(t), &[row(t, 10)], &mut engine, &mut rng).unwrap();
-            green.tick(Timestamp(t), &[row(t, 20)], &mut engine, &mut rng).unwrap();
+            yellow
+                .tick(Timestamp(t), &[row(t, 10)], &mut engine, &mut rng)
+                .unwrap();
+            green
+                .tick(Timestamp(t), &[row(t, 20)], &mut engine, &mut rng)
+                .unwrap();
         }
         let join = engine
             .query(&paper_queries::q3_join_count("yellow", "green"), &mut rng)

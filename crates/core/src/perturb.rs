@@ -83,7 +83,10 @@ mod tests {
                 PerturbedCount::Fetch(n) => total_abs_err += (n as f64 - 100.0).abs(),
             }
         }
-        assert_eq!(skips, 0, "a count of 100 with scale 2 noise should never skip");
+        assert_eq!(
+            skips, 0,
+            "a count of 100 with scale 2 noise should never skip"
+        );
         let mean_err = total_abs_err / f64::from(trials);
         // Mean |Lap(2)| = 2.
         assert!(mean_err < 4.0, "mean error {mean_err}");

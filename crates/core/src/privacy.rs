@@ -24,8 +24,14 @@ pub type ArrivalStream = Vec<u64>;
 
 /// Builds a pair of neighboring growing databases: identical streams except
 /// that the second has one extra record at `diff_time` (1-based).
-pub fn neighboring_streams(base: &ArrivalStream, diff_time: usize) -> (ArrivalStream, ArrivalStream) {
-    assert!(diff_time >= 1 && diff_time <= base.len(), "diff_time out of range");
+pub fn neighboring_streams(
+    base: &ArrivalStream,
+    diff_time: usize,
+) -> (ArrivalStream, ArrivalStream) {
+    assert!(
+        diff_time >= 1 && diff_time <= base.len(),
+        "diff_time out of range"
+    );
     let mut with_extra = base.clone();
     with_extra[diff_time - 1] += 1;
     (base.clone(), with_extra)
@@ -192,9 +198,7 @@ pub fn default_flush() -> CacheFlush {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::{
-        AboveNoisyThresholdStrategy, DpTimerStrategy, SynchronizeUponReceipt,
-    };
+    use crate::strategy::{AboveNoisyThresholdStrategy, DpTimerStrategy, SynchronizeUponReceipt};
 
     fn eps(v: f64) -> Epsilon {
         Epsilon::new_unchecked(v)
@@ -248,15 +252,10 @@ mod tests {
     #[test]
     fn dp_timer_update_pattern_passes_the_odds_ratio_test() {
         let epsilon = eps(1.0);
-        let result = test_strategy_update_pattern(
-            epsilon,
-            &bursty_stream(60),
-            45,
-            5,
-            4_000,
-            7,
-            || Box::new(DpTimerStrategy::with_flush(epsilon, 30, None)),
-        );
+        let result =
+            test_strategy_update_pattern(epsilon, &bursty_stream(60), 45, 5, 4_000, 7, || {
+                Box::new(DpTimerStrategy::with_flush(epsilon, 30, None))
+            });
         assert!(result.buckets_compared > 0, "no comparable buckets");
         assert!(
             result.passes,
@@ -268,15 +267,10 @@ mod tests {
     #[test]
     fn dp_ant_update_pattern_passes_the_odds_ratio_test() {
         let epsilon = eps(1.0);
-        let result = test_strategy_update_pattern(
-            epsilon,
-            &bursty_stream(60),
-            45,
-            5,
-            4_000,
-            11,
-            || Box::new(AboveNoisyThresholdStrategy::with_flush(epsilon, 10, None)),
-        );
+        let result =
+            test_strategy_update_pattern(epsilon, &bursty_stream(60), 45, 5, 4_000, 11, || {
+                Box::new(AboveNoisyThresholdStrategy::with_flush(epsilon, 10, None))
+            });
         assert!(result.buckets_compared > 0, "no comparable buckets");
         assert!(
             result.passes,
@@ -308,21 +302,14 @@ mod tests {
     #[test]
     fn flush_does_not_change_the_privacy_verdict() {
         let epsilon = eps(1.0);
-        let result = test_strategy_update_pattern(
-            epsilon,
-            &bursty_stream(60),
-            45,
-            5,
-            3_000,
-            17,
-            || {
+        let result =
+            test_strategy_update_pattern(epsilon, &bursty_stream(60), 45, 5, 3_000, 17, || {
                 Box::new(DpTimerStrategy::with_flush(
                     epsilon,
                     30,
                     Some(CacheFlush::new(50, 3)),
                 ))
-            },
-        );
+            });
         assert!(result.passes, "max ratio {}", result.max_ratio);
         assert_eq!(default_flush(), CacheFlush::paper_default());
     }

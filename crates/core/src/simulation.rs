@@ -42,8 +42,7 @@ impl TableWorkload {
 
     /// Total rows (initial plus arrivals).
     pub fn total_rows(&self) -> u64 {
-        self.initial_rows.len() as u64
-            + self.arrivals.iter().map(|a| a.len() as u64).sum::<u64>()
+        self.initial_rows.len() as u64 + self.arrivals.iter().map(|a| a.len() as u64).sum::<u64>()
     }
 }
 
@@ -106,7 +105,10 @@ impl Simulation {
         master: &MasterKey,
         mut make_strategy: impl FnMut(&str) -> Box<dyn SyncStrategy>,
     ) -> Result<SimulationReport, EdbError> {
-        assert!(!workloads.is_empty(), "at least one table workload is required");
+        assert!(
+            !workloads.is_empty(),
+            "at least one table workload is required"
+        );
         let rng = DpRng::seed_from_u64(self.config.seed);
 
         // Ground-truth logical database.
@@ -149,7 +151,11 @@ impl Simulation {
             .map(|w| rng.derive(&format!("owner-ticks/{}", w.table)))
             .collect();
 
-        let horizon = workloads.iter().map(TableWorkload::horizon).max().unwrap_or(0);
+        let horizon = workloads
+            .iter()
+            .map(TableWorkload::horizon)
+            .max()
+            .unwrap_or(0);
         let mut query_samples = Vec::new();
         let mut size_samples = Vec::new();
 
@@ -229,8 +235,8 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::strategy::{
-        AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, OneTimeOutsourcing,
-        StrategyKind, SynchronizeEveryTime, SynchronizeUponReceipt,
+        AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, OneTimeOutsourcing, StrategyKind,
+        SynchronizeEveryTime, SynchronizeUponReceipt,
     };
     use dpsync_dp::Epsilon;
     use dpsync_edb::engines::ObliDbEngine;
@@ -282,21 +288,26 @@ mod tests {
         let master = MasterKey::from_bytes([5u8; 32]);
         let mut engine = ObliDbEngine::new(&master);
         let sim = Simulation::new(config(horizon));
-        sim.run(&[workload(horizon)], &mut engine, &master, |_| match strategy {
-            StrategyKind::Sur => Box::new(SynchronizeUponReceipt::new()),
-            StrategyKind::Oto => Box::new(OneTimeOutsourcing::new()),
-            StrategyKind::Set => Box::new(SynchronizeEveryTime::new()),
-            StrategyKind::DpTimer => Box::new(DpTimerStrategy::with_flush(
-                Epsilon::new_unchecked(0.5),
-                30,
-                Some(CacheFlush::new(400, 15)),
-            )),
-            StrategyKind::DpAnt => Box::new(AboveNoisyThresholdStrategy::with_flush(
-                Epsilon::new_unchecked(0.5),
-                15,
-                Some(CacheFlush::new(400, 15)),
-            )),
-        })
+        sim.run(
+            &[workload(horizon)],
+            &mut engine,
+            &master,
+            |_| match strategy {
+                StrategyKind::Sur => Box::new(SynchronizeUponReceipt::new()),
+                StrategyKind::Oto => Box::new(OneTimeOutsourcing::new()),
+                StrategyKind::Set => Box::new(SynchronizeEveryTime::new()),
+                StrategyKind::DpTimer => Box::new(DpTimerStrategy::with_flush(
+                    Epsilon::new_unchecked(0.5),
+                    30,
+                    Some(CacheFlush::new(400, 15)),
+                )),
+                StrategyKind::DpAnt => Box::new(AboveNoisyThresholdStrategy::with_flush(
+                    Epsilon::new_unchecked(0.5),
+                    15,
+                    Some(CacheFlush::new(400, 15)),
+                )),
+            },
+        )
         .unwrap()
     }
 
@@ -362,12 +373,9 @@ mod tests {
         let mut green = workload(400);
         green.table = "green".into();
         let report = sim
-            .run(
-                &[workload(400), green],
-                &mut engine,
-                &master,
-                |_| Box::new(SynchronizeUponReceipt::new()),
-            )
+            .run(&[workload(400), green], &mut engine, &master, |_| {
+                Box::new(SynchronizeUponReceipt::new())
+            })
             .unwrap();
         assert_eq!(report.mean_l1_error("Q3"), 0.0);
         assert!(report.final_sizes().unwrap().outsourced_records > 0);

@@ -140,7 +140,10 @@ mod tests {
     #[test]
     fn oto_gap_is_everything_after_setup() {
         let c = ctx();
-        assert_eq!(logical_gap_bound(StrategyKind::Oto, &c), (18_429 - 120) as f64);
+        assert_eq!(
+            logical_gap_bound(StrategyKind::Oto, &c),
+            (18_429 - 120) as f64
+        );
         assert_eq!(outsourced_bound(StrategyKind::Oto, &c), 120.0);
     }
 
@@ -182,7 +185,9 @@ mod tests {
         let rows = table2(&ctx());
         assert_eq!(rows.len(), 5);
         assert!(rows.iter().any(|r| r.logical_gap_formula.contains("√k")));
-        assert!(rows.iter().any(|r| r.outsourced_formula.contains("|D_0| + t")));
+        assert!(rows
+            .iter()
+            .any(|r| r.outsourced_formula.contains("|D_0| + t")));
         for row in &rows {
             assert!(row.logical_gap_value >= 0.0);
             assert!(row.outsourced_value >= 0.0);

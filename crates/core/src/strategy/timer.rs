@@ -167,7 +167,11 @@ mod tests {
             let decision = s.on_tick(&ctx(t, 1), &mut rng);
             if flush.fires_at(Timestamp(t)) {
                 assert!(decision.is_sync());
-                assert!(decision.fetch() >= 7, "flush at t={t} fetched {}", decision.fetch());
+                assert!(
+                    decision.fetch() >= 7,
+                    "flush at t={t} fetched {}",
+                    decision.fetch()
+                );
             }
         }
     }

@@ -179,7 +179,10 @@ mod tests {
         assert_eq!(t.value(), 29);
         assert!(Timestamp(60).is_multiple_of(30));
         assert!(!Timestamp(45).is_multiple_of(30));
-        assert!(!Timestamp(0).is_multiple_of(30), "the epoch is not a sync point");
+        assert!(
+            !Timestamp(0).is_multiple_of(30),
+            "the epoch is not a sync point"
+        );
         assert!(!Timestamp(10).is_multiple_of(0), "period zero never fires");
         assert_eq!(Timestamp::ZERO.to_string(), "t=0");
         assert_eq!(Timestamp::from(7u64), Timestamp(7));
@@ -207,7 +210,11 @@ mod tests {
         assert_eq!(db.len_at(Timestamp(1)), 3);
         assert_eq!(db.len_at(Timestamp(2)), 3);
         assert_eq!(db.len_at(Timestamp(3)), 5);
-        assert_eq!(db.len_at(Timestamp(100)), 5, "beyond the horizon the database stops growing");
+        assert_eq!(
+            db.len_at(Timestamp(100)),
+            5,
+            "beyond the horizon the database stops growing"
+        );
         assert_eq!(db.total_len(), 5);
         assert_eq!(db.rows_at(Timestamp(3)).len(), 5);
         assert_eq!(db.rows_at(Timestamp(0)), vec![row(0), row(1)]);

@@ -82,7 +82,9 @@ pub struct ChaCha20 {
 impl std::fmt::Debug for ChaCha20 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("ChaCha20").field("key", &"<redacted>").finish()
+        f.debug_struct("ChaCha20")
+            .field("key", &"<redacted>")
+            .finish()
     }
 }
 
@@ -249,7 +251,10 @@ mod tests {
         let b = cipher.apply_copy([1u8; 12], 0, &[0u8; 64]);
         assert_ne!(a, b);
         let matching = a.iter().zip(&b).filter(|(x, y)| x == y).count();
-        assert!(matching < 10, "keystreams overlap suspiciously: {matching}/64");
+        assert!(
+            matching < 10,
+            "keystreams overlap suspiciously: {matching}/64"
+        );
     }
 
     #[test]

@@ -79,7 +79,9 @@ pub struct MasterKey {
 
 impl std::fmt::Debug for MasterKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MasterKey").field("bytes", &"<redacted>").finish()
+        f.debug_struct("MasterKey")
+            .field("bytes", &"<redacted>")
+            .finish()
     }
 }
 
@@ -154,9 +156,15 @@ mod tests {
     fn generate_uses_rng_deterministically() {
         let mut r1 = StdRng::seed_from_u64(77);
         let mut r2 = StdRng::seed_from_u64(77);
-        assert_eq!(MasterKey::generate(&mut r1).bytes(), MasterKey::generate(&mut r2).bytes());
+        assert_eq!(
+            MasterKey::generate(&mut r1).bytes(),
+            MasterKey::generate(&mut r2).bytes()
+        );
         let mut r3 = StdRng::seed_from_u64(78);
-        assert_ne!(MasterKey::generate(&mut r1).bytes(), MasterKey::generate(&mut r3).bytes());
+        assert_ne!(
+            MasterKey::generate(&mut r1).bytes(),
+            MasterKey::generate(&mut r3).bytes()
+        );
     }
 
     #[test]

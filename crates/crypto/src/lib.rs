@@ -61,7 +61,10 @@ impl std::fmt::Display for CryptoError {
         match self {
             CryptoError::AuthenticationFailed => write!(f, "ciphertext failed authentication"),
             CryptoError::PayloadTooLarge { got, max } => {
-                write!(f, "record payload of {got} bytes exceeds the {max}-byte limit")
+                write!(
+                    f,
+                    "record payload of {got} bytes exceeds the {max}-byte limit"
+                )
             }
             CryptoError::MalformedCiphertext { got, expected } => {
                 write!(f, "ciphertext is {got} bytes, expected {expected}")
@@ -80,7 +83,10 @@ mod tests {
     fn error_display_is_informative() {
         let e = CryptoError::PayloadTooLarge { got: 300, max: 256 };
         assert!(e.to_string().contains("300"));
-        let e = CryptoError::MalformedCiphertext { got: 10, expected: 64 };
+        let e = CryptoError::MalformedCiphertext {
+            got: 10,
+            expected: 64,
+        };
         assert!(e.to_string().contains("expected 64"));
         assert!(CryptoError::AuthenticationFailed
             .to_string()

@@ -29,7 +29,11 @@ const PRF_DOMAIN_NONCE: [u8; CHACHA_NONCE_LEN] = *b"dpsync-prf/1";
 /// Davies–Meyer compression: key the ChaCha20 block function with
 /// `cv XOR block`, run it with `counter` as the position index, and feed the
 /// keying material forward into the output.
-fn compress(cv: &[u8; PRF_OUTPUT_LEN], block: &[u8; PRF_OUTPUT_LEN], counter: u32) -> [u8; PRF_OUTPUT_LEN] {
+fn compress(
+    cv: &[u8; PRF_OUTPUT_LEN],
+    block: &[u8; PRF_OUTPUT_LEN],
+    counter: u32,
+) -> [u8; PRF_OUTPUT_LEN] {
     let mut key = [0u8; PRF_OUTPUT_LEN];
     for i in 0..PRF_OUTPUT_LEN {
         key[i] = cv[i] ^ block[i];
@@ -179,7 +183,10 @@ mod tests {
         let prf = Prf::new([9u8; 32]);
         let mut seen = std::collections::HashSet::new();
         for seq in 0..5_000u64 {
-            assert!(seen.insert(prf.derive_nonce(seq)), "nonce collision at {seq}");
+            assert!(
+                seen.insert(prf.derive_nonce(seq)),
+                "nonce collision at {seq}"
+            );
         }
     }
 

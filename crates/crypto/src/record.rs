@@ -262,7 +262,9 @@ mod tests {
     #[test]
     fn tampering_is_detected() {
         let mut c = cryptor();
-        let ct = c.encrypt(&RecordPlaintext::real(b"secret".to_vec())).unwrap();
+        let ct = c
+            .encrypt(&RecordPlaintext::real(b"secret".to_vec()))
+            .unwrap();
         let mut bytes = ct.to_bytes().to_vec();
         bytes[20] ^= 0x01;
         let tampered = EncryptedRecord::from_bytes(&bytes).unwrap();
@@ -273,7 +275,9 @@ mod tests {
     fn wrong_key_fails_authentication() {
         let mut c1 = cryptor();
         let c2 = RecordCryptor::new(&MasterKey::from_bytes([4u8; 32]));
-        let ct = c1.encrypt(&RecordPlaintext::real(b"secret".to_vec())).unwrap();
+        let ct = c1
+            .encrypt(&RecordPlaintext::real(b"secret".to_vec()))
+            .unwrap();
         assert_eq!(c2.decrypt(&ct), Err(CryptoError::AuthenticationFailed));
     }
 
@@ -282,7 +286,9 @@ mod tests {
         let mut c = cryptor();
         let mut seen = std::collections::HashSet::new();
         for i in 0..2_000u64 {
-            let ct = c.encrypt(&RecordPlaintext::real(i.to_le_bytes().to_vec())).unwrap();
+            let ct = c
+                .encrypt(&RecordPlaintext::real(i.to_le_bytes().to_vec()))
+                .unwrap();
             assert!(seen.insert(*ct.nonce()), "nonce reuse at {i}");
         }
         assert_eq!(c.next_sequence(), 2_000);

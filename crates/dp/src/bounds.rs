@@ -33,7 +33,10 @@ pub fn laplace_sum_tail(k: u64, b: f64, alpha: f64) -> f64 {
 /// `Pr[Y >= alpha] <= beta` (valid once `k >= 4 ln(1/beta)`).
 pub fn laplace_sum_tail_alpha(k: u64, b: f64, beta: f64) -> f64 {
     assert!(b > 0.0, "Laplace scale must be positive");
-    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&beta) && beta > 0.0,
+        "beta must be in (0,1)"
+    );
     2.0 * b * ((k as f64) * (1.0 / beta).ln()).sqrt()
 }
 
@@ -67,7 +70,10 @@ pub fn timer_outsourced_bound(
 /// time `t` is at most `c + 16 (ln t + ln(2/β)) / ε`.  Returns the `alpha`
 /// term (excluding `c`).
 pub fn ant_logical_gap_bound(epsilon: Epsilon, t: u64, beta: f64) -> f64 {
-    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&beta) && beta > 0.0,
+        "beta must be in (0,1)"
+    );
     let t = (t.max(1)) as f64;
     16.0 * (t.ln() + (2.0 / beta).ln()) / epsilon.value()
 }
@@ -90,13 +96,17 @@ pub fn ant_outsourced_bound(
 /// The `eta = s * floor(t / f)` dummy volume contributed by the cache-flush
 /// mechanism by time `t` (both Theorems 7 and 9).
 pub fn flush_dummy_volume(flush_size: u64, flush_interval: u64, t: u64) -> u64 {
-    t.checked_div(flush_interval).map_or(0, |flushes| flush_size * flushes)
+    t.checked_div(flush_interval)
+        .map_or(0, |flushes| flush_size * flushes)
 }
 
 /// The minimum number of synchronizations `k >= 4 ln(1/beta)` required for
 /// Corollary 20 / Theorem 6 to apply.
 pub fn min_syncs_for_bound(beta: f64) -> u64 {
-    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&beta) && beta > 0.0,
+        "beta must be in (0,1)"
+    );
     (4.0 * (1.0 / beta).ln()).ceil() as u64
 }
 
@@ -135,7 +145,10 @@ mod tests {
         let b = 2.0;
         let beta = 0.05;
         let alpha = laplace_sum_tail_alpha(k, b, beta);
-        assert!(alpha <= k as f64 * b, "corollary regime requires alpha <= kb");
+        assert!(
+            alpha <= k as f64 * b,
+            "corollary regime requires alpha <= kb"
+        );
         let p = laplace_sum_tail(k, b, alpha);
         assert!((p - beta).abs() < 1e-12, "p={p}");
     }
@@ -169,7 +182,10 @@ mod tests {
         let loose = timer_logical_gap_bound(Epsilon::new_unchecked(0.1), k, beta);
         let tight = timer_logical_gap_bound(Epsilon::new_unchecked(1.0), k, beta);
         assert!(tight < loose);
-        assert!((loose / tight - 10.0).abs() < 1e-9, "bound scales as 1/epsilon");
+        assert!(
+            (loose / tight - 10.0).abs() < 1e-9,
+            "bound scales as 1/epsilon"
+        );
     }
 
     #[test]
@@ -209,7 +225,10 @@ mod tests {
 
     #[test]
     fn min_syncs_matches_formula() {
-        assert_eq!(min_syncs_for_bound(0.05), (4.0 * (20.0f64).ln()).ceil() as u64);
+        assert_eq!(
+            min_syncs_for_bound(0.05),
+            (4.0 * (20.0f64).ln()).ceil() as u64
+        );
         assert!(min_syncs_for_bound(0.5) >= 2);
     }
 

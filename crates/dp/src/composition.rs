@@ -28,31 +28,25 @@ impl Composition {
     pub fn compose(self, a: Epsilon, b: Epsilon) -> Epsilon {
         match self {
             Composition::Sequential => Epsilon::new_unchecked(a.value() + b.value()),
-            Composition::Parallel => {
-                Epsilon::new_unchecked(a.value().max(b.value()))
-            }
+            Composition::Parallel => Epsilon::new_unchecked(a.value().max(b.value())),
         }
     }
 }
 
 /// Composes an iterator of budgets under sequential composition.
 pub fn sequential<I: IntoIterator<Item = Epsilon>>(budgets: I) -> Option<Epsilon> {
-    budgets
-        .into_iter()
-        .fold(None, |acc, e| match acc {
-            None => Some(e),
-            Some(total) => Some(Composition::Sequential.compose(total, e)),
-        })
+    budgets.into_iter().fold(None, |acc, e| match acc {
+        None => Some(e),
+        Some(total) => Some(Composition::Sequential.compose(total, e)),
+    })
 }
 
 /// Composes an iterator of budgets under parallel composition.
 pub fn parallel<I: IntoIterator<Item = Epsilon>>(budgets: I) -> Option<Epsilon> {
-    budgets
-        .into_iter()
-        .fold(None, |acc, e| match acc {
-            None => Some(e),
-            Some(total) => Some(Composition::Parallel.compose(total, e)),
-        })
+    budgets.into_iter().fold(None, |acc, e| match acc {
+        None => Some(e),
+        Some(total) => Some(Composition::Parallel.compose(total, e)),
+    })
 }
 
 /// A named expenditure recorded by the accountant.
@@ -187,7 +181,10 @@ mod tests {
             Composition::Sequential.compose(eps(1.0), eps(2.0)).value(),
             3.0
         );
-        assert_eq!(Composition::Parallel.compose(eps(1.0), eps(2.0)).value(), 2.0);
+        assert_eq!(
+            Composition::Parallel.compose(eps(1.0), eps(2.0)).value(),
+            2.0
+        );
     }
 
     #[test]
@@ -215,7 +212,11 @@ mod tests {
         for i in 0..50 {
             // Each round replaces the running max with max(prev, ε/2 + ε/2).
             acc.spend(format!("svt-{i}"), total.halved(), Composition::Parallel);
-            acc.spend(format!("perturb-{i}"), total.halved(), Composition::Sequential);
+            acc.spend(
+                format!("perturb-{i}"),
+                total.halved(),
+                Composition::Sequential,
+            );
             // The sequential spend inside a parallel block is conservative: the
             // consumed value may transiently exceed the max-rule total, so the
             // strategy layer resets between rounds. Here we just check the

@@ -160,7 +160,10 @@ mod tests {
         assert_eq!(counter.steps(), horizon);
         // The bound is loose; just check the error stays far below the naive
         // O(T/epsilon) scale and within the stated bound.
-        assert!(max_err < counter.error_bound(0.01) * 3.0, "max error {max_err}");
+        assert!(
+            max_err < counter.error_bound(0.01) * 3.0,
+            "max error {max_err}"
+        );
         assert!(max_err < 200.0, "max error {max_err}");
     }
 

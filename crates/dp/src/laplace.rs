@@ -229,10 +229,7 @@ mod tests {
 
     #[test]
     fn mechanism_scale_matches_sensitivity_over_epsilon() {
-        let m = LaplaceMechanism::new(
-            Epsilon::new_unchecked(0.5),
-            Sensitivity::new(2.0).unwrap(),
-        );
+        let m = LaplaceMechanism::new(Epsilon::new_unchecked(0.5), Sensitivity::new(2.0).unwrap());
         assert_eq!(m.noise().scale(), 4.0);
         let c = LaplaceMechanism::counting(Epsilon::new_unchecked(0.5));
         assert_eq!(c.noise().scale(), 2.0);
@@ -280,7 +277,10 @@ mod tests {
             let c1 = *h1.get(k).unwrap_or(&0);
             if c0 > 500 && c1 > 500 {
                 let ratio = f64::from(c0) / f64::from(c1);
-                assert!(ratio < bound && 1.0 / ratio < bound, "bucket {k}: ratio {ratio}");
+                assert!(
+                    ratio < bound && 1.0 / ratio < bound,
+                    "bucket {k}: ratio {ratio}"
+                );
             }
         }
     }

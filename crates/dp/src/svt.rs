@@ -160,7 +160,10 @@ mod tests {
                 halts += 1;
             }
         }
-        assert!(halts <= 4, "halted {halts}/200 with count far below threshold");
+        assert!(
+            halts <= 4,
+            "halted {halts}/200 with count far below threshold"
+        );
     }
 
     #[test]

@@ -226,10 +226,18 @@ pub fn encrypt_batch(
     let mut out = Vec::with_capacity(rows.len() + dummies);
     for row in rows {
         let plaintext = dpsync_crypto::RecordPlaintext::real(row.to_bytes());
-        out.push(cryptor.encrypt(&plaintext).expect("row fits record payload"));
+        out.push(
+            cryptor
+                .encrypt(&plaintext)
+                .expect("row fits record payload"),
+        );
     }
     for _ in 0..dummies {
-        out.push(cryptor.encrypt_dummy().expect("dummy encryption cannot fail"));
+        out.push(
+            cryptor
+                .encrypt_dummy()
+                .expect("dummy encryption cannot fail"),
+        );
     }
     out
 }
@@ -282,7 +290,9 @@ mod tests {
     #[test]
     fn execute_ignores_dummies() {
         let (core, _) = core_with_data();
-        let (answer, touched) = core.execute(&paper_queries::q1_range_count("yellow")).unwrap();
+        let (answer, touched) = core
+            .execute(&paper_queries::q1_range_count("yellow"))
+            .unwrap();
         assert_eq!(answer, QueryAnswer::Scalar(2.0));
         assert_eq!(touched, 5);
     }

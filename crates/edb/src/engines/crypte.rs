@@ -77,9 +77,7 @@ impl CryptEpsilonEngine {
         let noise = Laplace::new(0.0, 1.0 / self.query_epsilon.value())
             .expect("query epsilon is validated");
         match answer {
-            QueryAnswer::Scalar(v) => {
-                QueryAnswer::Scalar((v + noise.sample(rng)).round().max(0.0))
-            }
+            QueryAnswer::Scalar(v) => QueryAnswer::Scalar((v + noise.sample(rng)).round().max(0.0)),
             QueryAnswer::Groups(groups) => QueryAnswer::Groups(
                 groups
                     .into_iter()

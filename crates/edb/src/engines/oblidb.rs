@@ -54,9 +54,10 @@ impl ObliDbEngine {
             Query::GroupByCount { table, .. } => {
                 self.cost.group_by_cost(self.core.ciphertext_count(table))
             }
-            Query::JoinCount { left, right, .. } => self
-                .cost
-                .join_cost(self.core.ciphertext_count(left), self.core.ciphertext_count(right)),
+            Query::JoinCount { left, right, .. } => self.cost.join_cost(
+                self.core.ciphertext_count(left),
+                self.core.ciphertext_count(right),
+            ),
         }
     }
 }
@@ -181,7 +182,11 @@ mod tests {
         let (mut engine, mut cryptor) = engine_with_data();
         let rows: Vec<Row> = (0..5).map(|i| row(i, 7)).collect();
         engine
-            .update("green_setup_placeholder", 1, encrypt_batch(&mut cryptor, &rows, 0))
+            .update(
+                "green_setup_placeholder",
+                1,
+                encrypt_batch(&mut cryptor, &rows, 0),
+            )
             .unwrap_err(); // not set up yet
         engine
             .setup("green", schema(), encrypt_batch(&mut cryptor, &rows, 2))
@@ -238,7 +243,10 @@ mod tests {
         }
         let view = engine.adversary_view();
         assert_eq!(view.queries().len(), 3);
-        assert!(view.queries().iter().all(|q| q.observed_response_volume.is_none()));
+        assert!(view
+            .queries()
+            .iter()
+            .all(|q| q.observed_response_volume.is_none()));
         // The update pattern is still fully visible.
         assert_eq!(view.update_pattern().len(), 1);
         assert_eq!(view.update_pattern().total_volume(), 30);

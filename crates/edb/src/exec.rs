@@ -50,19 +50,17 @@ impl std::error::Error for ExecError {}
 pub fn eval_predicate(predicate: &Predicate, schema: &Schema, row: &Row) -> bool {
     match predicate {
         Predicate::True => true,
-        Predicate::Eq(column, expected) => row
-            .value_by_name(schema, column) == Some(expected),
-        Predicate::Between(column, lo, hi) => numeric(row, schema, column)
-            .is_some_and(|v| v >= *lo && v <= *hi),
+        Predicate::Eq(column, expected) => row.value_by_name(schema, column) == Some(expected),
+        Predicate::Between(column, lo, hi) => {
+            numeric(row, schema, column).is_some_and(|v| v >= *lo && v <= *hi)
+        }
         Predicate::LessThan(column, bound) => {
             numeric(row, schema, column).is_some_and(|v| v < *bound)
         }
         Predicate::GreaterThan(column, bound) => {
             numeric(row, schema, column).is_some_and(|v| v > *bound)
         }
-        Predicate::And(a, b) => {
-            eval_predicate(a, schema, row) && eval_predicate(b, schema, row)
-        }
+        Predicate::And(a, b) => eval_predicate(a, schema, row) && eval_predicate(b, schema, row),
         Predicate::Or(a, b) => eval_predicate(a, schema, row) || eval_predicate(b, schema, row),
         Predicate::Not(inner) => !eval_predicate(inner, schema, row),
     }
@@ -198,11 +196,12 @@ where
             predicate,
         } => {
             let (schema, rows) = resolve(table)?;
-            let schema = schema_or_err(table, schema, predicate.as_ref())?
-                .ok_or_else(|| ExecError::UnknownColumn {
+            let schema = schema_or_err(table, schema, predicate.as_ref())?.ok_or_else(|| {
+                ExecError::UnknownColumn {
                     table: table.clone(),
                     column: group_by.clone(),
-                })?;
+                }
+            })?;
             let group_index =
                 schema
                     .column_index(group_by)
@@ -242,18 +241,19 @@ where
                 table: right.clone(),
                 column: right_column.clone(),
             })?;
-            let li = left_schema
-                .column_index(left_column)
-                .ok_or_else(|| ExecError::UnknownColumn {
-                    table: left.clone(),
-                    column: left_column.clone(),
-                })?;
-            let ri = right_schema
-                .column_index(right_column)
-                .ok_or_else(|| ExecError::UnknownColumn {
+            let li =
+                left_schema
+                    .column_index(left_column)
+                    .ok_or_else(|| ExecError::UnknownColumn {
+                        table: left.clone(),
+                        column: left_column.clone(),
+                    })?;
+            let ri = right_schema.column_index(right_column).ok_or_else(|| {
+                ExecError::UnknownColumn {
                     table: right.clone(),
                     column: right_column.clone(),
-                })?;
+                }
+            })?;
             // Hash join on the grouping key of the join value.
             let mut build: BTreeMap<_, u64> = BTreeMap::new();
             for row in right_rows {
@@ -291,10 +291,12 @@ where
                 columns
                     .iter()
                     .map(|c| {
-                        schema.column_index(c).ok_or_else(|| ExecError::UnknownColumn {
-                            table: table.clone(),
-                            column: c.clone(),
-                        })
+                        schema
+                            .column_index(c)
+                            .ok_or_else(|| ExecError::UnknownColumn {
+                                table: table.clone(),
+                                column: c.clone(),
+                            })
                     })
                     .collect::<Result<_, _>>()?
             };
@@ -360,7 +362,13 @@ mod tests {
         let mut db = PlainDatabase::new();
         db.create_table("yellow", taxi_schema());
         db.create_table("green", taxi_schema());
-        for (t, p, d) in [(1u64, 55i64, 10i64), (2, 99, 11), (3, 120, 12), (4, 75, 13), (4, 55, 14)] {
+        for (t, p, d) in [
+            (1u64, 55i64, 10i64),
+            (2, 99, 11),
+            (3, 120, 12),
+            (4, 75, 13),
+            (4, 55, 14),
+        ] {
             db.insert("yellow", taxi_row(t, p, d));
         }
         for (t, p, d) in [(2u64, 7i64, 1i64), (4, 8, 2), (9, 9, 3)] {
@@ -457,14 +465,20 @@ mod tests {
             table: "missing".into(),
             predicate: None,
         };
-        assert_eq!(db.execute(&q), Err(ExecError::UnknownTable("missing".into())));
+        assert_eq!(
+            db.execute(&q),
+            Err(ExecError::UnknownTable("missing".into()))
+        );
 
         let q = Query::GroupByCount {
             table: "yellow".into(),
             group_by: "no_such".into(),
             predicate: None,
         };
-        assert!(matches!(db.execute(&q), Err(ExecError::UnknownColumn { .. })));
+        assert!(matches!(
+            db.execute(&q),
+            Err(ExecError::UnknownColumn { .. })
+        ));
         assert!(db.execute(&q).unwrap_err().to_string().contains("no_such"));
     }
 
@@ -539,7 +553,10 @@ mod tests {
             table: "bare".into(),
             predicate: Some(Predicate::Eq("pickup_id".into(), Value::Int(2))),
         };
-        assert!(matches!(db.execute(&q), Err(ExecError::UnknownColumn { .. })));
+        assert!(matches!(
+            db.execute(&q),
+            Err(ExecError::UnknownColumn { .. })
+        ));
         // Without a predicate the count still works.
         let q = Query::Count {
             table: "bare".into(),

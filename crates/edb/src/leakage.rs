@@ -132,25 +132,101 @@ pub struct CatalogEntry {
 pub fn catalog() -> Vec<CatalogEntry> {
     use LeakageClass::*;
     vec![
-        CatalogEntry { name: "VLH/AVLH", class: L0ResponseVolumeHiding, rationale: "volume-hiding structured encryption" },
-        CatalogEntry { name: "ObliDB", class: L0ResponseVolumeHiding, rationale: "oblivious query processing in SGX with padded outputs" },
-        CatalogEntry { name: "SEAL (adjustable)", class: L0ResponseVolumeHiding, rationale: "adjustable oblivious index" },
-        CatalogEntry { name: "Opaque", class: L0ResponseVolumeHiding, rationale: "oblivious distributed analytics" },
-        CatalogEntry { name: "CSAGR19", class: L0ResponseVolumeHiding, rationale: "controllable leakage with padding" },
-        CatalogEntry { name: "dp-MM", class: LDpDifferentiallyPrivateVolume, rationale: "differentially-private multimap volumes" },
-        CatalogEntry { name: "Hermetic", class: LDpDifferentiallyPrivateVolume, rationale: "DP-padded oblivious operators" },
-        CatalogEntry { name: "KKNO17", class: LDpDifferentiallyPrivateVolume, rationale: "DP access-pattern leakage" },
-        CatalogEntry { name: "Crypt-epsilon", class: LDpDifferentiallyPrivateVolume, rationale: "DP query answers over encrypted data" },
-        CatalogEntry { name: "AHKM19", class: LDpDifferentiallyPrivateVolume, rationale: "encrypted databases for differential privacy" },
-        CatalogEntry { name: "Shrinkwrap", class: LDpDifferentiallyPrivateVolume, rationale: "DP intermediate result sizes" },
-        CatalogEntry { name: "PPQED_a", class: L1RevealResponseVolume, rationale: "HE-based predicate evaluation reveals result sizes" },
-        CatalogEntry { name: "StealthDB", class: L1RevealResponseVolume, rationale: "SGX row store reveals result volumes" },
-        CatalogEntry { name: "SisoSPIR", class: L1RevealResponseVolume, rationale: "ORAM-based PIR reveals volumes" },
-        CatalogEntry { name: "CryptDB", class: L2RevealAccessPattern, rationale: "deterministic/order-preserving encryption" },
-        CatalogEntry { name: "Cipherbase", class: L2RevealAccessPattern, rationale: "TEE with plaintext-visible access patterns" },
-        CatalogEntry { name: "Arx", class: L2RevealAccessPattern, rationale: "index traversal reveals access pattern" },
-        CatalogEntry { name: "HardIDX", class: L2RevealAccessPattern, rationale: "SGX B-tree reveals search path" },
-        CatalogEntry { name: "EnclaveDB", class: L2RevealAccessPattern, rationale: "enclave DB with observable memory access" },
+        CatalogEntry {
+            name: "VLH/AVLH",
+            class: L0ResponseVolumeHiding,
+            rationale: "volume-hiding structured encryption",
+        },
+        CatalogEntry {
+            name: "ObliDB",
+            class: L0ResponseVolumeHiding,
+            rationale: "oblivious query processing in SGX with padded outputs",
+        },
+        CatalogEntry {
+            name: "SEAL (adjustable)",
+            class: L0ResponseVolumeHiding,
+            rationale: "adjustable oblivious index",
+        },
+        CatalogEntry {
+            name: "Opaque",
+            class: L0ResponseVolumeHiding,
+            rationale: "oblivious distributed analytics",
+        },
+        CatalogEntry {
+            name: "CSAGR19",
+            class: L0ResponseVolumeHiding,
+            rationale: "controllable leakage with padding",
+        },
+        CatalogEntry {
+            name: "dp-MM",
+            class: LDpDifferentiallyPrivateVolume,
+            rationale: "differentially-private multimap volumes",
+        },
+        CatalogEntry {
+            name: "Hermetic",
+            class: LDpDifferentiallyPrivateVolume,
+            rationale: "DP-padded oblivious operators",
+        },
+        CatalogEntry {
+            name: "KKNO17",
+            class: LDpDifferentiallyPrivateVolume,
+            rationale: "DP access-pattern leakage",
+        },
+        CatalogEntry {
+            name: "Crypt-epsilon",
+            class: LDpDifferentiallyPrivateVolume,
+            rationale: "DP query answers over encrypted data",
+        },
+        CatalogEntry {
+            name: "AHKM19",
+            class: LDpDifferentiallyPrivateVolume,
+            rationale: "encrypted databases for differential privacy",
+        },
+        CatalogEntry {
+            name: "Shrinkwrap",
+            class: LDpDifferentiallyPrivateVolume,
+            rationale: "DP intermediate result sizes",
+        },
+        CatalogEntry {
+            name: "PPQED_a",
+            class: L1RevealResponseVolume,
+            rationale: "HE-based predicate evaluation reveals result sizes",
+        },
+        CatalogEntry {
+            name: "StealthDB",
+            class: L1RevealResponseVolume,
+            rationale: "SGX row store reveals result volumes",
+        },
+        CatalogEntry {
+            name: "SisoSPIR",
+            class: L1RevealResponseVolume,
+            rationale: "ORAM-based PIR reveals volumes",
+        },
+        CatalogEntry {
+            name: "CryptDB",
+            class: L2RevealAccessPattern,
+            rationale: "deterministic/order-preserving encryption",
+        },
+        CatalogEntry {
+            name: "Cipherbase",
+            class: L2RevealAccessPattern,
+            rationale: "TEE with plaintext-visible access patterns",
+        },
+        CatalogEntry {
+            name: "Arx",
+            class: L2RevealAccessPattern,
+            rationale: "index traversal reveals access pattern",
+        },
+        CatalogEntry {
+            name: "HardIDX",
+            class: L2RevealAccessPattern,
+            rationale: "SGX B-tree reveals search path",
+        },
+        CatalogEntry {
+            name: "EnclaveDB",
+            class: L2RevealAccessPattern,
+            rationale: "enclave DB with observable memory access",
+        },
     ]
 }
 
@@ -188,7 +264,13 @@ mod tests {
         assert_eq!(p.total_volume(), 124);
         assert_eq!(p.times(), vec![0, 30, 60]);
         assert_eq!(p.volumes(), vec![120, 4, 0]);
-        assert_eq!(p.events()[1], UpdateEvent { time: 30, volume: 4 });
+        assert_eq!(
+            p.events()[1],
+            UpdateEvent {
+                time: 30,
+                volume: 4
+            }
+        );
     }
 
     #[test]
@@ -204,7 +286,10 @@ mod tests {
     #[test]
     fn labels_match_paper_names() {
         assert_eq!(LeakageClass::L0ResponseVolumeHiding.to_string(), "L-0");
-        assert_eq!(LeakageClass::LDpDifferentiallyPrivateVolume.to_string(), "L-DP");
+        assert_eq!(
+            LeakageClass::LDpDifferentiallyPrivateVolume.to_string(),
+            "L-DP"
+        );
         assert_eq!(LeakageClass::L1RevealResponseVolume.to_string(), "L-1");
         assert_eq!(LeakageClass::L2RevealAccessPattern.to_string(), "L-2");
     }
@@ -219,7 +304,10 @@ mod tests {
             LeakageClass::L1RevealResponseVolume,
             LeakageClass::L2RevealAccessPattern,
         ] {
-            assert!(cat.iter().any(|e| e.class == class), "missing class {class}");
+            assert!(
+                cat.iter().any(|e| e.class == class),
+                "missing class {class}"
+            );
         }
         assert!(cat.iter().any(|e| e.name == "ObliDB"));
         assert!(cat.iter().any(|e| e.name == "Crypt-epsilon"));

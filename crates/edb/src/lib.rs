@@ -39,7 +39,7 @@ pub mod schema;
 pub mod server;
 pub mod sogdb;
 
-pub use leakage::{LeakageClass, UpdatePattern, UpdateEvent};
+pub use leakage::{LeakageClass, UpdateEvent, UpdatePattern};
 pub use query::{Predicate, Query, QueryAnswer};
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema, Value};

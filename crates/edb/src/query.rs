@@ -183,12 +183,12 @@ impl QueryAnswer {
                 let mut keys: std::collections::BTreeSet<&GroupKey> = a.keys().collect();
                 keys.extend(b.keys());
                 keys.into_iter()
-                    .map(|k| (a.get(k).copied().unwrap_or(0.0) - b.get(k).copied().unwrap_or(0.0)).abs())
+                    .map(|k| {
+                        (a.get(k).copied().unwrap_or(0.0) - b.get(k).copied().unwrap_or(0.0)).abs()
+                    })
                     .sum()
             }
-            (QueryAnswer::Rows(a), QueryAnswer::Rows(b)) => {
-                (a.len() as f64 - b.len() as f64).abs()
-            }
+            (QueryAnswer::Rows(a), QueryAnswer::Rows(b)) => (a.len() as f64 - b.len() as f64).abs(),
             _ => f64::INFINITY,
         }
     }
@@ -252,7 +252,10 @@ mod tests {
     fn predicate_columns_are_collected() {
         let p = Predicate::And(
             Box::new(Predicate::Between("x".into(), 0.0, 1.0)),
-            Box::new(Predicate::Not(Box::new(Predicate::Eq("y".into(), Value::Int(3))))),
+            Box::new(Predicate::Not(Box::new(Predicate::Eq(
+                "y".into(),
+                Value::Int(3),
+            )))),
         );
         assert_eq!(p.columns(), vec!["x", "y"]);
         assert!(Predicate::True.columns().is_empty());
@@ -322,7 +325,10 @@ mod tests {
     #[test]
     fn paper_queries_reference_expected_columns() {
         match paper_queries::q1_range_count("t") {
-            Query::Count { predicate: Some(Predicate::Between(col, lo, hi)), .. } => {
+            Query::Count {
+                predicate: Some(Predicate::Between(col, lo, hi)),
+                ..
+            } => {
                 assert_eq!(col, "pickup_id");
                 assert_eq!((lo, hi), (50.0, 100.0));
             }
@@ -333,7 +339,11 @@ mod tests {
             other => panic!("unexpected query {other:?}"),
         }
         match paper_queries::q3_join_count("a", "b") {
-            Query::JoinCount { left_column, right_column, .. } => {
+            Query::JoinCount {
+                left_column,
+                right_column,
+                ..
+            } => {
                 assert_eq!(left_column, "pick_time");
                 assert_eq!(right_column, "pick_time");
             }

@@ -224,7 +224,10 @@ mod tests {
     #[test]
     fn unknown_tag_is_rejected() {
         let bytes = vec![1u8, 200u8];
-        assert_eq!(Row::from_bytes(&bytes), Err(RowDecodeError::UnknownTag(200)));
+        assert_eq!(
+            Row::from_bytes(&bytes),
+            Err(RowDecodeError::UnknownTag(200))
+        );
     }
 
     #[test]
@@ -245,7 +248,10 @@ mod tests {
             ("pickup_id", DataType::Int),
         ]);
         let row = Row::new(vec![Value::Timestamp(5), Value::Int(99)]);
-        assert_eq!(row.value_by_name(&schema, "pickup_id"), Some(&Value::Int(99)));
+        assert_eq!(
+            row.value_by_name(&schema, "pickup_id"),
+            Some(&Value::Int(99))
+        );
         assert_eq!(row.value_by_name(&schema, "nope"), None);
     }
 

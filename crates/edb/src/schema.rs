@@ -178,7 +178,11 @@ impl Schema {
     pub fn new(columns: Vec<ColumnDef>) -> Self {
         let mut seen = std::collections::HashSet::new();
         for c in &columns {
-            assert!(seen.insert(c.name.clone()), "duplicate column name `{}`", c.name);
+            assert!(
+                seen.insert(c.name.clone()),
+                "duplicate column name `{}`",
+                c.name
+            );
         }
         Self { columns }
     }
@@ -217,9 +221,10 @@ impl Schema {
     /// every non-null value has the declared type).
     pub fn validates(&self, values: &[Value]) -> bool {
         values.len() == self.columns.len()
-            && values.iter().zip(&self.columns).all(|(v, c)| {
-                v.data_type().is_none_or(|ty| ty == c.data_type)
-            })
+            && values
+                .iter()
+                .zip(&self.columns)
+                .all(|(v, c)| v.data_type().is_none_or(|ty| ty == c.data_type))
     }
 }
 
@@ -292,7 +297,10 @@ mod tests {
     fn group_keys_distinguish_values_and_types() {
         assert_ne!(Value::Int(1).group_key(), Value::Int(2).group_key());
         assert_ne!(Value::Int(1).group_key(), Value::Timestamp(1).group_key());
-        assert_eq!(Value::Text("a".into()).group_key(), Value::Text("a".into()).group_key());
+        assert_eq!(
+            Value::Text("a".into()).group_key(),
+            Value::Text("a".into()).group_key()
+        );
         assert_eq!(Value::Float(1.5).group_key(), Value::Float(1.5).group_key());
         assert_eq!(Value::Null.group_key(), Value::Null.group_key());
     }

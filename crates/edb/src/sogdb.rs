@@ -181,8 +181,14 @@ mod tests {
             kind: "join",
         };
         assert!(e.to_string().contains("join"));
-        assert!(EdbError::AlreadySetUp("x".into()).to_string().contains("already"));
-        assert!(EdbError::NotSetUp("x".into()).to_string().contains("not been set up"));
-        assert!(EdbError::CorruptRow("bad".into()).to_string().contains("bad"));
+        assert!(EdbError::AlreadySetUp("x".into())
+            .to_string()
+            .contains("already"));
+        assert!(EdbError::NotSetUp("x".into())
+            .to_string()
+            .contains("not been set up"));
+        assert!(EdbError::CorruptRow("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -72,7 +72,9 @@ impl ArrivalProcess {
                     0
                 }
             }
-            ArrivalProcess::Periodic { period } => u64::from(period > 0 && t.is_multiple_of(period.max(1))),
+            ArrivalProcess::Periodic { period } => {
+                u64::from(period > 0 && t.is_multiple_of(period.max(1)))
+            }
         }
     }
 
@@ -85,9 +87,9 @@ impl ArrivalProcess {
     pub fn mean_rate(&self) -> f64 {
         match *self {
             ArrivalProcess::Bernoulli { probability } => probability.clamp(0.0, 1.0),
-            ArrivalProcess::Diurnal { base, amplitude, .. } => {
-                (base + amplitude * 0.5).clamp(0.0, 1.0)
-            }
+            ArrivalProcess::Diurnal {
+                base, amplitude, ..
+            } => (base + amplitude * 0.5).clamp(0.0, 1.0),
             ArrivalProcess::Bursty {
                 burst_probability,
                 burst_size,

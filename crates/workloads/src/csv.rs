@@ -57,15 +57,17 @@ pub fn parse_csv_str(contents: &str, month_start: &str) -> Result<TaxiDataset, C
     let columns: Vec<&str> = header.split(',').map(str::trim).collect();
 
     let find = |candidates: &[&str]| -> Option<usize> {
-        columns.iter().position(|c| {
-            candidates
-                .iter()
-                .any(|cand| c.eq_ignore_ascii_case(cand))
-        })
+        columns
+            .iter()
+            .position(|c| candidates.iter().any(|cand| c.eq_ignore_ascii_case(cand)))
     };
 
-    let pickup_time_idx = find(&["tpep_pickup_datetime", "lpep_pickup_datetime", "pickup_datetime"])
-        .ok_or_else(|| CsvError::MissingColumn("pickup_datetime".into()))?;
+    let pickup_time_idx = find(&[
+        "tpep_pickup_datetime",
+        "lpep_pickup_datetime",
+        "pickup_datetime",
+    ])
+    .ok_or_else(|| CsvError::MissingColumn("pickup_datetime".into()))?;
     let pu_idx = find(&["PULocationID", "pulocationid"])
         .ok_or_else(|| CsvError::MissingColumn("PULocationID".into()))?;
     let do_idx = find(&["DOLocationID", "dolocationid"])
@@ -179,7 +181,10 @@ VendorID,tpep_pickup_datetime,tpep_dropoff_datetime,passenger_count,trip_distanc
         assert!((ds.records()[1].distance - 1.2).abs() < 1e-9);
         // The 08:31 row has an empty trip_distance field, which defaults to 1.0.
         assert_eq!(ds.records()[2].pick_time, 1951);
-        assert!((ds.records()[2].distance - 1.0).abs() < 1e-9, "missing distance defaulted");
+        assert!(
+            (ds.records()[2].distance - 1.0).abs() < 1e-9,
+            "missing distance defaulted"
+        );
     }
 
     #[test]
@@ -206,14 +211,20 @@ lpep_pickup_datetime,PULocationID,DOLocationID,trip_distance,total_amount
     fn empty_or_all_invalid_input_is_an_error() {
         assert!(matches!(parse_csv_str("", "2020-06"), Err(CsvError::Empty)));
         let csv = "tpep_pickup_datetime,PULocationID,DOLocationID\nnot-a-date,1,2\n";
-        assert!(matches!(parse_csv_str(csv, "2020-06"), Err(CsvError::Empty)));
+        assert!(matches!(
+            parse_csv_str(csv, "2020-06"),
+            Err(CsvError::Empty)
+        ));
     }
 
     #[test]
     fn minute_offsets_are_computed_correctly() {
         assert_eq!(minute_offset("2020-06-01 00:00:00", "2020-06"), Some(0));
         assert_eq!(minute_offset("2020-06-01 00:59:59", "2020-06"), Some(59));
-        assert_eq!(minute_offset("2020-06-30 23:59:00", "2020-06"), Some(43_199));
+        assert_eq!(
+            minute_offset("2020-06-30 23:59:00", "2020-06"),
+            Some(43_199)
+        );
         assert_eq!(minute_offset("2020-07-01 00:00:00", "2020-06"), None);
         assert_eq!(minute_offset("garbage", "2020-06"), None);
         assert_eq!(minute_offset("2020-06-01 99:00:00", "2020-06"), None);
@@ -232,7 +243,9 @@ lpep_pickup_datetime,PULocationID,DOLocationID,trip_distance,total_amount
 
     #[test]
     fn error_display() {
-        assert!(CsvError::MissingColumn("x".into()).to_string().contains('x'));
+        assert!(CsvError::MissingColumn("x".into())
+            .to_string()
+            .contains('x'));
         assert!(CsvError::Empty.to_string().contains("no valid"));
     }
 }

@@ -64,7 +64,10 @@ mod tests {
         match q1() {
             Query::Count { table, predicate } => {
                 assert_eq!(table, YELLOW_TABLE);
-                assert!(matches!(predicate, Some(Predicate::Between(_, 50.0, 100.0))));
+                assert!(matches!(
+                    predicate,
+                    Some(Predicate::Between(_, 50.0, 100.0))
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -73,7 +76,9 @@ mod tests {
     #[test]
     fn q2_groups_by_pickup_zone() {
         match q2() {
-            Query::GroupByCount { table, group_by, .. } => {
+            Query::GroupByCount {
+                table, group_by, ..
+            } => {
                 assert_eq!(table, YELLOW_TABLE);
                 assert_eq!(group_by, "pickup_id");
             }
@@ -84,7 +89,12 @@ mod tests {
     #[test]
     fn q3_joins_both_tables_on_pick_time() {
         match q3() {
-            Query::JoinCount { left, right, left_column, right_column } => {
+            Query::JoinCount {
+                left,
+                right,
+                left_column,
+                right_column,
+            } => {
                 assert_eq!(left, YELLOW_TABLE);
                 assert_eq!(right, GREEN_TABLE);
                 assert_eq!(left_column, "pick_time");

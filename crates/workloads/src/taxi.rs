@@ -325,7 +325,10 @@ mod tests {
             .count() as f64
             / ds.len() as f64;
         // ~30% targeted + ~5% uniform mass falling in the hub range.
-        assert!(hub_share > 0.25 && hub_share < 0.45, "hub share {hub_share}");
+        assert!(
+            hub_share > 0.25 && hub_share < 0.45,
+            "hub share {hub_share}"
+        );
     }
 
     #[test]
@@ -374,16 +377,44 @@ mod tests {
     #[test]
     fn from_records_dedups_and_sorts() {
         let records = vec![
-            TaxiRecord { pick_time: 5, pickup_id: 1, dropoff_id: 2, distance: 1.0, fare: 5.0 },
-            TaxiRecord { pick_time: 2, pickup_id: 3, dropoff_id: 4, distance: 1.0, fare: 5.0 },
-            TaxiRecord { pick_time: 5, pickup_id: 9, dropoff_id: 9, distance: 1.0, fare: 5.0 },
-            TaxiRecord { pick_time: 999, pickup_id: 9, dropoff_id: 9, distance: 1.0, fare: 5.0 },
+            TaxiRecord {
+                pick_time: 5,
+                pickup_id: 1,
+                dropoff_id: 2,
+                distance: 1.0,
+                fare: 5.0,
+            },
+            TaxiRecord {
+                pick_time: 2,
+                pickup_id: 3,
+                dropoff_id: 4,
+                distance: 1.0,
+                fare: 5.0,
+            },
+            TaxiRecord {
+                pick_time: 5,
+                pickup_id: 9,
+                dropoff_id: 9,
+                distance: 1.0,
+                fare: 5.0,
+            },
+            TaxiRecord {
+                pick_time: 999,
+                pickup_id: 9,
+                dropoff_id: 9,
+                distance: 1.0,
+                fare: 5.0,
+            },
         ];
         let ds = TaxiDataset::from_records(records, 100);
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.records()[0].pick_time, 2);
         assert_eq!(ds.records()[1].pick_time, 5);
-        assert_eq!(ds.records()[1].pickup_id, 1, "first record at a minute wins");
+        assert_eq!(
+            ds.records()[1].pickup_id,
+            1,
+            "first record at a minute wins"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --example iot_sensors`
 
 use dp_sync::core::strategy::{
-    AboveNoisyThresholdStrategy, CacheFlush, SynchronizeUponReceipt, SyncStrategy,
+    AboveNoisyThresholdStrategy, CacheFlush, SyncStrategy, SynchronizeUponReceipt,
 };
 use dp_sync::core::{Owner, Timestamp};
 use dp_sync::crypto::MasterKey;
@@ -35,9 +35,18 @@ fn sensor_schema() -> Schema {
 /// three third-floor sensors in consecutive minutes.
 fn sensor_events() -> Vec<(u64, Row)> {
     vec![
-        (420, Row::new(vec![Value::Timestamp(420), Value::Int(31), Value::Int(3)])),
-        (421, Row::new(vec![Value::Timestamp(421), Value::Int(32), Value::Int(3)])),
-        (422, Row::new(vec![Value::Timestamp(422), Value::Int(33), Value::Int(3)])),
+        (
+            420,
+            Row::new(vec![Value::Timestamp(420), Value::Int(31), Value::Int(3)]),
+        ),
+        (
+            421,
+            Row::new(vec![Value::Timestamp(421), Value::Int(32), Value::Int(3)]),
+        ),
+        (
+            422,
+            Row::new(vec![Value::Timestamp(422), Value::Int(33), Value::Int(3)]),
+        ),
     ]
 }
 
@@ -46,7 +55,9 @@ fn run_with(strategy: Box<dyn SyncStrategy>, label: &str) {
     let master = MasterKey::generate(&mut rng);
     let mut engine = ObliDbEngine::new(&master);
     let mut owner = Owner::new("sensor_events", sensor_schema(), &master, strategy);
-    owner.setup(vec![], &mut engine, &mut rng).expect("setup succeeds");
+    owner
+        .setup(vec![], &mut engine, &mut rng)
+        .expect("setup succeeds");
 
     let events = sensor_events();
     for t in 1..=HORIZON {
@@ -85,7 +96,9 @@ fn run_with(strategy: Box<dyn SyncStrategy>, label: &str) {
         "uploads in the 10 minutes around the 07:00 entry: {around_event}, in a quiet 03:00 window: {quiet_window}"
     );
     if around_event > 0 && quiet_window == 0 {
-        println!("=> upload timing mirrors the sensor events — the admin learns when someone entered\n");
+        println!(
+            "=> upload timing mirrors the sensor events — the admin learns when someone entered\n"
+        );
     } else {
         println!("=> upload timing is indistinguishable from any other window — the entry time is hidden\n");
     }
@@ -95,7 +108,10 @@ fn main() {
     println!("IoT sensor backup: what does the building admin learn from upload timings?\n");
 
     // Synchronize-upon-receipt: every sensor event is backed up immediately.
-    run_with(Box::new(SynchronizeUponReceipt::new()), "SUR (backup immediately)");
+    run_with(
+        Box::new(SynchronizeUponReceipt::new()),
+        "SUR (backup immediately)",
+    );
 
     // DP-ANT with epsilon = 0.5, threshold 30, and an hourly flush: uploads
     // are decoupled from event times with a differential-privacy guarantee.

@@ -49,7 +49,10 @@ fn main() {
     println!("DP-Timer on a 1/20-scale taxi month (2 160 minutes, ~900 records)\n");
 
     println!("sweeping the privacy budget (T fixed at 30):");
-    println!("{:>8} {:>14} {:>14} {:>14}", "epsilon", "mean Q2 err", "mean QET (s)", "dummies");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "epsilon", "mean Q2 err", "mean QET (s)", "dummies"
+    );
     for &eps in &[0.01, 0.1, 0.5, 1.0, 10.0] {
         let (err, qet, dummies) = run(eps, 30);
         println!("{eps:>8} {err:>14.2} {qet:>14.3} {dummies:>14}");
@@ -57,10 +60,15 @@ fn main() {
     println!("  → smaller epsilon = stronger privacy, larger error and more dummy uploads\n");
 
     println!("sweeping the timer period T (epsilon fixed at 0.5):");
-    println!("{:>8} {:>14} {:>14} {:>14}", "T", "mean Q2 err", "mean QET (s)", "dummies");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "T", "mean Q2 err", "mean QET (s)", "dummies"
+    );
     for &period in &[5u64, 30, 120, 480] {
         let (err, qet, dummies) = run(0.5, period);
         println!("{period:>8} {err:>14.2} {qet:>14.3} {dummies:>14}");
     }
-    println!("  → longer periods defer more data (larger error) but synchronize — and pad — less often");
+    println!(
+        "  → longer periods defer more data (larger error) but synchronize — and pad — less often"
+    );
 }

@@ -36,13 +36,18 @@ fn main() {
     let initial: Vec<Row> = (0..10)
         .map(|i| Row::new(vec![Value::Timestamp(0), Value::Int(50 + i)]))
         .collect();
-    owner.setup(initial, &mut engine, &mut rng).expect("setup succeeds");
+    owner
+        .setup(initial, &mut engine, &mut rng)
+        .expect("setup succeeds");
 
     // 4. Feed arrivals for four hours of one-minute ticks; a record arrives
     //    roughly every three minutes.
     for t in 1..=240u64 {
         let arrivals: Vec<Row> = if t % 3 == 0 {
-            vec![Row::new(vec![Value::Timestamp(t), Value::Int((t % 200) as i64)])]
+            vec![Row::new(vec![
+                Value::Timestamp(t),
+                Value::Int((t % 200) as i64),
+            ])]
         } else {
             vec![]
         };

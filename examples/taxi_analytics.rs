@@ -8,7 +8,7 @@
 use dp_sync::core::simulation::{Simulation, SimulationConfig};
 use dp_sync::core::strategy::{
     AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, OneTimeOutsourcing, StrategyKind,
-    SynchronizeEveryTime, SynchronizeUponReceipt, SyncStrategy,
+    SyncStrategy, SynchronizeEveryTime, SynchronizeUponReceipt,
 };
 use dp_sync::crypto::MasterKey;
 use dp_sync::dp::Epsilon;

@@ -1,0 +1,155 @@
+//! Property tests for the DP layer: Laplace sampler calibration, sparse-vector
+//! halting semantics, and privacy-accountant composition arithmetic.
+
+use dp_sync::dp::{
+    AboveNoisyThreshold, Composition, DpRng, Epsilon, Laplace, PrivacyAccountant, SvtOutcome,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The empirical mean of many Laplace draws converges to the location
+    /// parameter μ (the sampler is unbiased).
+    #[test]
+    fn laplace_empirical_mean_matches_location(
+        mu in -50.0f64..50.0,
+        b in 0.3f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let dist = Laplace::new(mu, b).unwrap();
+        let mut rng = DpRng::seed_from_u64(seed);
+        let n = 4_000u32;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        // std of the sample mean is b·sqrt(2/n) ≈ 0.022·b; allow ~6 sigma.
+        prop_assert!(
+            (mean - mu).abs() < 0.15 * b,
+            "mu={mu} b={b}: empirical mean {mean}"
+        );
+    }
+
+    /// The empirical mean absolute deviation of Laplace draws converges to the
+    /// scale parameter b (the sampler has the right spread, E|X−μ| = b).
+    #[test]
+    fn laplace_empirical_scale_matches_b(
+        mu in -10.0f64..10.0,
+        b in 0.3f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let dist = Laplace::new(mu, b).unwrap();
+        let mut rng = DpRng::seed_from_u64(seed);
+        let n = 4_000u32;
+        let mad = (0..n).map(|_| (dist.sample(&mut rng) - mu).abs()).sum::<f64>() / f64::from(n);
+        prop_assert!(
+            (mad - b).abs() < 0.12 * b,
+            "mu={mu} b={b}: empirical mean absolute deviation {mad}"
+        );
+    }
+
+    /// A round of Above-Noisy-Threshold halts after *exactly one* positive
+    /// outcome: the first `Above` sets `halted`, no further comparison is
+    /// answered until `reset`, and each halted round counts exactly once.
+    #[test]
+    fn above_noisy_threshold_halts_after_exactly_one_positive(
+        theta in 1.0f64..40.0,
+        rounds in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DpRng::seed_from_u64(seed);
+        let eps = Epsilon::new_unchecked(1.0);
+        let mut svt = AboveNoisyThreshold::new(theta, eps, &mut rng);
+        for round in 0..rounds {
+            let mut positives = 0u32;
+            // Ramp the count far past θ; noise of scale 4/ε cannot defer the
+            // halt beyond a count of θ + 1000 for more than astronomically
+            // unlikely draws.
+            let mut count = 0u64;
+            while positives == 0 {
+                count += 1;
+                prop_assert!(
+                    count < theta as u64 + 2_000,
+                    "round {round}: no halt after {count} observations"
+                );
+                if svt.observe(count, &mut rng) == SvtOutcome::Above {
+                    positives += 1;
+                }
+            }
+            prop_assert_eq!(positives, 1);
+            prop_assert!(svt.halted(), "halt flag must be set after the positive outcome");
+            // "Exactly one": the mechanism refuses to answer any further
+            // comparison until reset — a post-halt observe must panic rather
+            // than release a second outcome.
+            {
+                let mut probe_rng = DpRng::seed_from_u64(seed ^ 0xdead_beef);
+                let mut post_halt = svt.clone();
+                let refused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    post_halt.observe(count + 1, &mut probe_rng)
+                }))
+                .is_err();
+                prop_assert!(refused, "observe after halt must panic, not answer");
+            }
+            prop_assert_eq!(svt.rounds_completed(), round as u64);
+            svt.reset(&mut rng);
+            prop_assert!(!svt.halted());
+            prop_assert_eq!(svt.rounds_completed(), round as u64 + 1);
+        }
+    }
+
+    /// Sequential composition in the accountant never under-counts: after each
+    /// sequential spend the consumed budget equals the exact running sum (no
+    /// cancellation), and it is never below any single recorded expenditure.
+    #[test]
+    fn accountant_sequential_composition_never_undercounts(
+        spends in prop::collection::vec(0.01f64..1.0, 1..40),
+    ) {
+        let mut acc = PrivacyAccountant::new(Epsilon::new_unchecked(10.0));
+        let mut exact_sum = 0.0f64;
+        for (i, &e) in spends.iter().enumerate() {
+            acc.spend(format!("m{i}"), Epsilon::new_unchecked(e), Composition::Sequential);
+            exact_sum += e;
+            let consumed = acc.budget().consumed;
+            prop_assert!(
+                (consumed - exact_sum).abs() <= 1e-9 * exact_sum.max(1.0),
+                "after spend {i}: consumed {consumed} vs exact {exact_sum}"
+            );
+            prop_assert!(consumed + 1e-12 >= e, "consumed below a single expenditure");
+        }
+        prop_assert_eq!(acc.ledger().len(), spends.len());
+    }
+
+    /// Under *any* mix of sequential and parallel spends the consumed budget
+    /// is monotone non-decreasing and at least the largest single expenditure
+    /// — the two properties that make the ledger a sound upper-bound ledger.
+    #[test]
+    fn accountant_mixed_composition_is_monotone_and_dominates_max(
+        spends in prop::collection::vec((0.01f64..1.0, any::<bool>()), 1..40),
+    ) {
+        let mut acc = PrivacyAccountant::new(Epsilon::new_unchecked(100.0));
+        let mut previous = 0.0f64;
+        let mut max_single = 0.0f64;
+        for (i, &(e, parallel)) in spends.iter().enumerate() {
+            let rule = if parallel { Composition::Parallel } else { Composition::Sequential };
+            acc.spend(format!("m{i}"), Epsilon::new_unchecked(e), rule);
+            max_single = max_single.max(e);
+            let consumed = acc.budget().consumed;
+            prop_assert!(consumed + 1e-12 >= previous, "consumed decreased at spend {i}");
+            prop_assert!(consumed + 1e-12 >= max_single, "consumed under-counts the max");
+            previous = consumed;
+        }
+    }
+}
+
+/// A deterministic spot-check that the SVT threshold-noise scale is 2/ε₁ and
+/// the comparison-noise scale is 4/ε₁ (Algorithm 3): with a very large ε the
+/// noisy threshold collapses onto θ and decisions become exact.
+#[test]
+fn above_noisy_threshold_is_exact_in_the_low_noise_limit() {
+    let mut rng = DpRng::seed_from_u64(11);
+    let eps = Epsilon::new_unchecked(1e6);
+    for theta in [5.0f64, 20.0, 57.0] {
+        let mut svt = AboveNoisyThreshold::new(theta, eps, &mut rng);
+        assert!((svt.noisy_threshold() - theta).abs() < 0.01);
+        assert_eq!(svt.observe(theta as u64 - 1, &mut rng), SvtOutcome::Below);
+        assert_eq!(svt.observe(theta as u64 + 1, &mut rng), SvtOutcome::Above);
+    }
+}

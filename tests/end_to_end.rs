@@ -5,7 +5,7 @@
 use dp_sync::core::simulation::{Simulation, SimulationConfig};
 use dp_sync::core::strategy::{
     AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, OneTimeOutsourcing, StrategyKind,
-    SynchronizeEveryTime, SynchronizeUponReceipt, SyncStrategy,
+    SyncStrategy, SynchronizeEveryTime, SynchronizeUponReceipt,
 };
 use dp_sync::core::SimulationReport;
 use dp_sync::crypto::MasterKey;

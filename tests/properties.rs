@@ -4,8 +4,8 @@
 
 use dp_sync::core::cache::{CachePolicy, LocalCache};
 use dp_sync::core::strategy::{
-    AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, SynchronizeEveryTime,
-    SynchronizeUponReceipt, SyncStrategy, TickContext,
+    AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, SyncStrategy, SynchronizeEveryTime,
+    SynchronizeUponReceipt, TickContext,
 };
 use dp_sync::core::Timestamp;
 use dp_sync::crypto::{MasterKey, RecordCryptor, RecordPlaintext};

@@ -1,0 +1,289 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the criterion API surface the workspace benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput and inputs, `Bencher::iter` /
+//! `iter_batched`) with a deliberately simple measurement loop: each
+//! benchmark runs a short warm-up plus a fixed measurement window and prints
+//! mean time per iteration. There is no statistical analysis, HTML report, or
+//! baseline comparison. When invoked by `cargo test` (criterion-style
+//! `--test` flag), each benchmark body executes exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long the measurement loop aims to run per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Returns true when the binary was invoked by `cargo test` (smoke mode) —
+/// criterion's convention is a `--test` flag.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Per-iteration batching granularity for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter display value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    smoke: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    ///
+    /// The deadline is checked once per 1024-iteration batch so the clock
+    /// read never sits inside the timed hot loop — for nanosecond-scale
+    /// routines an `Instant::elapsed` per iteration would dominate the
+    /// measurement.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            let start = Instant::now();
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = start.elapsed();
+            return;
+        }
+        const BATCH: u64 = 1024;
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            for _ in 0..BATCH {
+                black_box(routine());
+            }
+            n += BATCH;
+            if start.elapsed() >= MEASURE_WINDOW {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            n += 1;
+            if self.smoke || total >= MEASURE_WINDOW {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows its input.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        loop {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+            n += 1;
+            if self.smoke || total >= MEASURE_WINDOW {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = total;
+    }
+}
+
+fn run_one(full_name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let smoke = test_mode();
+    let mut bencher = Bencher {
+        smoke,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if smoke {
+        println!("bench {full_name}: ok (smoke)");
+        return;
+    }
+    let iters = bencher.iters.max(1);
+    let per_iter = bencher.elapsed.as_nanos() as f64 / iters as f64;
+    let mut line = format!("bench {full_name}: {per_iter:.1} ns/iter ({iters} iters)");
+    if let Some(tp) = throughput {
+        let (amount, divisor, unit) = match tp {
+            Throughput::Bytes(b) => (b as f64, 1024.0 * 1024.0, "MiB/s"),
+            Throughput::Elements(e) => (e as f64, 1e6, "Melem/s"),
+        };
+        if per_iter > 0.0 {
+            let rate = amount / (per_iter / 1e9) / divisor;
+            line.push_str(&format!(", {rate:.1} {unit}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark manager passed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the target sample count (accepted for API compatibility; the
+    /// simplified runner ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,33 @@
+//! `any::<T>()`: strategies for a type's full natural domain.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Standard;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Returns the canonical strategy for this type.
+    fn arbitrary() -> AnyStrategy<Self>;
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+impl<T: Standard> Arbitrary for T {
+    fn arbitrary() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+/// Returns the canonical strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace's property tests
+//! use: the [`strategy::Strategy`] trait (ranges, tuples, `prop_map`,
+//! collections, `any::<T>()`), [`test_runner::ProptestConfig`], and the
+//! [`proptest!`] / `prop_assert*` macros. Differences from upstream:
+//!
+//! * **No shrinking** — a failing case reports its inputs via the panic
+//!   message (every generated binding is `Debug`-printed) but is not reduced.
+//! * **Deterministic seeding** — cases derive from a fixed seed XOR'd with the
+//!   `PROPTEST_SEED` environment variable when set, so CI runs are stable.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+pub use test_runner::ProptestConfig;
+
+/// The `prop` namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions of the form
+/// `fn name(binding in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    { ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($binding:pat_param in $strat:expr),+ $(,)? ) $body:block )* } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::case_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(
+                        let $binding = {
+                            let __value =
+                                $crate::strategy::Strategy::new_value(&$strat, &mut __rng);
+                            __inputs.push(format!(
+                                "    {} = {:?}", stringify!($binding), __value
+                            ));
+                            __value
+                        };
+                    )+
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            "proptest: case {}/{} of `{}` failed with inputs:\n{}\n(set PROPTEST_SEED to vary the stream)",
+                            __case + 1, __config.cases, stringify!($name),
+                            __inputs.join("\n"),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,42 @@
+//! Test-runner configuration and per-test RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Derives the deterministic RNG for a named test function.
+///
+/// The base seed is fixed (stable CI); set `PROPTEST_SEED` to explore other
+/// streams.
+pub fn case_rng(test_name: &str) -> StdRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5eed_d05e_ca5e_5eed);
+    // FNV-1a over the test name keeps per-test streams independent.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}

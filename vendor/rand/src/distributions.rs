@@ -1,0 +1,19 @@
+//! Minimal distributions module: the [`Distribution`] trait and [`Standard`].
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution (uniform over the type's natural domain).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl<T: crate::Standard> Distribution<T> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline stand-in for `serde`.
+//!
+//! The DP-Sync sources only use serde's `#[derive(Serialize, Deserialize)]`
+//! as a forward-compatibility marker (no serializer backend such as
+//! `serde_json` is wired in this offline environment), so the traits here are
+//! pure markers. The derive macros (re-exported from the vendored
+//! `serde_derive`) emit empty impls for any struct or enum. If a real wire
+//! format is needed later, this crate is the single place to swap for the
+//! upstream serde.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable from any lifetime (owned data).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate defines `Serialize` / `Deserialize` as marker
+//! traits with no methods, so these derives only need to parse the item's name
+//! and generic parameters (no `syn`/`quote` available offline — parsing is
+//! done directly on the token stream) and emit an empty impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_impl(&item, "Serialize", &[])
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_impl(&item, "Deserialize", &["'de"])
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter *declarations* minus defaults, e.g. `T: Clone, const N: usize`.
+    params: Vec<String>,
+    /// Generic *arguments* for the self type, e.g. `T, N`.
+    args: Vec<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the following bracket group.
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    // Optional visibility scope `(crate)` etc.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                } else if word == "struct" || word == "enum" || word == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => break name.to_string(),
+                        other => panic!("serde_derive: expected item name, got {other:?}"),
+                    }
+                }
+                // Any other ident (e.g. `r#dyn` — unexpected) is skipped.
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct/enum found in derive input"),
+        }
+    };
+
+    // Optional generic parameter list.
+    let mut params = Vec::new();
+    let mut args = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let _ = tokens.next();
+            let mut depth = 1usize;
+            let mut current = String::new();
+            let mut raw_tokens: Vec<TokenTree> = Vec::new();
+            loop {
+                let tt = tokens.next().expect("serde_derive: unterminated generics");
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if !raw_tokens.is_empty() {
+                                finish_param(&raw_tokens, &mut params, &mut args, &mut current);
+                            }
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        finish_param(&raw_tokens, &mut params, &mut args, &mut current);
+                        raw_tokens.clear();
+                        continue;
+                    }
+                    _ => {}
+                }
+                raw_tokens.push(tt);
+            }
+        }
+    }
+
+    Item { name, params, args }
+}
+
+/// Converts one raw generic-parameter token run into a declaration (minus any
+/// `= default`) and the matching argument name.
+fn finish_param(
+    raw: &[TokenTree],
+    params: &mut Vec<String>,
+    args: &mut Vec<String>,
+    scratch: &mut String,
+) {
+    scratch.clear();
+    // Drop a trailing `= default` (not legal in impl generics).
+    let mut decl_end = raw.len();
+    let mut depth = 0usize;
+    for (i, tt) in raw.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == '=' && depth == 0 => {
+                decl_end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    for tt in &raw[..decl_end] {
+        scratch.push_str(&tt.to_string());
+        scratch.push(' ');
+    }
+    params.push(scratch.trim().to_string());
+
+    // Argument name: lifetime => `'a`; `const N: usize` => `N`; `T: bound` => `T`.
+    let arg = match raw.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => match raw.get(1) {
+            Some(TokenTree::Ident(id)) => format!("'{id}"),
+            _ => panic!("serde_derive: malformed lifetime parameter"),
+        },
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => match raw.get(1) {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            _ => panic!("serde_derive: malformed const parameter"),
+        },
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: malformed generic parameter start: {other:?}"),
+    };
+    args.push(arg);
+}
+
+fn emit_impl(item: &Item, trait_name: &str, extra_lifetimes: &[&str]) -> TokenStream {
+    let mut impl_params: Vec<String> = extra_lifetimes.iter().map(|l| l.to_string()).collect();
+    impl_params.extend(item.params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let trait_generics = if extra_lifetimes.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", extra_lifetimes.join(", "))
+    };
+    let type_generics = if item.args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.args.join(", "))
+    };
+    let code = format!(
+        "#[automatically_derived] impl{impl_generics} ::serde::{trait_name}{trait_generics} \
+         for {name}{type_generics} {{}}",
+        name = item.name,
+    );
+    code.parse()
+        .expect("serde_derive: generated impl must parse")
+}

@@ -39,7 +39,7 @@ fn rows(n: usize) -> Vec<Row> {
 fn loaded_oblidb(n: usize) -> ObliDbEngine {
     let master = MasterKey::from_bytes([1u8; 32]);
     let mut cryptor = RecordCryptor::new(&master);
-    let mut engine = ObliDbEngine::new(&master);
+    let engine = ObliDbEngine::new(&master);
     engine
         .setup(
             "yellow",
@@ -65,12 +65,12 @@ fn bench_update_protocol(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut cryptor = RecordCryptor::new(&master);
-                    let mut engine = ObliDbEngine::new(&master);
+                    let engine = ObliDbEngine::new(&master);
                     engine.setup("yellow", schema(), vec![]).unwrap();
                     let records = encrypt_batch(&mut cryptor, &rows(batch), 0);
                     (engine, records)
                 },
-                |(mut engine, records)| engine.update("yellow", 1, records).unwrap(),
+                |(engine, records)| engine.update("yellow", 1, records).unwrap(),
                 criterion::BatchSize::SmallInput,
             )
         });
@@ -82,7 +82,7 @@ fn bench_queries(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let mut group = c.benchmark_group("engine_query");
     for n in [1_000usize, 10_000] {
-        let mut oblidb = loaded_oblidb(n);
+        let oblidb = loaded_oblidb(n);
         group.bench_with_input(BenchmarkId::new("oblidb_q1", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
@@ -113,7 +113,7 @@ fn bench_queries(c: &mut Criterion) {
 
         let master = MasterKey::from_bytes([3u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
-        let mut crypte = CryptEpsilonEngine::new(&master);
+        let crypte = CryptEpsilonEngine::new(&master);
         crypte
             .setup(
                 "yellow",

@@ -50,7 +50,7 @@ fn run_with_flush(
     bytes[..8].copy_from_slice(&config.seed.to_le_bytes());
     bytes[8] = 0xAB;
     let master = MasterKey::from_bytes(bytes);
-    let mut engine = build_engine(EngineKind::ObliDb, &master);
+    let engine = build_engine(EngineKind::ObliDb, &master);
     let workloads = build_workloads(&spec);
     let eps = Epsilon::new_unchecked(config.params.epsilon);
     let sim = Simulation::new(SimulationConfig {
@@ -59,9 +59,9 @@ fn run_with_flush(
         queries: spec.query_set(),
         seed: config.seed,
     });
-    sim.run(
+    sim.run_parallel(
         &workloads,
-        engine.as_mut(),
+        engine.as_ref(),
         &master,
         |_| -> Box<dyn SyncStrategy> {
             match strategy {
@@ -83,24 +83,27 @@ fn run_with_flush(
 }
 
 /// Runs the flush ablation for both DP strategies.
+///
+/// The four (strategy × flush) cells are independent simulations and run
+/// concurrently on the worker pool.
 pub fn flush_ablation(config: ExperimentConfig) -> Vec<AblationRow> {
     let flush = CacheFlush::new(config.params.flush_interval, config.params.flush_size);
-    let mut rows = Vec::new();
-    for strategy in [StrategyKind::DpTimer, StrategyKind::DpAnt] {
-        for flush_enabled in [true, false] {
-            let report = run_with_flush(strategy, flush_enabled.then_some(flush), config);
-            let sizes = report.final_sizes().unwrap_or_default();
-            rows.push(AblationRow {
-                strategy,
-                flush_enabled,
-                mean_q2_error: report.mean_l1_error("Q2"),
-                final_logical_gap: sizes.logical_gap,
-                dummy_records: sizes.dummy_records,
-                outsourced_records: sizes.outsourced_records,
-            });
+    let cells: Vec<(StrategyKind, bool)> = [StrategyKind::DpTimer, StrategyKind::DpAnt]
+        .into_iter()
+        .flat_map(|strategy| [(strategy, true), (strategy, false)])
+        .collect();
+    crate::pool::parallel_map(&cells, |&(strategy, flush_enabled)| {
+        let report = run_with_flush(strategy, flush_enabled.then_some(flush), config);
+        let sizes = report.final_sizes().unwrap_or_default();
+        AblationRow {
+            strategy,
+            flush_enabled,
+            mean_q2_error: report.mean_l1_error("Q2"),
+            final_logical_gap: sizes.logical_gap,
+            dummy_records: sizes.dummy_records,
+            outsourced_records: sizes.outsourced_records,
         }
-    }
-    rows
+    })
 }
 
 /// Renders the ablation as a text table.

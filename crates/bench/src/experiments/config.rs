@@ -120,8 +120,13 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// Parses `--scale N` and `--seed S` from command-line arguments,
-    /// starting from the defaults.
+    /// Parses `--scale N`, `--seed S` and `--jobs J` from command-line
+    /// arguments, starting from the defaults.
+    ///
+    /// `--jobs` configures the experiment worker pool (see [`crate::pool`]):
+    /// it caps how many simulations run concurrently, and defaults to the
+    /// machine's available parallelism.  Results are byte-identical for every
+    /// worker count.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
         let mut config = Self::default();
         let args: Vec<String> = args.collect();
@@ -137,6 +142,12 @@ impl ExperimentConfig {
                 "--seed" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
                         config.seed = v;
+                        i += 1;
+                    }
+                }
+                "--jobs" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        crate::pool::set_worker_override(std::num::NonZeroUsize::new(v));
                         i += 1;
                     }
                 }

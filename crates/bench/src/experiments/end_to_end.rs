@@ -6,7 +6,7 @@
 //! rows.
 
 use crate::experiments::config::{EngineKind, ExperimentConfig};
-use crate::experiments::runner::run_all_strategies;
+use crate::experiments::runner::{run_specs, RunSpec};
 use crate::report::{format_mb, format_seconds, CsvSeries, TextTable};
 use dpsync_core::metrics::SimulationReport;
 use dpsync_core::strategy::StrategyKind;
@@ -15,10 +15,32 @@ use dpsync_core::strategy::StrategyKind;
 pub type EngineReports = Vec<(StrategyKind, SimulationReport)>;
 
 /// Runs the full end-to-end comparison for both engines.
+///
+/// All `engine × strategy` simulations are independent, so the whole grid is
+/// submitted to the worker pool at once rather than engine by engine.
 pub fn run_end_to_end(config: ExperimentConfig) -> Vec<(EngineKind, EngineReports)> {
+    let specs: Vec<RunSpec> = EngineKind::ALL
+        .iter()
+        .flat_map(|&engine| {
+            StrategyKind::ALL.iter().map(move |&strategy| RunSpec {
+                engine,
+                strategy,
+                config,
+            })
+        })
+        .collect();
+    let mut reports = run_specs(&specs).into_iter();
     EngineKind::ALL
         .iter()
-        .map(|&engine| (engine, run_all_strategies(engine, config)))
+        .map(|&engine| {
+            (
+                engine,
+                StrategyKind::ALL
+                    .iter()
+                    .map(|&strategy| (strategy, reports.next().expect("one report per spec")))
+                    .collect(),
+            )
+        })
         .collect()
 }
 

@@ -1,6 +1,15 @@
-//! Builds and runs one simulated month for a (strategy, engine) pair.
+//! Builds and runs one simulated month for a (strategy, engine) pair, and
+//! fans batches of independent runs out over the worker pool.
+//!
+//! Determinism: every random stream in a run is derived from the run's own
+//! config seed (workload, owners, analyst), and within a run the sharded
+//! simulation driver is barrier-synchronized per time unit — so a batch of
+//! runs produces byte-identical [`SimulationReport`]s (up to wall-clock
+//! fields, see [`SimulationReport::normalized`]) whether it executes
+//! sequentially or on the pool, in any worker count.
 
 use crate::experiments::config::{EngineKind, ExperimentConfig};
+use crate::pool::parallel_map;
 use dpsync_core::metrics::SimulationReport;
 use dpsync_core::simulation::{Simulation, SimulationConfig, TableWorkload};
 use dpsync_core::strategy::StrategyKind;
@@ -69,38 +78,68 @@ pub fn build_workloads(spec: &RunSpec) -> Vec<TableWorkload> {
     workloads
 }
 
-/// Runs one full simulation and returns its report.
-pub fn run_simulation(spec: &RunSpec) -> SimulationReport {
-    let master = master_key(&spec.config);
-    let mut engine = build_engine(spec.engine, &master);
-    let workloads = build_workloads(spec);
-    let sim = Simulation::new(SimulationConfig {
+fn simulation_for(spec: &RunSpec) -> Simulation {
+    Simulation::new(SimulationConfig {
         query_interval: spec.config.query_interval,
         size_sample_interval: spec.config.size_sample_interval,
         queries: spec.query_set(),
         seed: spec.config.seed ^ (spec.strategy as u64).wrapping_mul(0x9e37_79b9),
-    });
-    sim.run(&workloads, engine.as_mut(), &master, |_| {
-        spec.config.params.build(spec.strategy)
     })
-    .expect("simulation over generated workloads cannot fail")
 }
 
-/// Runs every strategy against one engine, in the paper's order.
+/// Runs one full simulation and returns its report.
+///
+/// Uses the sharded driver (one owner thread per table); see
+/// [`run_simulation_sequential`] for the single-threaded reference.
+pub fn run_simulation(spec: &RunSpec) -> SimulationReport {
+    let master = master_key(&spec.config);
+    let engine = build_engine(spec.engine, &master);
+    let workloads = build_workloads(spec);
+    simulation_for(spec)
+        .run_parallel(&workloads, engine.as_ref(), &master, |_| {
+            spec.config.params.build(spec.strategy)
+        })
+        .expect("simulation over generated workloads cannot fail")
+}
+
+/// Runs one full simulation on the single-threaded reference driver.
+///
+/// Exists so determinism tests (and suspicious readers) can check that the
+/// sharded path reproduces the sequential reports byte for byte.
+pub fn run_simulation_sequential(spec: &RunSpec) -> SimulationReport {
+    let master = master_key(&spec.config);
+    let engine = build_engine(spec.engine, &master);
+    let workloads = build_workloads(spec);
+    simulation_for(spec)
+        .run(&workloads, engine.as_ref(), &master, |_| {
+            spec.config.params.build(spec.strategy)
+        })
+        .expect("simulation over generated workloads cannot fail")
+}
+
+/// Runs a batch of independent specs on the worker pool, preserving order.
+pub fn run_specs(specs: &[RunSpec]) -> Vec<SimulationReport> {
+    parallel_map(specs, run_simulation)
+}
+
+/// Runs every strategy against one engine, in the paper's order, fanned out
+/// over the worker pool.
 pub fn run_all_strategies(
     engine: EngineKind,
     config: ExperimentConfig,
 ) -> Vec<(StrategyKind, SimulationReport)> {
+    let specs: Vec<RunSpec> = StrategyKind::ALL
+        .iter()
+        .map(|&strategy| RunSpec {
+            engine,
+            strategy,
+            config,
+        })
+        .collect();
     StrategyKind::ALL
         .iter()
-        .map(|&strategy| {
-            let spec = RunSpec {
-                engine,
-                strategy,
-                config,
-            };
-            (strategy, run_simulation(&spec))
-        })
+        .copied()
+        .zip(run_specs(&specs))
         .collect()
 }
 

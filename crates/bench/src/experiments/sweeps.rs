@@ -3,10 +3,12 @@
 //!
 //! Both sweeps follow §8.2/§8.3: the ObliDB-based implementation, the default
 //! query Q2, and all non-swept parameters at their defaults.  Each sweep
-//! point is one full simulated month.
+//! point is one full simulated month; the points of a sweep are independent
+//! and run concurrently on the worker pool (`crate::pool`), with results in
+//! sweep order.
 
 use crate::experiments::config::{EngineKind, ExperimentConfig};
-use crate::experiments::runner::{run_simulation, RunSpec};
+use crate::experiments::runner::{run_specs, RunSpec};
 use crate::report::CsvSeries;
 use dpsync_core::metrics::SimulationReport;
 use dpsync_core::strategy::StrategyKind;
@@ -50,68 +52,84 @@ pub fn privacy_sweep(
         strategy,
         StrategyKind::DpTimer | StrategyKind::DpAnt
     ));
-    epsilons
+    let specs: Vec<RunSpec> = epsilons
         .iter()
         .map(|&epsilon| {
             let mut config = base;
             config.params.epsilon = epsilon;
-            let report = run_simulation(&RunSpec {
+            RunSpec {
                 engine: EngineKind::ObliDb,
                 strategy,
                 config,
-            });
-            point_from_report(epsilon, &report)
+            }
         })
+        .collect();
+    epsilons
+        .iter()
+        .zip(run_specs(&specs))
+        .map(|(&epsilon, report)| point_from_report(epsilon, &report))
         .collect()
 }
 
 /// Runs the Figure-5 baselines (SUR / SET / OTO do not depend on ε, so a
 /// single run each provides their horizontal reference lines).
 pub fn baseline_points(base: ExperimentConfig) -> Vec<(StrategyKind, SweepPoint)> {
-    [StrategyKind::Sur, StrategyKind::Set, StrategyKind::Oto]
+    let strategies = [StrategyKind::Sur, StrategyKind::Set, StrategyKind::Oto];
+    let specs: Vec<RunSpec> = strategies
         .iter()
-        .map(|&strategy| {
-            let report = run_simulation(&RunSpec {
-                engine: EngineKind::ObliDb,
-                strategy,
-                config: base,
-            });
-            (strategy, point_from_report(f64::NAN, &report))
+        .map(|&strategy| RunSpec {
+            engine: EngineKind::ObliDb,
+            strategy,
+            config: base,
         })
+        .collect();
+    strategies
+        .iter()
+        .copied()
+        .zip(run_specs(&specs))
+        .map(|(strategy, report)| (strategy, point_from_report(f64::NAN, &report)))
         .collect()
 }
 
 /// Runs the Figure-6 sweep over the DP-Timer period `T`.
 pub fn timer_period_sweep(base: ExperimentConfig, periods: &[u64]) -> Vec<SweepPoint> {
-    periods
+    let specs: Vec<RunSpec> = periods
         .iter()
         .map(|&period| {
             let mut config = base;
             config.params.timer_period = period;
-            let report = run_simulation(&RunSpec {
+            RunSpec {
                 engine: EngineKind::ObliDb,
                 strategy: StrategyKind::DpTimer,
                 config,
-            });
-            point_from_report(period as f64, &report)
+            }
         })
+        .collect();
+    periods
+        .iter()
+        .zip(run_specs(&specs))
+        .map(|(&period, report)| point_from_report(period as f64, &report))
         .collect()
 }
 
 /// Runs the Figure-6 sweep over the DP-ANT threshold θ.
 pub fn ant_threshold_sweep(base: ExperimentConfig, thresholds: &[u64]) -> Vec<SweepPoint> {
-    thresholds
+    let specs: Vec<RunSpec> = thresholds
         .iter()
         .map(|&theta| {
             let mut config = base;
             config.params.ant_threshold = theta;
-            let report = run_simulation(&RunSpec {
+            RunSpec {
                 engine: EngineKind::ObliDb,
                 strategy: StrategyKind::DpAnt,
                 config,
-            });
-            point_from_report(theta as f64, &report)
+            }
         })
+        .collect();
+    thresholds
+        .iter()
+        .zip(run_specs(&specs))
+        .map(|(&theta, report)| point_from_report(theta as f64, &report))
         .collect()
 }
 

@@ -106,7 +106,8 @@ pub fn table4_text(verification: &PrivacyVerification) -> TextTable {
         "e^epsilon bound",
         "Buckets compared",
         "Trials",
-        "Within bound (incl. sampling slack)",
+        "Headroom",
+        "Within corrected bound",
     ]);
     for (name, result) in [
         (StrategyKind::DpTimer.label(), &verification.timer),
@@ -118,6 +119,7 @@ pub fn table4_text(verification: &PrivacyVerification) -> TextTable {
             format!("{:.3}", result.bound),
             result.buckets_compared.to_string(),
             result.trials.to_string(),
+            format!("{:.2}x", result.headroom()),
             if result.passes { "yes" } else { "NO" }.to_string(),
         ]);
     }
@@ -154,7 +156,7 @@ mod tests {
 
     #[test]
     fn privacy_verification_passes_for_both_dp_strategies() {
-        let verification = verify_update_pattern_privacy(1.0, 2_000, 42);
+        let verification = verify_update_pattern_privacy(1.0, 10_000, 42);
         assert!(
             verification.timer.passes,
             "DP-Timer ratio {} bound {}",
@@ -165,8 +167,21 @@ mod tests {
             "DP-ANT ratio {} bound {}",
             verification.ant.max_ratio, verification.ant.bound
         );
+        // The corrected per-bucket bound must pass with real headroom, not
+        // just inside a flat sampling-slack fudge factor.
+        assert!(
+            verification.timer.headroom() > 1.05,
+            "DP-Timer headroom {}",
+            verification.timer.headroom()
+        );
+        assert!(
+            verification.ant.headroom() > 1.05,
+            "DP-ANT headroom {}",
+            verification.ant.headroom()
+        );
         let rendered = table4_text(&verification).render();
         assert!(rendered.contains("DP-Timer"));
+        assert!(rendered.contains("Headroom"));
         assert!(rendered.contains("yes"));
     }
 }

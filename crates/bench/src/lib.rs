@@ -17,7 +17,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod pool;
 pub mod report;
 
 pub use experiments::config::{EngineKind, ExperimentConfig, StrategyParams};
-pub use experiments::runner::{run_simulation, RunSpec};
+pub use experiments::runner::{run_simulation, run_simulation_sequential, run_specs, RunSpec};
+pub use pool::parallel_map;

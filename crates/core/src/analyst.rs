@@ -56,7 +56,7 @@ impl Analyst {
     pub fn pose_all(
         &self,
         time: Timestamp,
-        edb: &mut dyn SecureOutsourcedDatabase,
+        edb: &dyn SecureOutsourcedDatabase,
         logical: &PlainDatabase,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<QuerySample>, EdbError> {
@@ -125,7 +125,7 @@ mod tests {
     fn oblidb_samples_have_zero_error_when_fully_synced() {
         let master = MasterKey::from_bytes([1u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let yellow: Vec<Row> = (0..30).map(|i| row(i, 50 + i as i64)).collect();
         let green: Vec<Row> = (0..10).map(|i| row(i, 5)).collect();
         engine
@@ -136,12 +136,7 @@ mod tests {
             .unwrap();
         let mut rng = DpRng::seed_from_u64(1);
         let samples = analyst()
-            .pose_all(
-                Timestamp(360),
-                &mut engine,
-                &logical(&yellow, &green),
-                &mut rng,
-            )
+            .pose_all(Timestamp(360), &engine, &logical(&yellow, &green), &mut rng)
             .unwrap();
         assert_eq!(samples.len(), 3);
         for s in &samples {
@@ -155,7 +150,7 @@ mod tests {
     fn unsynced_records_create_error() {
         let master = MasterKey::from_bytes([2u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let synced: Vec<Row> = (0..20).map(|i| row(i, 60)).collect();
         let all: Vec<Row> = (0..50).map(|i| row(i, 60)).collect();
         engine
@@ -164,7 +159,7 @@ mod tests {
         engine.setup("green", schema(), vec![]).unwrap();
         let mut rng = DpRng::seed_from_u64(2);
         let samples = analyst()
-            .pose_all(Timestamp(720), &mut engine, &logical(&all, &[]), &mut rng)
+            .pose_all(Timestamp(720), &engine, &logical(&all, &[]), &mut rng)
             .unwrap();
         let q1 = samples.iter().find(|s| s.query == "Q1").unwrap();
         assert_eq!(q1.l1_error, 30.0, "30 unsynced matching records");
@@ -174,7 +169,7 @@ mod tests {
     fn crypt_epsilon_skips_joins() {
         let master = MasterKey::from_bytes([3u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
-        let mut engine = CryptEpsilonEngine::new(&master);
+        let engine = CryptEpsilonEngine::new(&master);
         let yellow: Vec<Row> = (0..10).map(|i| row(i, 60)).collect();
         engine
             .setup("yellow", schema(), encrypt_batch(&mut cryptor, &yellow, 0))
@@ -182,12 +177,7 @@ mod tests {
         engine.setup("green", schema(), vec![]).unwrap();
         let mut rng = DpRng::seed_from_u64(3);
         let samples = analyst()
-            .pose_all(
-                Timestamp(360),
-                &mut engine,
-                &logical(&yellow, &[]),
-                &mut rng,
-            )
+            .pose_all(Timestamp(360), &engine, &logical(&yellow, &[]), &mut rng)
             .unwrap();
         let labels: Vec<_> = samples.iter().map(|s| s.query.as_str()).collect();
         assert_eq!(labels, vec!["Q1", "Q2"], "Q3 must be skipped for Crypt-ε");

@@ -136,6 +136,19 @@ impl SimulationReport {
         self.final_sizes()
             .map_or(0.0, |s| s.dummy_bytes as f64 / 1_000_000.0)
     }
+
+    /// The report with measured wall-clock fields zeroed.
+    ///
+    /// Everything in a report except `measured_qet` is a deterministic
+    /// function of the seed; normalizing strips the only nondeterministic
+    /// field so fixed-seed runs — sequential or parallel, on any machine —
+    /// can be compared for byte-identical equality.
+    pub fn normalized(mut self) -> Self {
+        for s in &mut self.query_samples {
+            s.measured_qet = 0.0;
+        }
+        self
+    }
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> f64 {

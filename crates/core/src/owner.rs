@@ -161,7 +161,7 @@ impl Owner {
     pub fn setup(
         &mut self,
         initial_rows: Vec<Row>,
-        edb: &mut dyn SecureOutsourcedDatabase,
+        edb: &dyn SecureOutsourcedDatabase,
         rng: &mut dyn RngCore,
     ) -> Result<TickReport, EdbError> {
         assert!(
@@ -191,7 +191,7 @@ impl Owner {
         &mut self,
         time: Timestamp,
         arrivals: &[Row],
-        edb: &mut dyn SecureOutsourcedDatabase,
+        edb: &dyn SecureOutsourcedDatabase,
         rng: &mut dyn RngCore,
     ) -> Result<TickReport, EdbError> {
         assert!(
@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn sur_owner_keeps_zero_logical_gap() {
         let master = master();
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let mut owner = Owner::new(
             "yellow",
             schema(),
@@ -284,12 +284,12 @@ mod tests {
         );
         let mut rng = DpRng::seed_from_u64(1);
         owner
-            .setup(vec![row(0, 1), row(0, 2)], &mut engine, &mut rng)
+            .setup(vec![row(0, 1), row(0, 2)], &engine, &mut rng)
             .unwrap();
         for t in 1..=50u64 {
             let arrivals = if t % 3 == 0 { vec![row(t, 60)] } else { vec![] };
             owner
-                .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+                .tick(Timestamp(t), &arrivals, &engine, &mut rng)
                 .unwrap();
             assert_eq!(owner.logical_gap(), 0, "SUR must never lag");
         }
@@ -303,7 +303,7 @@ mod tests {
     #[test]
     fn set_owner_uploads_every_tick_with_dummies() {
         let master = master();
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let mut owner = Owner::new(
             "yellow",
             schema(),
@@ -311,12 +311,12 @@ mod tests {
             Box::new(SynchronizeEveryTime::new()),
         );
         let mut rng = DpRng::seed_from_u64(2);
-        owner.setup(vec![row(0, 1)], &mut engine, &mut rng).unwrap();
+        owner.setup(vec![row(0, 1)], &engine, &mut rng).unwrap();
         let mut total_uploaded = 1u64;
         for t in 1..=40u64 {
             let arrivals = if t % 4 == 0 { vec![row(t, 70)] } else { vec![] };
             let report = owner
-                .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+                .tick(Timestamp(t), &arrivals, &engine, &mut rng)
                 .unwrap();
             assert!(report.synced);
             assert_eq!(report.synced_total(), 1);
@@ -334,15 +334,15 @@ mod tests {
     #[test]
     fn dp_timer_owner_defers_and_catches_up() {
         let master = master();
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let strategy = DpTimerStrategy::with_flush(Epsilon::new_unchecked(1.0), 30, None);
         let mut owner = Owner::new("yellow", schema(), &master, Box::new(strategy));
         let mut rng = DpRng::seed_from_u64(3);
-        owner.setup(vec![], &mut engine, &mut rng).unwrap();
+        owner.setup(vec![], &engine, &mut rng).unwrap();
         for t in 1..=3_000u64 {
             let arrivals = if t % 2 == 0 { vec![row(t, 55)] } else { vec![] };
             owner
-                .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+                .tick(Timestamp(t), &arrivals, &engine, &mut rng)
                 .unwrap();
         }
         // The logical gap stays bounded (Theorem 6): with eps=1 and k=100 the
@@ -360,7 +360,7 @@ mod tests {
     #[test]
     fn dp_ant_owner_respects_eventual_consistency_via_flush() {
         let master = master();
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let strategy = AboveNoisyThresholdStrategy::with_flush(
             Epsilon::new_unchecked(0.5),
             15,
@@ -368,15 +368,13 @@ mod tests {
         );
         let mut owner = Owner::new("yellow", schema(), &master, Box::new(strategy));
         let mut rng = DpRng::seed_from_u64(4);
-        owner
-            .setup(vec![row(0, 1); 5], &mut engine, &mut rng)
-            .unwrap();
+        owner.setup(vec![row(0, 1); 5], &engine, &mut rng).unwrap();
         // A short burst of arrivals followed by a long quiet period: the
         // flush must eventually push everything to the server.
         for t in 1..=2_000u64 {
             let arrivals = if t <= 30 { vec![row(t, 60)] } else { vec![] };
             owner
-                .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+                .tick(Timestamp(t), &arrivals, &engine, &mut rng)
                 .unwrap();
         }
         assert_eq!(
@@ -390,7 +388,7 @@ mod tests {
     #[test]
     fn fifo_preserves_arrival_order_on_server() {
         let master = master();
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let mut owner = Owner::new(
             "yellow",
             schema(),
@@ -398,10 +396,10 @@ mod tests {
             Box::new(SynchronizeUponReceipt::new()),
         );
         let mut rng = DpRng::seed_from_u64(5);
-        owner.setup(vec![], &mut engine, &mut rng).unwrap();
+        owner.setup(vec![], &engine, &mut rng).unwrap();
         for t in 1..=20u64 {
             owner
-                .tick(Timestamp(t), &[row(t, t as i64)], &mut engine, &mut rng)
+                .tick(Timestamp(t), &[row(t, t as i64)], &engine, &mut rng)
                 .unwrap();
         }
         // P3 (consistent eventually, strong form): reading the synced rows in
@@ -430,7 +428,7 @@ mod tests {
     #[should_panic(expected = "setup")]
     fn tick_before_setup_panics() {
         let master = master();
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let mut owner = Owner::new(
             "yellow",
             schema(),
@@ -438,13 +436,13 @@ mod tests {
             Box::new(SynchronizeUponReceipt::new()),
         );
         let mut rng = DpRng::seed_from_u64(6);
-        let _ = owner.tick(Timestamp(1), &[], &mut engine, &mut rng);
+        let _ = owner.tick(Timestamp(1), &[], &engine, &mut rng);
     }
 
     #[test]
     fn two_owners_share_one_engine_without_nonce_reuse() {
         let master = master();
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let mut yellow = Owner::new(
             "yellow",
             schema(),
@@ -458,16 +456,14 @@ mod tests {
             Box::new(SynchronizeUponReceipt::new()),
         );
         let mut rng = DpRng::seed_from_u64(7);
-        yellow
-            .setup(vec![row(1, 1)], &mut engine, &mut rng)
-            .unwrap();
-        green.setup(vec![row(1, 2)], &mut engine, &mut rng).unwrap();
+        yellow.setup(vec![row(1, 1)], &engine, &mut rng).unwrap();
+        green.setup(vec![row(1, 2)], &engine, &mut rng).unwrap();
         for t in 1..=10u64 {
             yellow
-                .tick(Timestamp(t), &[row(t, 10)], &mut engine, &mut rng)
+                .tick(Timestamp(t), &[row(t, 10)], &engine, &mut rng)
                 .unwrap();
             green
-                .tick(Timestamp(t), &[row(t, 20)], &mut engine, &mut rng)
+                .tick(Timestamp(t), &[row(t, 20)], &engine, &mut rng)
                 .unwrap();
         }
         let join = engine

@@ -109,24 +109,62 @@ pub struct DpTestResult {
     pub buckets_compared: usize,
     /// Number of trials per database.
     pub trials: u32,
-    /// Whether the observed ratio stays within `bound * slack`.
+    /// The worst bucket's `ratio / (bound · tolerance)`: the test passes
+    /// while this stays ≤ 1, so `1 / worst_margin` is the multiplicative
+    /// headroom the mechanism has before the verdict would flip.
+    pub worst_margin: f64,
+    /// Whether every compared bucket's ratio stays within its
+    /// statistically-corrected bound.
     pub passes: bool,
+}
+
+impl DpTestResult {
+    /// Multiplicative headroom before the test would fail (≥ 1 iff passing;
+    /// `1.2` means the worst observed ratio could grow 20% before flipping
+    /// the verdict).  A vacuous run with no comparable buckets has no
+    /// evidence either way and reports `0.0` (and `passes == false`).
+    pub fn headroom(&self) -> f64 {
+        if self.buckets_compared == 0 {
+            0.0
+        } else if self.worst_margin > 0.0 {
+            1.0 / self.worst_margin
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 /// Estimates the odds ratio of a mechanism's output distribution over two
 /// neighboring arrival streams.
 ///
 /// `run` is called `trials` times per stream with independent RNGs and must
-/// return the statistic value for that run.  Buckets observed fewer than
-/// `min_bucket_count` times in *both* histograms are ignored (their ratio
-/// estimate would be dominated by sampling noise).  `slack` is a
-/// multiplicative tolerance on `e^ε` to absorb the remaining sampling error.
-#[allow(clippy::too_many_arguments)]
+/// return the statistic value for that run.  A bucket is compared only when
+/// it reaches `min_bucket_count` in *each* histogram; a bucket heavy on one
+/// side but below threshold on the other is skipped, so strictly one-sided
+/// violations (mass where the neighbor has none) are outside this test's
+/// reach — the `passes == false` verdict on zero comparable buckets (as in
+/// the deterministic-SUR regression test) is the safety net for the fully
+/// disjoint case.
+///
+/// # Acceptance bound
+///
+/// Theorems 10/11 guarantee `Pr[M(D) ∈ O] ≤ e^ε · Pr[M(D') ∈ O]` for every
+/// output event `O` (Definition 5), so each bucket's *true* odds ratio is at
+/// most `e^ε` — and for Laplace-noised counts most buckets sit exactly at
+/// that bound, which is why a flat multiplicative slack either fails
+/// spuriously or hides real violations.  The corrected check compares each
+/// bucket against `e^ε · exp(z·σ̂)`, where `σ̂ = sqrt(1/a + 1/b)` is the
+/// delta-method standard error of the log odds `ln(a/b)` for Poisson bucket
+/// counts `a`, `b`: the estimator `ln(a/b)` of a true log-ratio `≤ ε` is
+/// within `z·σ̂` of it except with probability `≈ 2Φ(−z)` per bucket.  With
+/// `z = 4` and the bucket sizes used here (thousands of counts), a correct
+/// mechanism passes with clear headroom and a broken one (ratio > e^ε by any
+/// constant factor) still fails once `σ̂` shrinks below the violation.
 pub fn empirical_odds_ratio(
     epsilon: Epsilon,
     trials: u32,
     min_bucket_count: u32,
-    slack: f64,
+    z: f64,
     seed: u64,
     mut run: impl FnMut(bool, &mut DpRng) -> u64,
 ) -> DpTestResult {
@@ -140,7 +178,9 @@ pub fn empirical_odds_ratio(
         *histogram_b.entry(run(true, &mut rng_b)).or_insert(0) += 1;
     }
 
+    let bound = epsilon.value().exp();
     let mut max_ratio: f64 = 1.0;
+    let mut worst_margin: f64 = 0.0;
     let mut buckets_compared = 0usize;
     let keys: std::collections::BTreeSet<u64> = histogram_a
         .keys()
@@ -154,19 +194,26 @@ pub fn empirical_odds_ratio(
             let ratio = f64::from(a) / f64::from(b);
             let ratio = ratio.max(1.0 / ratio);
             max_ratio = max_ratio.max(ratio);
+            let tolerance = (z * (1.0 / f64::from(a) + 1.0 / f64::from(b)).sqrt()).exp();
+            worst_margin = worst_margin.max(ratio / (bound * tolerance));
             buckets_compared += 1;
         }
     }
 
-    let bound = epsilon.value().exp();
     DpTestResult {
         max_ratio,
         bound,
         buckets_compared,
         trials,
-        passes: buckets_compared > 0 && max_ratio <= bound * slack,
+        worst_margin,
+        passes: buckets_compared > 0 && worst_margin <= 1.0,
     }
 }
+
+/// Default number of standard errors of log-odds tolerance in
+/// [`test_strategy_update_pattern`] (per-bucket false-failure probability
+/// ≈ 2Φ(−4) ≈ 6·10⁻⁵, comfortably small across tens of buckets).
+pub const DEFAULT_ODDS_Z: f64 = 4.0;
 
 /// Convenience: tests a strategy constructor against neighboring streams by
 /// measuring the volume of the first update at or after the differing time.
@@ -181,12 +228,23 @@ pub fn test_strategy_update_pattern(
 ) -> DpTestResult {
     let (stream_a, stream_b) = neighboring_streams(base, diff_time);
     let statistic = PatternStatistic::VolumeAfter(diff_time as u64);
-    empirical_odds_ratio(epsilon, trials, 20, 1.6, seed, move |use_neighbor, rng| {
-        let stream = if use_neighbor { &stream_b } else { &stream_a };
-        let mut strategy = make_strategy();
-        let pattern = simulate_update_pattern(strategy.as_mut(), initial_size, stream, rng);
-        statistic.evaluate(&pattern)
-    })
+    // Keep the comparison floor low: the per-bucket tolerance already widens
+    // automatically for small buckets (σ̂ grows as counts shrink), and a
+    // higher floor would only exclude mid-mass buckets from the violation
+    // check — shrinking sensitivity exactly where more trials should add it.
+    empirical_odds_ratio(
+        epsilon,
+        trials,
+        20,
+        DEFAULT_ODDS_Z,
+        seed,
+        move |use_neighbor, rng| {
+            let stream = if use_neighbor { &stream_b } else { &stream_a };
+            let mut strategy = make_strategy();
+            let pattern = simulate_update_pattern(strategy.as_mut(), initial_size, stream, rng);
+            statistic.evaluate(&pattern)
+        },
+    )
 }
 
 /// The paper-default cache flush used by the DP strategies in privacy tests
@@ -259,9 +317,10 @@ mod tests {
         assert!(result.buckets_compared > 0, "no comparable buckets");
         assert!(
             result.passes,
-            "DP-Timer failed the empirical test: max ratio {} vs bound {}",
-            result.max_ratio, result.bound
+            "DP-Timer failed the empirical test: max ratio {} vs bound {} (margin {})",
+            result.max_ratio, result.bound, result.worst_margin
         );
+        assert!(result.headroom() >= 1.0);
     }
 
     #[test]
@@ -287,12 +346,13 @@ mod tests {
         let epsilon = eps(1.0);
         let (stream_a, stream_b) = neighboring_streams(&bursty_stream(60), 45);
         let statistic = PatternStatistic::TotalVolume;
-        let result = empirical_odds_ratio(epsilon, 500, 20, 1.5, 13, |use_neighbor, rng| {
-            let stream = if use_neighbor { &stream_b } else { &stream_a };
-            let mut s = SynchronizeUponReceipt::new();
-            let pattern = simulate_update_pattern(&mut s, 5, stream, rng);
-            statistic.evaluate(&pattern)
-        });
+        let result =
+            empirical_odds_ratio(epsilon, 500, 20, DEFAULT_ODDS_Z, 13, |use_neighbor, rng| {
+                let stream = if use_neighbor { &stream_b } else { &stream_a };
+                let mut s = SynchronizeUponReceipt::new();
+                let pattern = simulate_update_pattern(&mut s, 5, stream, rng);
+                statistic.evaluate(&pattern)
+            });
         // Deterministic outputs on different inputs share no buckets at all,
         // so either nothing is comparable or the ratio blows up; both mean
         // the mechanism offers no ε-DP guarantee.

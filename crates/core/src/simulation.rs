@@ -8,17 +8,39 @@
 //! against the ground truth, and samples storage sizes for the data-volume
 //! figures.  Its output, a [`SimulationReport`], is what the experiment
 //! binaries in `dpsync-bench` turn into the paper's tables and figures.
+//!
+//! # Sequential vs. sharded execution
+//!
+//! Two drivers share the same semantics:
+//!
+//! * [`Simulation::run`] — the sequential reference: owners tick in workload
+//!   order on the calling thread.
+//! * [`Simulation::run_parallel`] — one worker thread per table owner, with a
+//!   barrier at every time unit.  The barrier is what preserves Definition 2:
+//!   the adversary-visible update pattern is a set of `(t, |γ_t|)` events,
+//!   and since no owner enters time unit `t + 1` before every owner finished
+//!   `t` (and the analyst only runs between ticks), the transcript the server
+//!   assembles is identical to the sequential driver's — only the
+//!   intra-tick interleaving of independent per-table uploads differs, and
+//!   the server storage merges those into a canonical order.
+//!
+//! With fixed seeds the two drivers produce identical reports up to measured
+//! wall-clock fields; see [`SimulationReport::normalized`].
 
 use crate::analyst::{Analyst, NamedQuery};
 use crate::metrics::{SimulationReport, SizeSample};
 use crate::owner::Owner;
-use crate::strategy::SyncStrategy;
+use crate::strategy::{StrategyKind, SyncStrategy};
 use crate::timeline::Timestamp;
 use dpsync_crypto::MasterKey;
 use dpsync_dp::DpRng;
 use dpsync_edb::exec::PlainDatabase;
 use dpsync_edb::sogdb::{EdbError, SecureOutsourcedDatabase};
 use dpsync_edb::{Query, Row, Schema};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::thread;
 
 /// The workload for one outsourced table.
 #[derive(Debug, Clone)]
@@ -43,6 +65,14 @@ impl TableWorkload {
     /// Total rows (initial plus arrivals).
     pub fn total_rows(&self) -> u64 {
         self.initial_rows.len() as u64 + self.arrivals.iter().map(|a| a.len() as u64).sum::<u64>()
+    }
+
+    /// The rows arriving at time `t` (1-based; empty past the horizon).
+    fn arrivals_at(&self, t: u64) -> &[Row] {
+        self.arrivals
+            .get((t - 1) as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 
@@ -73,6 +103,20 @@ impl SimulationConfig {
     }
 }
 
+/// Pre-run state shared by both drivers: owners set up, logical database
+/// seeded with the initial rows, per-component RNGs derived.
+struct PreparedRun {
+    owners: Vec<Owner>,
+    owner_rngs: Vec<DpRng>,
+    analyst: Analyst,
+    analyst_rng: DpRng,
+    logical: PlainDatabase,
+    sync_count: u64,
+    strategy_kind: StrategyKind,
+    epsilon: Option<f64>,
+    horizon: u64,
+}
+
 /// The simulation driver.
 #[derive(Debug, Clone)]
 pub struct Simulation {
@@ -90,34 +134,27 @@ impl Simulation {
         &self.config
     }
 
-    /// Runs the simulation.
-    ///
-    /// * `workloads` — one entry per table; all are replayed on a shared clock.
-    /// * `engine` — the shared encrypted database.
-    /// * `master` — the owners' master key (must be the key the engine was
-    ///   constructed with).
-    /// * `make_strategy` — called once per table to create that owner's
-    ///   strategy instance.
-    pub fn run(
+    /// Runs `Π_Setup` for every table and derives the per-component RNG
+    /// streams.  Shared between the sequential and the parallel driver so
+    /// that both start from bit-identical state.
+    fn prepare(
         &self,
         workloads: &[TableWorkload],
-        engine: &mut dyn SecureOutsourcedDatabase,
+        engine: &dyn SecureOutsourcedDatabase,
         master: &MasterKey,
         mut make_strategy: impl FnMut(&str) -> Box<dyn SyncStrategy>,
-    ) -> Result<SimulationReport, EdbError> {
+    ) -> Result<PreparedRun, EdbError> {
         assert!(
             !workloads.is_empty(),
             "at least one table workload is required"
         );
         let rng = DpRng::seed_from_u64(self.config.seed);
 
-        // Ground-truth logical database.
         let mut logical = PlainDatabase::new();
         for w in workloads {
             logical.create_table(&w.table, w.schema.clone());
         }
 
-        // Owners and setup.
         let mut owners: Vec<Owner> = Vec::with_capacity(workloads.len());
         let mut sync_count = 0u64;
         let mut strategy_kind = None;
@@ -145,8 +182,8 @@ impl Simulation {
                 .map(|(label, q)| NamedQuery::new(label.clone(), q.clone()))
                 .collect(),
         );
-        let mut analyst_rng = rng.derive("analyst");
-        let mut owner_rngs: Vec<DpRng> = workloads
+        let analyst_rng = rng.derive("analyst");
+        let owner_rngs: Vec<DpRng> = workloads
             .iter()
             .map(|w| rng.derive(&format!("owner-ticks/{}", w.table)))
             .collect();
@@ -156,46 +193,239 @@ impl Simulation {
             .map(TableWorkload::horizon)
             .max()
             .unwrap_or(0);
+
+        Ok(PreparedRun {
+            owners,
+            owner_rngs,
+            analyst,
+            analyst_rng,
+            logical,
+            sync_count,
+            strategy_kind: strategy_kind.expect("at least one workload"),
+            epsilon,
+            horizon,
+        })
+    }
+
+    /// Runs the simulation sequentially (the reference driver).
+    ///
+    /// * `workloads` — one entry per table; all are replayed on a shared clock.
+    /// * `engine` — the shared encrypted database.
+    /// * `master` — the owners' master key (must be the key the engine was
+    ///   constructed with).
+    /// * `make_strategy` — called once per table to create that owner's
+    ///   strategy instance.
+    pub fn run(
+        &self,
+        workloads: &[TableWorkload],
+        engine: &dyn SecureOutsourcedDatabase,
+        master: &MasterKey,
+        make_strategy: impl FnMut(&str) -> Box<dyn SyncStrategy>,
+    ) -> Result<SimulationReport, EdbError> {
+        let mut run = self.prepare(workloads, engine, master, make_strategy)?;
         let mut query_samples = Vec::new();
         let mut size_samples = Vec::new();
 
-        for t in 1..=horizon {
+        for t in 1..=run.horizon {
             let time = Timestamp(t);
-            for ((owner, workload), owner_rng) in
-                owners.iter_mut().zip(workloads).zip(owner_rngs.iter_mut())
+            for ((owner, workload), owner_rng) in run
+                .owners
+                .iter_mut()
+                .zip(workloads)
+                .zip(run.owner_rngs.iter_mut())
             {
-                let arrivals: &[Row] = workload
-                    .arrivals
-                    .get((t - 1) as usize)
-                    .map(Vec::as_slice)
-                    .unwrap_or(&[]);
+                let arrivals = workload.arrivals_at(t);
                 for row in arrivals {
-                    logical.insert(&workload.table, row.clone());
+                    run.logical.insert(&workload.table, row.clone());
                 }
                 let report = owner.tick(time, arrivals, engine, owner_rng)?;
                 if report.synced {
-                    sync_count += 1;
+                    run.sync_count += 1;
                 }
             }
 
             if self.config.query_interval > 0 && t % self.config.query_interval == 0 {
-                query_samples.extend(analyst.pose_all(time, engine, &logical, &mut analyst_rng)?);
+                query_samples.extend(run.analyst.pose_all(
+                    time,
+                    engine,
+                    &run.logical,
+                    &mut run.analyst_rng,
+                )?);
             }
 
             if (self.config.size_sample_interval > 0 && t % self.config.size_sample_interval == 0)
-                || t == horizon
+                || t == run.horizon
             {
-                size_samples.push(self.sample_sizes(time, workloads, engine, &owners, &logical));
+                let gap = run.owners.iter().map(Owner::logical_gap).sum();
+                size_samples.push(self.sample_sizes(time, workloads, engine, gap, &run.logical));
             }
         }
 
         Ok(SimulationReport {
-            strategy: strategy_kind.expect("at least one workload"),
+            strategy: run.strategy_kind,
             engine: engine.name().to_string(),
-            epsilon,
+            epsilon: run.epsilon,
             query_samples,
             size_samples,
-            sync_count,
+            sync_count: run.sync_count,
+            horizon: run.horizon,
+        })
+    }
+
+    /// Runs the simulation with one worker thread per table owner.
+    ///
+    /// Every owner advances in lock-step with a barrier per time unit, so the
+    /// adversary-visible update-pattern semantics of Definition 2 are
+    /// unchanged: an upload at time `t` can never be reordered across a tick
+    /// boundary, and the analyst observes the engine only at tick boundaries
+    /// with all owners parked.  With a fixed seed the report is identical to
+    /// [`Simulation::run`]'s up to measured wall-clock fields (compare via
+    /// [`SimulationReport::normalized`]).
+    pub fn run_parallel(
+        &self,
+        workloads: &[TableWorkload],
+        engine: &dyn SecureOutsourcedDatabase,
+        master: &MasterKey,
+        make_strategy: impl FnMut(&str) -> Box<dyn SyncStrategy>,
+    ) -> Result<SimulationReport, EdbError> {
+        let mut run = self.prepare(workloads, engine, master, make_strategy)?;
+        let horizon = run.horizon;
+        let mut query_samples = Vec::new();
+        let mut size_samples = Vec::new();
+
+        // One slot per owner, refreshed after every tick, so the main thread
+        // can take size samples at tick boundaries without touching owners.
+        let gaps: Vec<AtomicU64> = run
+            .owners
+            .iter()
+            .map(|o| AtomicU64::new(o.logical_gap()))
+            .collect();
+        // First error wins; once set, every thread (owners and main) idles
+        // through the remaining barriers so nobody deadlocks.  Panics are
+        // caught the same way (a dead thread would otherwise strand everyone
+        // else on the barrier forever) and re-thrown after the scope ends.
+        let failure: Mutex<Option<EdbError>> = Mutex::new(None);
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let barrier = Barrier::new(run.owners.len() + 1);
+
+        let owners = std::mem::take(&mut run.owners);
+        let owner_rngs = std::mem::take(&mut run.owner_rngs);
+
+        thread::scope(|scope| {
+            let handles: Vec<_> = owners
+                .into_iter()
+                .zip(workloads)
+                .zip(owner_rngs)
+                .enumerate()
+                .map(|(index, ((mut owner, workload), mut owner_rng))| {
+                    let barrier = &barrier;
+                    let failure = &failure;
+                    let panicked = &panicked;
+                    let gaps = &gaps;
+                    scope.spawn(move || {
+                        let mut synced = 0u64;
+                        for t in 1..=horizon {
+                            barrier.wait();
+                            if failure.lock().is_none() && panicked.lock().is_none() {
+                                let tick =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        owner.tick(
+                                            Timestamp(t),
+                                            workload.arrivals_at(t),
+                                            engine,
+                                            &mut owner_rng,
+                                        )
+                                    }));
+                                match tick {
+                                    Ok(Ok(report)) => {
+                                        if report.synced {
+                                            synced += 1;
+                                        }
+                                        gaps[index].store(owner.logical_gap(), Ordering::Release);
+                                    }
+                                    Ok(Err(e)) => {
+                                        failure.lock().get_or_insert(e);
+                                    }
+                                    Err(payload) => {
+                                        panicked.lock().get_or_insert(payload);
+                                    }
+                                }
+                            }
+                            barrier.wait();
+                        }
+                        synced
+                    })
+                })
+                .collect();
+
+            for t in 1..=horizon {
+                let time = Timestamp(t);
+                // Release the owners into tick t; maintain the ground truth
+                // concurrently (owners never touch the logical database).
+                barrier.wait();
+                if failure.lock().is_none() && panicked.lock().is_none() {
+                    for w in workloads {
+                        for row in w.arrivals_at(t) {
+                            run.logical.insert(&w.table, row.clone());
+                        }
+                    }
+                }
+                // All owners finished tick t and are parked until the next
+                // barrier, so the analyst sees a stable engine state.
+                barrier.wait();
+                if failure.lock().is_some() || panicked.lock().is_some() {
+                    continue;
+                }
+
+                if self.config.query_interval > 0 && t % self.config.query_interval == 0 {
+                    match run
+                        .analyst
+                        .pose_all(time, engine, &run.logical, &mut run.analyst_rng)
+                    {
+                        Ok(samples) => query_samples.extend(samples),
+                        Err(e) => {
+                            failure.lock().get_or_insert(e);
+                            continue;
+                        }
+                    }
+                }
+
+                if (self.config.size_sample_interval > 0
+                    && t % self.config.size_sample_interval == 0)
+                    || t == horizon
+                {
+                    let gap = gaps.iter().map(|g| g.load(Ordering::Acquire)).sum();
+                    size_samples.push(self.sample_sizes(
+                        time,
+                        workloads,
+                        engine,
+                        gap,
+                        &run.logical,
+                    ));
+                }
+            }
+
+            for handle in handles {
+                run.sync_count += handle.join().expect("owner thread panicked");
+            }
+        });
+
+        // Re-throw a caught owner panic with its original payload, matching
+        // the sequential driver's abort-with-message behaviour.
+        if let Some(payload) = panicked.into_inner() {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
+
+        Ok(SimulationReport {
+            strategy: run.strategy_kind,
+            engine: engine.name().to_string(),
+            epsilon: run.epsilon,
+            query_samples,
+            size_samples,
+            sync_count: run.sync_count,
             horizon,
         })
     }
@@ -205,7 +435,7 @@ impl Simulation {
         time: Timestamp,
         workloads: &[TableWorkload],
         engine: &dyn SecureOutsourcedDatabase,
-        owners: &[Owner],
+        logical_gap: u64,
         logical: &PlainDatabase,
     ) -> SizeSample {
         let mut outsourced_records = 0u64;
@@ -226,7 +456,7 @@ impl Simulation {
             dummy_records,
             dummy_bytes,
             logical_records: logical.total_rows() as u64,
-            logical_gap: owners.iter().map(Owner::logical_gap).sum(),
+            logical_gap,
         }
     }
 }
@@ -284,30 +514,31 @@ mod tests {
         }
     }
 
+    fn strategy_for(kind: StrategyKind) -> Box<dyn SyncStrategy> {
+        match kind {
+            StrategyKind::Sur => Box::new(SynchronizeUponReceipt::new()),
+            StrategyKind::Oto => Box::new(OneTimeOutsourcing::new()),
+            StrategyKind::Set => Box::new(SynchronizeEveryTime::new()),
+            StrategyKind::DpTimer => Box::new(DpTimerStrategy::with_flush(
+                Epsilon::new_unchecked(0.5),
+                30,
+                Some(CacheFlush::new(400, 15)),
+            )),
+            StrategyKind::DpAnt => Box::new(AboveNoisyThresholdStrategy::with_flush(
+                Epsilon::new_unchecked(0.5),
+                15,
+                Some(CacheFlush::new(400, 15)),
+            )),
+        }
+    }
+
     fn run(strategy: StrategyKind, horizon: u64) -> SimulationReport {
         let master = MasterKey::from_bytes([5u8; 32]);
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let sim = Simulation::new(config(horizon));
-        sim.run(
-            &[workload(horizon)],
-            &mut engine,
-            &master,
-            |_| match strategy {
-                StrategyKind::Sur => Box::new(SynchronizeUponReceipt::new()),
-                StrategyKind::Oto => Box::new(OneTimeOutsourcing::new()),
-                StrategyKind::Set => Box::new(SynchronizeEveryTime::new()),
-                StrategyKind::DpTimer => Box::new(DpTimerStrategy::with_flush(
-                    Epsilon::new_unchecked(0.5),
-                    30,
-                    Some(CacheFlush::new(400, 15)),
-                )),
-                StrategyKind::DpAnt => Box::new(AboveNoisyThresholdStrategy::with_flush(
-                    Epsilon::new_unchecked(0.5),
-                    15,
-                    Some(CacheFlush::new(400, 15)),
-                )),
-            },
-        )
+        sim.run(&[workload(horizon)], &engine, &master, |_| {
+            strategy_for(strategy)
+        })
         .unwrap()
     }
 
@@ -366,14 +597,14 @@ mod tests {
     #[test]
     fn join_workload_runs_two_owners() {
         let master = MasterKey::from_bytes([6u8; 32]);
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let mut cfg = config(400);
         cfg.queries = vec![("Q3".into(), paper_queries::q3_join_count("yellow", "green"))];
         let sim = Simulation::new(cfg);
         let mut green = workload(400);
         green.table = "green".into();
         let report = sim
-            .run(&[workload(400), green], &mut engine, &master, |_| {
+            .run(&[workload(400), green], &engine, &master, |_| {
                 Box::new(SynchronizeUponReceipt::new())
             })
             .unwrap();
@@ -385,15 +616,55 @@ mod tests {
     fn reports_are_deterministic_for_a_fixed_seed() {
         // Everything except wall-clock timings must be bit-identical across
         // runs with the same seed.
-        let strip_wall_clock = |mut r: SimulationReport| {
-            for s in &mut r.query_samples {
-                s.measured_qet = 0.0;
-            }
-            r
-        };
-        let a = strip_wall_clock(run(StrategyKind::DpTimer, 400));
-        let b = strip_wall_clock(run(StrategyKind::DpTimer, 400));
+        let a = run(StrategyKind::DpTimer, 400).normalized();
+        let b = run(StrategyKind::DpTimer, 400).normalized();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_driver() {
+        // One owner per table on its own thread, barrier per tick: the report
+        // must be bit-identical (up to wall clock) to the sequential driver.
+        for kind in [
+            StrategyKind::Sur,
+            StrategyKind::DpTimer,
+            StrategyKind::DpAnt,
+        ] {
+            let master = MasterKey::from_bytes([6u8; 32]);
+            let mut cfg = config(400);
+            cfg.queries = vec![
+                ("Q2".into(), paper_queries::q2_group_by_count("yellow")),
+                ("Q3".into(), paper_queries::q3_join_count("yellow", "green")),
+            ];
+            let sim = Simulation::new(cfg);
+            let mut green = workload(400);
+            green.table = "green".into();
+            let workloads = [workload(400), green];
+
+            let sequential_engine = ObliDbEngine::new(&master);
+            let sequential = sim
+                .run(&workloads, &sequential_engine, &master, |_| {
+                    strategy_for(kind)
+                })
+                .unwrap()
+                .normalized();
+
+            let parallel_engine = ObliDbEngine::new(&master);
+            let parallel = sim
+                .run_parallel(&workloads, &parallel_engine, &master, |_| {
+                    strategy_for(kind)
+                })
+                .unwrap()
+                .normalized();
+
+            assert_eq!(sequential, parallel, "driver mismatch for {kind:?}");
+            // The adversary transcripts must merge to the same canonical view.
+            assert_eq!(
+                sequential_engine.adversary_view(),
+                parallel_engine.adversary_view(),
+                "transcript mismatch for {kind:?}"
+            );
+        }
     }
 
     #[test]

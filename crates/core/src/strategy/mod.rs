@@ -137,7 +137,10 @@ pub struct TickContext {
 }
 
 /// A synchronization strategy (the paper's `Sync` algorithm).
-pub trait SyncStrategy {
+///
+/// `Send` so a `Box<dyn SyncStrategy>` can move into a per-table owner
+/// thread when the simulation drives owners concurrently.
+pub trait SyncStrategy: Send {
     /// Which strategy this is.
     fn kind(&self) -> StrategyKind;
 

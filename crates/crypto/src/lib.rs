@@ -21,7 +21,7 @@
 //! reproduction.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chacha;
 pub mod keys;

@@ -18,7 +18,7 @@
 //! All samplers take `&mut impl rand::Rng` so callers control determinism.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bounds;
 pub mod composition;
@@ -37,7 +37,9 @@ pub use laplace::{Laplace, LaplaceMechanism};
 pub use rng::DpRng;
 pub use svt::{AboveNoisyThreshold, SvtOutcome};
 
-/// The privacy parameter epsilon of a differentially private mechanism.
+/// The privacy parameter epsilon of a differentially private mechanism
+/// (Definition 3: `Pr[M(D) ∈ O] ≤ e^ε · Pr[M(D') ∈ O]` for neighboring
+/// `D`, `D'`; DP-Sync applies it to growing databases via Definitions 4/5).
 ///
 /// A thin newtype so that privacy budgets are not accidentally confused with
 /// other `f64` parameters (thresholds, sensitivities, ...).  The value must be

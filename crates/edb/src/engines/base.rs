@@ -12,6 +12,16 @@
 //!
 //! The engines differ only in leakage, cost model, answer perturbation and
 //! query support, which live in their own modules.
+//!
+//! # Concurrency
+//!
+//! [`EngineCore`] is sharded the same way the server storage is: the
+//! decrypted mirror of each table sits behind its own `RwLock`, and the table
+//! map is only write-locked at `Π_Setup` time.  `ingest` therefore takes
+//! `&self` and serializes only with other operations on the *same* table, so
+//! one owner per table can run `Π_Update` concurrently (the paper's
+//! multi-table workload: "yellow" + "green").  Queries take read locks on the
+//! tables they touch, mirroring an enclave that scans a stable snapshot.
 
 use crate::exec;
 use crate::query::{Query, QueryAnswer};
@@ -21,7 +31,10 @@ use crate::schema::{Schema, Value};
 use crate::server::ServerStorage;
 use crate::sogdb::{EdbError, TableStats};
 use dpsync_crypto::{EncryptedRecord, MasterKey, RecordCryptor};
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One decrypted table held inside the trusted boundary of the engine.
 #[derive(Debug, Clone)]
@@ -36,13 +49,19 @@ pub struct EngineTable {
     pub dummy_records: u64,
 }
 
+/// A shareable handle to one decrypted table.
+type TableHandle = Arc<RwLock<EngineTable>>;
+
 /// Shared engine state: ciphertext storage plus the decrypted mirror.
+///
+/// All methods take `&self`; per-table state lives behind per-table locks so
+/// concurrent `Π_Update` calls on distinct tables never contend.
 #[derive(Debug)]
 pub struct EngineCore {
     cryptor: RecordCryptor,
     storage: ServerStorage,
-    tables: BTreeMap<String, EngineTable>,
-    query_sequence: u64,
+    tables: RwLock<BTreeMap<String, TableHandle>>,
+    query_sequence: AtomicU64,
 }
 
 impl EngineCore {
@@ -52,56 +71,66 @@ impl EngineCore {
         Self {
             cryptor: RecordCryptor::new(master),
             storage: ServerStorage::new(),
-            tables: BTreeMap::new(),
-            query_sequence: 0,
+            tables: RwLock::new(BTreeMap::new()),
+            query_sequence: AtomicU64::new(0),
         }
     }
 
     /// Whether `table` has been set up.
     pub fn has_table(&self, table: &str) -> bool {
-        self.tables.contains_key(table)
+        self.tables.read().contains_key(table)
+    }
+
+    fn table_handle(&self, table: &str) -> Option<TableHandle> {
+        self.tables.read().get(table).map(Arc::clone)
     }
 
     /// `Π_Setup` plumbing: registers the schema and ingests the initial batch
     /// at time 0.
     pub fn setup(
-        &mut self,
+        &self,
         table: &str,
         schema: Schema,
         records: Vec<EncryptedRecord>,
     ) -> Result<(), EdbError> {
-        if self.tables.contains_key(table) {
-            return Err(EdbError::AlreadySetUp(table.to_string()));
+        {
+            let mut tables = self.tables.write();
+            if tables.contains_key(table) {
+                return Err(EdbError::AlreadySetUp(table.to_string()));
+            }
+            let extended = rewrite::schema_with_dummy_flag(&schema);
+            tables.insert(
+                table.to_string(),
+                Arc::new(RwLock::new(EngineTable {
+                    schema: extended,
+                    rows: Vec::new(),
+                    real_records: 0,
+                    dummy_records: 0,
+                })),
+            );
         }
-        let extended = rewrite::schema_with_dummy_flag(&schema);
-        self.tables.insert(
-            table.to_string(),
-            EngineTable {
-                schema: extended,
-                rows: Vec::new(),
-                real_records: 0,
-                dummy_records: 0,
-            },
-        );
         self.ingest(table, 0, records)
     }
 
     /// `Π_Update` plumbing: ingests an encrypted batch at `time`.
+    ///
+    /// Write-locks only `table`'s shard (storage and mirror), so owners of
+    /// other tables proceed concurrently.
     pub fn ingest(
-        &mut self,
+        &self,
         table: &str,
         time: u64,
         records: Vec<EncryptedRecord>,
     ) -> Result<(), EdbError> {
-        if !self.tables.contains_key(table) {
+        let Some(handle) = self.table_handle(table) else {
             return Err(EdbError::NotSetUp(table.to_string()));
-        }
+        };
         // The server stores (and observes) the ciphertexts first.
         let ciphertexts: Vec<_> = records.iter().map(EncryptedRecord::to_bytes).collect();
         self.storage.ingest(table, time, ciphertexts);
 
         // Then the trusted side decrypts into the plaintext mirror.
-        let entry = self.tables.get_mut(table).expect("checked above");
+        let mut entry = handle.write();
         let base_arity = entry.schema.arity() - 1; // without the flag column
         for record in &records {
             let plaintext = self.cryptor.decrypt(record)?;
@@ -124,48 +153,59 @@ impl EngineCore {
     /// Executes `query` over the decrypted mirror with dummy-aware rewriting.
     ///
     /// Returns the exact answer plus the number of ciphertexts touched (used
-    /// by the cost models and the adversary's transcript).
+    /// by the cost models and the adversary's transcript).  Takes read locks
+    /// on every table the query names, held for the duration of execution.
     pub fn execute(&self, query: &Query) -> Result<(QueryAnswer, u64), EdbError> {
         let rewritten = rewrite::rewrite_query(query);
+        // Resolve handles first (map read lock released immediately), then
+        // read-lock the touched tables in name order for a stable snapshot.
+        let handles: BTreeMap<&str, TableHandle> = {
+            let tables = self.tables.read();
+            query
+                .tables()
+                .iter()
+                .filter_map(|name| tables.get(*name).map(|h| (*name, Arc::clone(h))))
+                .collect()
+        };
+        let guards: BTreeMap<&str, parking_lot::RwLockReadGuard<'_, EngineTable>> =
+            handles.iter().map(|(name, h)| (*name, h.read())).collect();
+
+        // Count per *mention*, not per distinct table: a self-join touches the
+        // table once per side, and the cost model / adversary transcript must
+        // reflect that.
         let touched: u64 = query
             .tables()
             .iter()
-            .map(|t| self.tables.get(*t).map_or(0, |tbl| tbl.rows.len() as u64))
+            .map(|name| guards.get(*name).map_or(0, |t| t.rows.len() as u64))
             .sum();
         // Joins: the AST rewrite is the identity, so filter dummies by
         // materializing dummy-free sides here.
         let answer = match &rewritten {
             Query::JoinCount { .. } => {
-                let filtered: BTreeMap<&str, Vec<Row>> = query
-                    .tables()
+                let filtered: BTreeMap<&str, Vec<Row>> = guards
                     .iter()
-                    .map(|name| {
-                        let rows = self
-                            .tables
-                            .get(*name)
-                            .map(|t| {
-                                let flag = t
-                                    .schema
-                                    .column_index(IS_DUMMY_COLUMN)
-                                    .expect("flag column present");
-                                t.rows
-                                    .iter()
-                                    .filter(|r| r.value(flag) == Some(&Value::Bool(false)))
-                                    .cloned()
-                                    .collect::<Vec<_>>()
-                            })
-                            .unwrap_or_default();
+                    .map(|(name, t)| {
+                        let flag = t
+                            .schema
+                            .column_index(IS_DUMMY_COLUMN)
+                            .expect("flag column present");
+                        let rows = t
+                            .rows
+                            .iter()
+                            .filter(|r| r.value(flag) == Some(&Value::Bool(false)))
+                            .cloned()
+                            .collect::<Vec<_>>();
                         (*name, rows)
                     })
                     .collect();
                 exec::execute(&rewritten, |name| {
-                    let table = self.tables.get(name)?;
+                    let table = guards.get(name)?;
                     let rows = filtered.get(name)?;
                     Some((Some(table.schema.clone()), rows.as_slice()))
                 })?
             }
             _ => exec::execute(&rewritten, |name| {
-                let table = self.tables.get(name)?;
+                let table = guards.get(name)?;
                 Some((Some(table.schema.clone()), table.rows.as_slice()))
             })?,
         };
@@ -180,38 +220,35 @@ impl EngineCore {
     /// Size statistics for `table`.
     pub fn table_stats(&self, table: &str) -> TableStats {
         let (real, dummy) = self
-            .tables
-            .get(table)
-            .map(|t| (t.real_records, t.dummy_records))
+            .table_handle(table)
+            .map(|h| {
+                let t = h.read();
+                (t.real_records, t.dummy_records)
+            })
             .unwrap_or((0, 0));
         TableStats {
             ciphertext_count: self.storage.ciphertext_count(table),
-            ciphertext_bytes: self.storage.table(table).map_or(0, |t| t.bytes()),
+            ciphertext_bytes: self.storage.table_bytes(table),
             real_records: real,
             dummy_records: dummy,
         }
     }
 
-    /// Mutable access to the server storage (for recording query observations).
-    pub fn storage_mut(&mut self) -> &mut ServerStorage {
-        &mut self.storage
-    }
-
-    /// Read access to the server storage.
+    /// Access to the server storage (interior-mutable: recording query
+    /// observations also goes through `&self`).
     pub fn storage(&self) -> &ServerStorage {
         &self.storage
     }
 
     /// Returns and increments the query sequence counter.
-    pub fn next_query_sequence(&mut self) -> u64 {
-        let s = self.query_sequence;
-        self.query_sequence += 1;
-        s
+    pub fn next_query_sequence(&self) -> u64 {
+        self.query_sequence.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// The decrypted mirror for `table` (used in white-box tests).
-    pub fn table(&self, table: &str) -> Option<&EngineTable> {
-        self.tables.get(table)
+    /// A snapshot of the decrypted mirror for `table` (used in white-box
+    /// tests; clones the rows).
+    pub fn table_snapshot(&self, table: &str) -> Option<EngineTable> {
+        self.table_handle(table).map(|h| h.read().clone())
     }
 }
 
@@ -247,6 +284,7 @@ mod tests {
     use super::*;
     use crate::query::paper_queries;
     use crate::schema::DataType;
+    use std::thread;
 
     fn schema() -> Schema {
         Schema::from_pairs(&[
@@ -262,7 +300,7 @@ mod tests {
     fn core_with_data() -> (EngineCore, RecordCryptor) {
         let master = MasterKey::from_bytes([9u8; 32]);
         let mut owner_cryptor = RecordCryptor::new(&master);
-        let mut core = EngineCore::new(&master);
+        let core = EngineCore::new(&master);
         let initial = encrypt_batch(&mut owner_cryptor, &[row(1, 60), row(2, 80)], 3);
         core.setup("yellow", schema(), initial).unwrap();
         (core, owner_cryptor)
@@ -270,7 +308,7 @@ mod tests {
 
     #[test]
     fn setup_then_update_accumulates_rows_and_ciphertexts() {
-        let (mut core, mut cryptor) = core_with_data();
+        let (core, mut cryptor) = core_with_data();
         let batch = encrypt_batch(&mut cryptor, &[row(3, 90)], 1);
         core.ingest("yellow", 30, batch).unwrap();
         let stats = core.table_stats("yellow");
@@ -282,9 +320,9 @@ mod tests {
             7 * EncryptedRecord::TOTAL_LEN as u64
         );
         // The adversary saw two updates: setup (t=0) and the t=30 batch.
-        let pattern = core.storage().adversary_view().update_pattern().clone();
-        assert_eq!(pattern.times(), vec![0, 30]);
-        assert_eq!(pattern.volumes(), vec![5, 2]);
+        let view = core.storage().adversary_view();
+        assert_eq!(view.update_pattern().times(), vec![0, 30]);
+        assert_eq!(view.update_pattern().volumes(), vec![5, 2]);
     }
 
     #[test]
@@ -301,7 +339,7 @@ mod tests {
     fn join_execution_filters_both_sides() {
         let master = MasterKey::from_bytes([9u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
-        let mut core = EngineCore::new(&master);
+        let core = EngineCore::new(&master);
         core.setup(
             "yellow",
             schema(),
@@ -323,8 +361,43 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_ingest_to_distinct_tables() {
+        let master = MasterKey::from_bytes([3u8; 32]);
+        let core = EngineCore::new(&master);
+        {
+            let mut cryptor = RecordCryptor::with_sequence(&master, 1 << 40);
+            core.setup("yellow", schema(), encrypt_batch(&mut cryptor, &[], 0))
+                .unwrap();
+            let mut cryptor = RecordCryptor::with_sequence(&master, 2 << 40);
+            core.setup("green", schema(), encrypt_batch(&mut cryptor, &[], 0))
+                .unwrap();
+        }
+        thread::scope(|scope| {
+            for (i, table) in ["yellow", "green"].into_iter().enumerate() {
+                let core = &core;
+                let master = &master;
+                scope.spawn(move || {
+                    let mut cryptor = RecordCryptor::with_sequence(master, ((i as u64) + 10) << 40);
+                    for t in 1..=50u64 {
+                        let batch = encrypt_batch(&mut cryptor, &[row(t, t as i64)], 1);
+                        core.ingest(table, t, batch).unwrap();
+                    }
+                });
+            }
+        });
+        for table in ["yellow", "green"] {
+            let stats = core.table_stats(table);
+            assert_eq!(stats.real_records, 50);
+            assert_eq!(stats.dummy_records, 50);
+        }
+        // The merged transcript covers both tables' uploads plus both setups.
+        let view = core.storage().adversary_view();
+        assert_eq!(view.update_pattern().len(), 2 + 2 * 50);
+    }
+
+    #[test]
     fn double_setup_and_missing_table_errors() {
-        let (mut core, mut cryptor) = core_with_data();
+        let (core, mut cryptor) = core_with_data();
         assert!(matches!(
             core.setup("yellow", schema(), vec![]),
             Err(EdbError::AlreadySetUp(_))
@@ -343,7 +416,7 @@ mod tests {
         let master = MasterKey::from_bytes([9u8; 32]);
         let other = MasterKey::from_bytes([1u8; 32]);
         let mut wrong_cryptor = RecordCryptor::new(&other);
-        let mut core = EngineCore::new(&master);
+        let core = EngineCore::new(&master);
         let batch = encrypt_batch(&mut wrong_cryptor, &[row(1, 1)], 0);
         let err = core.setup("yellow", schema(), batch).unwrap_err();
         assert!(matches!(err, EdbError::Crypto(_)));
@@ -351,7 +424,7 @@ mod tests {
 
     #[test]
     fn query_sequence_increments() {
-        let (mut core, _) = core_with_data();
+        let (core, _) = core_with_data();
         assert_eq!(core.next_query_sequence(), 0);
         assert_eq!(core.next_query_sequence(), 1);
     }
@@ -360,7 +433,7 @@ mod tests {
     fn stats_for_unknown_table_are_zero() {
         let (core, _) = core_with_data();
         assert_eq!(core.table_stats("nope"), TableStats::default());
-        assert!(core.table("nope").is_none());
+        assert!(core.table_snapshot("nope").is_none());
         assert_eq!(core.ciphertext_count("yellow"), 5);
     }
 }

@@ -107,7 +107,7 @@ impl SecureOutsourcedDatabase for CryptEpsilonEngine {
     }
 
     fn setup(
-        &mut self,
+        &self,
         table: &str,
         schema: Schema,
         records: Vec<EncryptedRecord>,
@@ -116,7 +116,7 @@ impl SecureOutsourcedDatabase for CryptEpsilonEngine {
     }
 
     fn update(
-        &mut self,
+        &self,
         table: &str,
         time: u64,
         records: Vec<EncryptedRecord>,
@@ -124,7 +124,7 @@ impl SecureOutsourcedDatabase for CryptEpsilonEngine {
         self.core.ingest(table, time, records)
     }
 
-    fn query(&mut self, query: &Query, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+    fn query(&self, query: &Query, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
         if matches!(query, Query::JoinCount { .. }) {
             return Err(EdbError::UnsupportedQuery {
                 engine: self.name(),
@@ -139,7 +139,7 @@ impl SecureOutsourcedDatabase for CryptEpsilonEngine {
 
         let sequence = self.core.next_query_sequence();
         let noisy_volume = answer.total().max(0.0).round() as u64;
-        self.core.storage_mut().observe_query(QueryObservation {
+        self.core.storage().observe_query(QueryObservation {
             sequence,
             kind: query.kind().to_string(),
             touched_records: touched,
@@ -164,7 +164,7 @@ impl SecureOutsourcedDatabase for CryptEpsilonEngine {
     }
 
     fn adversary_view(&self) -> AdversaryView {
-        self.core.storage().adversary_view().clone()
+        self.core.storage().adversary_view()
     }
 }
 
@@ -193,7 +193,7 @@ mod tests {
     fn engine_with_data(n: usize) -> (CryptEpsilonEngine, RecordCryptor) {
         let master = MasterKey::from_bytes([11u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
-        let mut engine = CryptEpsilonEngine::new(&master);
+        let engine = CryptEpsilonEngine::new(&master);
         let rows: Vec<Row> = (0..n).map(|i| row(i as u64, 75)).collect();
         let batch = encrypt_batch(&mut cryptor, &rows, n / 2);
         engine.setup("yellow", schema(), batch).unwrap();
@@ -202,7 +202,7 @@ mod tests {
 
     #[test]
     fn answers_are_noisy_but_close() {
-        let (mut engine, _) = engine_with_data(200);
+        let (engine, _) = engine_with_data(200);
         let mut rng = StdRng::seed_from_u64(5);
         let q = paper_queries::q1_range_count("yellow");
         let mut errors = Vec::new();
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn group_by_answers_are_noisy_per_group() {
-        let (mut engine, _) = engine_with_data(100);
+        let (engine, _) = engine_with_data(100);
         let mut rng = StdRng::seed_from_u64(6);
         let outcome = engine
             .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
@@ -231,7 +231,7 @@ mod tests {
 
     #[test]
     fn joins_are_rejected() {
-        let (mut engine, _) = engine_with_data(10);
+        let (engine, _) = engine_with_data(10);
         let mut rng = StdRng::seed_from_u64(7);
         let q = paper_queries::q3_join_count("yellow", "yellow");
         assert!(!engine.supports(&q));
@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn adversary_sees_noisy_volumes_only() {
-        let (mut engine, _) = engine_with_data(50);
+        let (engine, _) = engine_with_data(50);
         let mut rng = StdRng::seed_from_u64(8);
         engine
             .query(&paper_queries::q1_range_count("yellow"), &mut rng)
@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn cost_model_is_heavier_than_oblidb() {
-        let (mut engine, _) = engine_with_data(100);
+        let (engine, _) = engine_with_data(100);
         let mut rng = StdRng::seed_from_u64(9);
         let outcome = engine
             .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
@@ -283,8 +283,7 @@ mod tests {
         // released counts must never go negative.
         let master = MasterKey::from_bytes([12u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
-        let mut engine =
-            CryptEpsilonEngine::with_query_epsilon(&master, Epsilon::new_unchecked(0.05));
+        let engine = CryptEpsilonEngine::with_query_epsilon(&master, Epsilon::new_unchecked(0.05));
         engine
             .setup("yellow", schema(), encrypt_batch(&mut cryptor, &[], 0))
             .unwrap();

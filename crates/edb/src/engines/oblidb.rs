@@ -80,7 +80,7 @@ impl SecureOutsourcedDatabase for ObliDbEngine {
     }
 
     fn setup(
-        &mut self,
+        &self,
         table: &str,
         schema: Schema,
         records: Vec<EncryptedRecord>,
@@ -89,7 +89,7 @@ impl SecureOutsourcedDatabase for ObliDbEngine {
     }
 
     fn update(
-        &mut self,
+        &self,
         table: &str,
         time: u64,
         records: Vec<EncryptedRecord>,
@@ -97,14 +97,14 @@ impl SecureOutsourcedDatabase for ObliDbEngine {
         self.core.ingest(table, time, records)
     }
 
-    fn query(&mut self, query: &Query, _rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+    fn query(&self, query: &Query, _rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
         let started = Instant::now();
         let (answer, touched) = self.core.execute(query)?;
         let measured = started.elapsed().as_secs_f64();
         let estimated = self.estimate(query);
 
         let sequence = self.core.next_query_sequence();
-        self.core.storage_mut().observe_query(QueryObservation {
+        self.core.storage().observe_query(QueryObservation {
             sequence,
             kind: query.kind().to_string(),
             touched_records: touched,
@@ -129,7 +129,7 @@ impl SecureOutsourcedDatabase for ObliDbEngine {
     }
 
     fn adversary_view(&self) -> AdversaryView {
-        self.core.storage().adversary_view().clone()
+        self.core.storage().adversary_view()
     }
 }
 
@@ -158,7 +158,7 @@ mod tests {
     fn engine_with_data() -> (ObliDbEngine, RecordCryptor) {
         let master = MasterKey::from_bytes([42u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let rows: Vec<Row> = (0..20).map(|i| row(i, 40 + i as i64 * 5)).collect();
         let batch = encrypt_batch(&mut cryptor, &rows, 10);
         engine.setup("yellow", schema(), batch).unwrap();
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn answers_are_exact_and_ignore_dummies() {
-        let (mut engine, _) = engine_with_data();
+        let (engine, _) = engine_with_data();
         let mut rng = StdRng::seed_from_u64(1);
         let outcome = engine
             .query(&paper_queries::q1_range_count("yellow"), &mut rng)
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn group_by_and_join_supported() {
-        let (mut engine, mut cryptor) = engine_with_data();
+        let (engine, mut cryptor) = engine_with_data();
         let rows: Vec<Row> = (0..5).map(|i| row(i, 7)).collect();
         engine
             .update(
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn estimated_cost_grows_with_outsourced_data() {
-        let (mut engine, mut cryptor) = engine_with_data();
+        let (engine, mut cryptor) = engine_with_data();
         let mut rng = StdRng::seed_from_u64(3);
         let before = engine
             .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn adversary_never_sees_response_volumes() {
-        let (mut engine, _) = engine_with_data();
+        let (engine, _) = engine_with_data();
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..3 {
             engine

@@ -38,9 +38,11 @@ pub mod row;
 pub mod schema;
 pub mod server;
 pub mod sogdb;
+pub mod view;
 
 pub use leakage::{LeakageClass, UpdateEvent, UpdatePattern};
 pub use query::{Predicate, Query, QueryAnswer};
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema, Value};
 pub use sogdb::{EdbError, QueryOutcome, SecureOutsourcedDatabase, TableStats};
+pub use view::{AdversaryView, QueryObservation};

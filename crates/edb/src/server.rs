@@ -13,74 +13,31 @@
 //! The privacy verification machinery in `dpsync-core` operates exclusively
 //! on this transcript: it never looks at owner-side state, mirroring the
 //! formal model in which the leakage function is all the adversary gets.
+//!
+//! # Sharding
+//!
+//! Storage is sharded **per table**: each table's ciphertexts and its slice
+//! of the update-pattern transcript live in their own [`TableShard`] behind
+//! an independent `RwLock`, so owners of different tables can run `Π_Update`
+//! concurrently without serializing on one global lock.  The table map itself
+//! is only write-locked when a new table is created; steady-state ingest
+//! takes the map read lock just long enough to clone the shard handle.
+//!
+//! Concurrency does not change what the adversary formally sees: the
+//! transcript of Definition 2 is a *set* of `(t, |γ_t|)` events, and
+//! [`ServerStorage::adversary_view`] merges the per-table shards into one
+//! canonical ordered transcript (sorted by time, then table name, then
+//! per-table arrival index).  Both the sequential and the parallel simulation
+//! drivers read the transcript through this merge, so the privacy verifier
+//! always sees the same canonical view regardless of thread interleaving.
 
 use crate::leakage::{UpdateEvent, UpdatePattern};
 use bytes::Bytes;
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// One query observation in the adversary's transcript.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QueryObservation {
-    /// Monotone sequence number of the query.
-    pub sequence: u64,
-    /// Query kind label ("count", "group-by", "join", "select").
-    pub kind: String,
-    /// Number of ciphertexts the engine touched to answer (always leaked —
-    /// the server hosts the computation).
-    pub touched_records: u64,
-    /// The response volume the server learns, if the leakage class reveals
-    /// one (`None` for volume-hiding engines).
-    pub observed_response_volume: Option<u64>,
-}
-
-/// Everything the semi-honest server observes.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct AdversaryView {
-    update_pattern: UpdatePattern,
-    queries: Vec<QueryObservation>,
-    total_ciphertext_bytes: u64,
-}
-
-impl AdversaryView {
-    /// Creates an empty view.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records an update (or the setup) of `volume` ciphertexts at `time`.
-    pub fn observe_update(&mut self, time: u64, volume: u64, ciphertext_bytes: u64) {
-        self.update_pattern.record(time, volume);
-        self.total_ciphertext_bytes += ciphertext_bytes;
-    }
-
-    /// Records a query observation.
-    pub fn observe_query(&mut self, observation: QueryObservation) {
-        self.queries.push(observation);
-    }
-
-    /// The observed update pattern.
-    pub fn update_pattern(&self) -> &UpdatePattern {
-        &self.update_pattern
-    }
-
-    /// The observed query transcript.
-    pub fn queries(&self) -> &[QueryObservation] {
-        &self.queries
-    }
-
-    /// Total ciphertext bytes received so far.
-    pub fn total_ciphertext_bytes(&self) -> u64 {
-        self.total_ciphertext_bytes
-    }
-
-    /// The update events observed (convenience passthrough).
-    pub fn update_events(&self) -> &[UpdateEvent] {
-        self.update_pattern.events()
-    }
-}
+pub use crate::view::{AdversaryView, QueryObservation};
 
 /// Ciphertext storage for one table.
 #[derive(Debug, Clone, Default)]
@@ -110,14 +67,52 @@ impl StoredTable {
     }
 }
 
+/// One table's slice of the server: its ciphertexts plus the update events
+/// the server observed for it, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct TableShard {
+    table: StoredTable,
+    updates: Vec<UpdateEvent>,
+    ciphertext_bytes: u64,
+}
+
+impl TableShard {
+    /// Appends a batch of ciphertexts at `time` and records the observation.
+    pub fn ingest(&mut self, time: u64, ciphertexts: Vec<Bytes>) {
+        let volume = ciphertexts.len() as u64;
+        self.ciphertext_bytes += ciphertexts.iter().map(|c| c.len() as u64).sum::<u64>();
+        self.table.ciphertexts.extend(ciphertexts);
+        self.updates.push(UpdateEvent { time, volume });
+    }
+
+    /// The stored ciphertexts.
+    pub fn stored(&self) -> &StoredTable {
+        &self.table
+    }
+
+    /// The update events observed for this table, in arrival order.
+    pub fn updates(&self) -> &[UpdateEvent] {
+        &self.updates
+    }
+
+    /// Total ciphertext bytes received for this table.
+    pub fn ciphertext_bytes(&self) -> u64 {
+        self.ciphertext_bytes
+    }
+}
+
+/// A shareable handle to one table's shard.
+pub type ShardHandle = Arc<RwLock<TableShard>>;
+
 /// The server's ciphertext store across tables, plus the adversary view.
 ///
-/// Wrapped in `Arc<RwLock<...>>`-friendly interior so an engine and an
-/// experiment harness can share read access; writes go through the engine.
+/// All methods take `&self`: per-table state lives behind the shard locks and
+/// the query transcript behind its own mutex, so one `ServerStorage` can be
+/// driven by several owner threads at once.
 #[derive(Debug, Default)]
 pub struct ServerStorage {
-    tables: BTreeMap<String, StoredTable>,
-    view: AdversaryView,
+    shards: RwLock<BTreeMap<String, ShardHandle>>,
+    queries: Mutex<Vec<QueryObservation>>,
 }
 
 impl ServerStorage {
@@ -126,58 +121,129 @@ impl ServerStorage {
         Self::default()
     }
 
+    /// The shard handle for `table`, creating it when absent.
+    ///
+    /// Steady-state callers hold the map lock only long enough to clone the
+    /// `Arc`; all per-table work happens under the shard's own lock.
+    pub fn shard(&self, table: &str) -> ShardHandle {
+        if let Some(shard) = self.shards.read().get(table) {
+            return Arc::clone(shard);
+        }
+        Arc::clone(self.shards.write().entry(table.to_string()).or_default())
+    }
+
+    /// The shard handle for `table`, when the table exists.
+    pub fn existing_shard(&self, table: &str) -> Option<ShardHandle> {
+        self.shards.read().get(table).map(Arc::clone)
+    }
+
     /// Appends ciphertexts to a table and records the update observation.
-    pub fn ingest(&mut self, table: &str, time: u64, ciphertexts: Vec<Bytes>) {
-        let volume = ciphertexts.len() as u64;
-        let bytes: u64 = ciphertexts.iter().map(|c| c.len() as u64).sum();
-        let entry = self.tables.entry(table.to_string()).or_default();
-        entry.ciphertexts.extend(ciphertexts);
-        self.view.observe_update(time, volume, bytes);
+    ///
+    /// Only `table`'s shard is write-locked; owners of other tables proceed
+    /// concurrently.
+    pub fn ingest(&self, table: &str, time: u64, ciphertexts: Vec<Bytes>) {
+        self.shard(table).write().ingest(time, ciphertexts);
     }
 
     /// Records a query observation.
-    pub fn observe_query(&mut self, observation: QueryObservation) {
-        self.view.observe_query(observation);
+    pub fn observe_query(&self, observation: QueryObservation) {
+        self.queries.lock().push(observation);
     }
 
-    /// The stored table, if present.
-    pub fn table(&self, name: &str) -> Option<&StoredTable> {
-        self.tables.get(name)
+    /// Runs `f` over the stored table, if present (shard read-locked).
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&StoredTable) -> R) -> Option<R> {
+        let shard = self.existing_shard(name)?;
+        let guard = shard.read();
+        Some(f(guard.stored()))
     }
 
     /// Number of ciphertexts in a table (0 when missing).
     pub fn ciphertext_count(&self, table: &str) -> u64 {
-        self.tables.get(table).map_or(0, |t| t.len() as u64)
+        self.with_table(table, |t| t.len() as u64).unwrap_or(0)
+    }
+
+    /// Total ciphertext bytes stored for a table (0 when missing).
+    pub fn table_bytes(&self, table: &str) -> u64 {
+        self.with_table(table, StoredTable::bytes).unwrap_or(0)
     }
 
     /// Total ciphertexts across all tables.
     pub fn total_ciphertexts(&self) -> u64 {
-        self.tables.values().map(|t| t.len() as u64).sum()
+        let shards: Vec<ShardHandle> = self.shards.read().values().map(Arc::clone).collect();
+        shards.iter().map(|s| s.read().stored().len() as u64).sum()
     }
 
     /// Total stored bytes across all tables.
     pub fn total_bytes(&self) -> u64 {
-        self.tables.values().map(StoredTable::bytes).sum()
+        let shards: Vec<ShardHandle> = self.shards.read().values().map(Arc::clone).collect();
+        shards.iter().map(|s| s.read().stored().bytes()).sum()
     }
 
-    /// The adversary's transcript.
-    pub fn adversary_view(&self) -> &AdversaryView {
-        &self.view
+    /// Merges the per-table shards into the canonical adversary transcript.
+    ///
+    /// Update events are ordered by `(time, table name, per-table arrival
+    /// index)` — a deterministic total order independent of how owner threads
+    /// interleaved their uploads, so the privacy verifier sees the same
+    /// transcript whether the simulation ran sequentially or sharded.
+    pub fn adversary_view(&self) -> AdversaryView {
+        let shards: Vec<(String, ShardHandle)> = self
+            .shards
+            .read()
+            .iter()
+            .map(|(name, shard)| (name.clone(), Arc::clone(shard)))
+            .collect();
+
+        // (time, table, per-table index) keys; BTreeMap iteration over table
+        // names is already sorted, so a stable sort by time alone yields the
+        // canonical (time, table, index) order.
+        let mut events: Vec<UpdateEvent> = Vec::new();
+        let mut total_bytes = 0u64;
+        for (_, shard) in &shards {
+            let guard = shard.read();
+            events.extend_from_slice(guard.updates());
+            total_bytes += guard.ciphertext_bytes();
+        }
+        events.sort_by_key(|e| e.time);
+
+        let mut pattern = UpdatePattern::new();
+        for e in events {
+            pattern.record(e.time, e.volume);
+        }
+
+        let mut queries = self.queries.lock().clone();
+        queries.sort_by_key(|q| q.sequence);
+        AdversaryView::from_parts(pattern, queries, total_bytes)
+    }
+
+    /// The transcript restricted to one table (the per-owner view used by
+    /// single-table privacy arguments; queries are global and omitted).
+    pub fn table_view(&self, table: &str) -> AdversaryView {
+        let mut pattern = UpdatePattern::new();
+        let mut bytes = 0u64;
+        if let Some(shard) = self.existing_shard(table) {
+            let guard = shard.read();
+            for e in guard.updates() {
+                pattern.record(e.time, e.volume);
+            }
+            bytes = guard.ciphertext_bytes();
+        }
+        AdversaryView::from_parts(pattern, Vec::new(), bytes)
     }
 }
 
 /// A shareable handle to server storage (the analyst and the experiment
-/// harness hold clones; the engine holds the writer side).
-pub type SharedServerStorage = Arc<RwLock<ServerStorage>>;
+/// harness hold clones; the engine holds another).
+pub type SharedServerStorage = Arc<ServerStorage>;
 
 /// Creates a new shared server storage handle.
 pub fn shared_storage() -> SharedServerStorage {
-    Arc::new(RwLock::new(ServerStorage::new()))
+    Arc::new(ServerStorage::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::thread;
 
     fn ct(len: usize) -> Bytes {
         Bytes::from(vec![0u8; len])
@@ -185,7 +251,7 @@ mod tests {
 
     #[test]
     fn ingest_accumulates_ciphertexts_and_pattern() {
-        let mut s = ServerStorage::new();
+        let s = ServerStorage::new();
         s.ingest("yellow", 0, vec![ct(95); 120]);
         s.ingest("yellow", 30, vec![ct(95); 4]);
         s.ingest("green", 30, vec![ct(95); 2]);
@@ -194,10 +260,37 @@ mod tests {
         assert_eq!(s.ciphertext_count("missing"), 0);
         assert_eq!(s.total_ciphertexts(), 126);
         assert_eq!(s.total_bytes(), 126 * 95);
-        let pattern = s.adversary_view().update_pattern();
+        let view = s.adversary_view();
+        let pattern = view.update_pattern();
         assert_eq!(pattern.len(), 3);
         assert_eq!(pattern.total_volume(), 126);
-        assert_eq!(s.adversary_view().total_ciphertext_bytes(), 126 * 95);
+        assert_eq!(view.total_ciphertext_bytes(), 126 * 95);
+    }
+
+    #[test]
+    fn merged_transcript_is_canonically_ordered() {
+        let s = ServerStorage::new();
+        // Interleave ingests out of time/table order.
+        s.ingest("yellow", 30, vec![ct(10); 2]);
+        s.ingest("green", 0, vec![ct(10); 5]);
+        s.ingest("yellow", 0, vec![ct(10); 3]);
+        s.ingest("green", 30, vec![ct(10); 1]);
+        let view = s.adversary_view();
+        // Sorted by (time, table): green@0, yellow@0, green@30, yellow@30.
+        assert_eq!(view.update_pattern().times(), vec![0, 0, 30, 30]);
+        assert_eq!(view.update_pattern().volumes(), vec![5, 3, 1, 2]);
+    }
+
+    #[test]
+    fn table_view_restricts_to_one_shard() {
+        let s = ServerStorage::new();
+        s.ingest("yellow", 0, vec![ct(10); 3]);
+        s.ingest("green", 5, vec![ct(10); 2]);
+        let yellow = s.table_view("yellow");
+        assert_eq!(yellow.update_pattern().times(), vec![0]);
+        assert_eq!(yellow.update_pattern().total_volume(), 3);
+        assert_eq!(yellow.total_ciphertext_bytes(), 30);
+        assert!(s.table_view("missing").update_pattern().is_empty());
     }
 
     #[test]
@@ -205,15 +298,16 @@ mod tests {
         // An update carrying only zero ciphertexts would still be observed as
         // a protocol run; DP-Sync never produces one (Perturb returns nothing
         // when the noisy count is <= 0), but the server model must not hide it.
-        let mut s = ServerStorage::new();
+        let s = ServerStorage::new();
         s.ingest("t", 5, vec![]);
-        assert_eq!(s.adversary_view().update_pattern().len(), 1);
-        assert_eq!(s.adversary_view().update_pattern().total_volume(), 0);
+        let view = s.adversary_view();
+        assert_eq!(view.update_pattern().len(), 1);
+        assert_eq!(view.update_pattern().total_volume(), 0);
     }
 
     #[test]
     fn query_observations_are_appended_in_order() {
-        let mut s = ServerStorage::new();
+        let s = ServerStorage::new();
         for i in 0..3 {
             s.observe_query(QueryObservation {
                 sequence: i,
@@ -222,7 +316,8 @@ mod tests {
                 observed_response_volume: if i == 2 { Some(5) } else { None },
             });
         }
-        let qs = s.adversary_view().queries();
+        let view = s.adversary_view();
+        let qs = view.queries();
         assert_eq!(qs.len(), 3);
         assert_eq!(qs[2].observed_response_volume, Some(5));
         assert_eq!(qs[1].touched_records, 10);
@@ -230,24 +325,47 @@ mod tests {
 
     #[test]
     fn stored_table_accessors() {
-        let mut s = ServerStorage::new();
+        let s = ServerStorage::new();
         s.ingest("t", 1, vec![ct(10), ct(20)]);
-        let table = s.table("t").unwrap();
-        assert_eq!(table.len(), 2);
-        assert!(!table.is_empty());
-        assert_eq!(table.bytes(), 30);
-        assert_eq!(table.ciphertexts().len(), 2);
-        assert!(s.table("other").is_none());
+        s.with_table("t", |table| {
+            assert_eq!(table.len(), 2);
+            assert!(!table.is_empty());
+            assert_eq!(table.bytes(), 30);
+            assert_eq!(table.ciphertexts().len(), 2);
+        })
+        .unwrap();
+        assert!(s.with_table("other", |_| ()).is_none());
+        assert_eq!(s.table_bytes("t"), 30);
+    }
+
+    #[test]
+    fn concurrent_ingest_to_disjoint_tables_merges_cleanly() {
+        let shared = shared_storage();
+        thread::scope(|scope| {
+            for table in ["yellow", "green", "blue", "red"] {
+                let storage = Arc::clone(&shared);
+                scope.spawn(move || {
+                    for t in 0..100u64 {
+                        storage.ingest(table, t, vec![ct(10); 2]);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.total_ciphertexts(), 4 * 100 * 2);
+        let view = shared.adversary_view();
+        assert_eq!(view.update_pattern().len(), 400);
+        // Canonical order: times ascending, ties broken by table name.
+        let times = view.update_pattern().times();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(view.total_ciphertext_bytes(), 8000);
     }
 
     #[test]
     fn shared_storage_allows_concurrent_reads() {
         let shared = shared_storage();
-        shared.write().ingest("t", 0, vec![ct(5)]);
-        let a = shared.clone();
-        let b = shared.clone();
-        let ra = a.read();
-        let rb = b.read();
-        assert_eq!(ra.total_ciphertexts(), rb.total_ciphertexts());
+        shared.ingest("t", 0, vec![ct(5)]);
+        let a = Arc::clone(&shared);
+        let b = Arc::clone(&shared);
+        assert_eq!(a.total_ciphertexts(), b.total_ciphertexts());
     }
 }

@@ -114,7 +114,14 @@ pub struct QueryOutcome {
 }
 
 /// The SOGDB protocol suite exposed by every engine.
-pub trait SecureOutsourcedDatabase {
+///
+/// All protocol methods take `&self`: engine state is sharded per table
+/// behind interior locks (see [`crate::server::ServerStorage`]), so several
+/// owners — one per table, each on its own thread — can run `Π_Update`
+/// concurrently against one engine without serializing on a global lock.
+/// The `Send + Sync` bound is what lets the simulation driver share a
+/// `&dyn SecureOutsourcedDatabase` across those owner threads.
+pub trait SecureOutsourcedDatabase: Send + Sync {
     /// A short engine name ("oblidb", "crypt-epsilon").
     fn name(&self) -> &'static str;
 
@@ -127,22 +134,21 @@ pub trait SecureOutsourcedDatabase {
     /// `Π_Setup`: creates `table` with `schema` and ingests the initial batch
     /// of encrypted records at time 0.
     fn setup(
-        &mut self,
+        &self,
         table: &str,
         schema: Schema,
         records: Vec<EncryptedRecord>,
     ) -> Result<(), EdbError>;
 
     /// `Π_Update`: appends a batch of encrypted records to `table` at `time`.
-    fn update(
-        &mut self,
-        table: &str,
-        time: u64,
-        records: Vec<EncryptedRecord>,
-    ) -> Result<(), EdbError>;
+    ///
+    /// Locks only `table`'s shard — updates to distinct tables proceed in
+    /// parallel.
+    fn update(&self, table: &str, time: u64, records: Vec<EncryptedRecord>)
+        -> Result<(), EdbError>;
 
     /// `Π_Query`: evaluates `query` over the current outsourced structure.
-    fn query(&mut self, query: &Query, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError>;
+    fn query(&self, query: &Query, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError>;
 
     /// Whether the engine supports this query shape.
     fn supports(&self, query: &Query) -> bool;

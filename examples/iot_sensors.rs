@@ -53,10 +53,10 @@ fn sensor_events() -> Vec<(u64, Row)> {
 fn run_with(strategy: Box<dyn SyncStrategy>, label: &str) {
     let mut rng = DpRng::seed_from_u64(7);
     let master = MasterKey::generate(&mut rng);
-    let mut engine = ObliDbEngine::new(&master);
+    let engine = ObliDbEngine::new(&master);
     let mut owner = Owner::new("sensor_events", sensor_schema(), &master, strategy);
     owner
-        .setup(vec![], &mut engine, &mut rng)
+        .setup(vec![], &engine, &mut rng)
         .expect("setup succeeds");
 
     let events = sensor_events();
@@ -67,7 +67,7 @@ fn run_with(strategy: Box<dyn SyncStrategy>, label: &str) {
             .map(|(_, row)| row.clone())
             .collect();
         owner
-            .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+            .tick(Timestamp(t), &arrivals, &engine, &mut rng)
             .expect("tick succeeds");
     }
 

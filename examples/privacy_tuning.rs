@@ -16,7 +16,7 @@ use dp_sync::workloads::taxi::{TaxiConfig, TaxiDataset};
 fn run(epsilon: f64, period: u64) -> (f64, f64, u64) {
     let yellow = TaxiDataset::generate(TaxiConfig::scaled_yellow(7, 20));
     let master = MasterKey::from_bytes([4u8; 32]);
-    let mut engine = ObliDbEngine::new(&master);
+    let engine = ObliDbEngine::new(&master);
     let sim = Simulation::new(SimulationConfig {
         query_interval: 18,
         size_sample_interval: 360,
@@ -26,7 +26,7 @@ fn run(epsilon: f64, period: u64) -> (f64, f64, u64) {
     let report = sim
         .run(
             &[yellow.to_workload(queries::YELLOW_TABLE)],
-            &mut engine,
+            &engine,
             &master,
             |_| {
                 Box::new(DpTimerStrategy::with_flush(

@@ -16,7 +16,7 @@ fn main() {
     // 1. The owner generates a master key and sets up the encrypted database.
     let mut rng = DpRng::seed_from_u64(42);
     let master = MasterKey::generate(&mut rng);
-    let mut engine = ObliDbEngine::new(&master);
+    let engine = ObliDbEngine::new(&master);
 
     // 2. Pick a synchronization strategy: DP-Timer with epsilon = 0.5 and a
     //    30-minute period (the paper's defaults).
@@ -37,7 +37,7 @@ fn main() {
         .map(|i| Row::new(vec![Value::Timestamp(0), Value::Int(50 + i)]))
         .collect();
     owner
-        .setup(initial, &mut engine, &mut rng)
+        .setup(initial, &engine, &mut rng)
         .expect("setup succeeds");
 
     // 4. Feed arrivals for four hours of one-minute ticks; a record arrives
@@ -52,7 +52,7 @@ fn main() {
             vec![]
         };
         owner
-            .tick(Timestamp(t), &arrivals, &mut engine, &mut rng)
+            .tick(Timestamp(t), &arrivals, &engine, &mut rng)
             .expect("tick succeeds");
     }
 

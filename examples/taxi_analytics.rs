@@ -50,7 +50,7 @@ fn main() {
     );
     for kind in StrategyKind::ALL {
         let master = MasterKey::from_bytes([8u8; 32]);
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let sim = Simulation::new(SimulationConfig {
             query_interval: 36,
             size_sample_interval: 720,
@@ -58,7 +58,7 @@ fn main() {
             seed: 2021,
         });
         let report = sim
-            .run(&workloads, &mut engine, &master, |_| build(kind))
+            .run(&workloads, &engine, &master, |_| build(kind))
             .expect("simulation succeeds");
         println!(
             "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>12.3} {:>12.2} {:>10.2}",

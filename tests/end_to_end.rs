@@ -33,7 +33,7 @@ fn run_oblidb(kind: StrategyKind, epsilon: f64, seed: u64) -> SimulationReport {
     let yellow = TaxiDataset::generate(TaxiConfig::scaled_yellow(seed, SCALE));
     let green = TaxiDataset::generate(TaxiConfig::scaled_green(seed + 1, SCALE));
     let master = MasterKey::from_bytes([21u8; 32]);
-    let mut engine = ObliDbEngine::new(&master);
+    let engine = ObliDbEngine::new(&master);
     let sim = Simulation::new(SimulationConfig {
         query_interval: 36,
         size_sample_interval: 270,
@@ -45,7 +45,7 @@ fn run_oblidb(kind: StrategyKind, epsilon: f64, seed: u64) -> SimulationReport {
             yellow.to_workload(queries::YELLOW_TABLE),
             green.to_workload(queries::GREEN_TABLE),
         ],
-        &mut engine,
+        &engine,
         &master,
         |_| build(kind, epsilon),
     )
@@ -133,7 +133,7 @@ fn query_errors_are_bounded_by_the_logical_gap_for_counting_queries() {
 fn crypt_epsilon_engine_runs_the_same_stack_with_noisy_answers() {
     let yellow = TaxiDataset::generate(TaxiConfig::scaled_yellow(5, SCALE));
     let master = MasterKey::from_bytes([22u8; 32]);
-    let mut engine = CryptEpsilonEngine::new(&master);
+    let engine = CryptEpsilonEngine::new(&master);
     let sim = Simulation::new(SimulationConfig {
         query_interval: 36,
         size_sample_interval: 270,
@@ -143,7 +143,7 @@ fn crypt_epsilon_engine_runs_the_same_stack_with_noisy_answers() {
     let report = sim
         .run(
             &[yellow.to_workload(queries::YELLOW_TABLE)],
-            &mut engine,
+            &engine,
             &master,
             |_| build(StrategyKind::Sur, 0.5),
         )
@@ -165,7 +165,7 @@ fn update_pattern_is_all_the_server_learns_about_timing() {
     let master = MasterKey::from_bytes([23u8; 32]);
     let yellow = TaxiDataset::generate(TaxiConfig::scaled_yellow(9, SCALE));
     let run = |seed: u64| {
-        let mut engine = ObliDbEngine::new(&master);
+        let engine = ObliDbEngine::new(&master);
         let sim = Simulation::new(SimulationConfig {
             query_interval: 0,
             size_sample_interval: 0,
@@ -174,7 +174,7 @@ fn update_pattern_is_all_the_server_learns_about_timing() {
         });
         sim.run(
             &[yellow.to_workload(queries::YELLOW_TABLE)],
-            &mut engine,
+            &engine,
             &master,
             |_| build(StrategyKind::DpTimer, 0.5),
         )

@@ -38,7 +38,7 @@ fn run_short(kind: StrategyKind) -> (SimulationReport, Vec<u64>, Vec<u64>, u64) 
     let workload = yellow.to_workload(queries::YELLOW_TABLE);
     let total_real_rows = workload.total_rows();
     let master = MasterKey::from_bytes([7u8; 32]);
-    let mut engine = ObliDbEngine::new(&master);
+    let engine = ObliDbEngine::new(&master);
     let sim = Simulation::new(SimulationConfig {
         query_interval: 0,
         size_sample_interval: 0,
@@ -46,7 +46,7 @@ fn run_short(kind: StrategyKind) -> (SimulationReport, Vec<u64>, Vec<u64>, u64) 
         seed: SEED,
     });
     let report = sim
-        .run(&[workload], &mut engine, &master, |_| build(kind))
+        .run(&[workload], &engine, &master, |_| build(kind))
         .expect("simulation succeeds");
     let view = engine.adversary_view();
     let pattern = view.update_pattern();

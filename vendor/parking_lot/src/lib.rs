@@ -7,7 +7,11 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+// Upstream parking_lot exposes its guard types; mirror that so downstream
+// code can name them in type annotations.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock that does not poison.
 #[derive(Debug, Default)]

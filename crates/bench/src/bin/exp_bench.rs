@@ -1,0 +1,204 @@
+//! The perf-telemetry driver: runs the seeded microbenchmark suite and emits
+//! a machine-readable `BENCH_<label>.json`, or compares two such reports as a
+//! CI regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! exp_bench [run] [--smoke] [--label L] [--out PATH] [--seed S] [--jobs J]
+//! exp_bench compare <baseline.json> <current.json> [--tolerance 25%]
+//! ```
+//!
+//! `run` (the default subcommand) prints the medians as a table and writes
+//! the JSON report to `--out` (default `BENCH_<label>.json` in the current
+//! directory; the label defaults to `DPSYNC_BENCH_LABEL`, then the current
+//! git short SHA, then `local`).  `compare` prints one line per benchmark and
+//! exits with status 2 when any benchmark's throughput fell more than the
+//! tolerance below the baseline (or disappeared); malformed or missing
+//! report files exit with status 1 and a readable error.
+
+use dpsync_bench::perf::{self, SuiteConfig, Tolerance};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => run_compare(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some("run") => run_suite(&args[1..]),
+        _ => run_suite(&args),
+    }
+}
+
+fn print_help() {
+    println!(
+        "exp_bench — DP-Sync performance telemetry\n\n\
+         USAGE:\n\
+         \x20 exp_bench [run] [--smoke] [--label L] [--out PATH] [--seed S] [--jobs J]\n\
+         \x20 exp_bench compare <baseline.json> <current.json> [--tolerance 25%]\n\n\
+         `run` writes BENCH_<label>.json; `compare` exits 2 on regression,\n\
+         1 on unreadable/malformed reports."
+    );
+}
+
+fn run_suite(args: &[String]) -> ExitCode {
+    let mut config = SuiteConfig {
+        label: default_label(),
+        ..Default::default()
+    };
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => config.smoke = true,
+            "--label" => {
+                if let Some(v) = args.get(i + 1) {
+                    config.label = v.clone();
+                    i += 1;
+                }
+            }
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    out_path = Some(v.clone());
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    config.seed = v;
+                    i += 1;
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    dpsync_bench::pool::set_worker_override(std::num::NonZeroUsize::new(v));
+                    i += 1;
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (see `exp_bench --help`)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    config.label = perf::sanitize_label(&config.label);
+    let out_path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", config.label));
+
+    println!(
+        "Running the {} perf suite (label `{}`, seed {}) ...\n",
+        if config.smoke { "smoke" } else { "full" },
+        config.label,
+        config.seed
+    );
+    let report = perf::run_suite(&config);
+    print!("{}", report.to_table().render());
+    match std::fs::write(&out_path, report.to_json()) {
+        Ok(()) => {
+            println!("\nwrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write `{out_path}`: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tolerance = Tolerance(0.25);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("error: --tolerance needs a value (e.g. `--tolerance 25%`)");
+                    return ExitCode::FAILURE;
+                };
+                match Tolerance::parse(raw) {
+                    Ok(t) => tolerance = t,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 1;
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!(
+            "error: compare needs exactly two report paths, got {} (see `exp_bench --help`)",
+            paths.len()
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let baseline = match perf::load_report(baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match perf::load_report(current_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "Comparing `{}` ({}) -> `{}` ({}), tolerance {:.0}%:\n",
+        baseline.label,
+        baseline_path,
+        current.label,
+        current_path,
+        tolerance.0 * 100.0
+    );
+    let comparison = perf::compare(&baseline, &current, tolerance);
+    for line in &comparison.lines {
+        println!("{}", line.render());
+    }
+    if comparison.has_regressions() {
+        eprintln!(
+            "\nFAIL: {} benchmark(s) regressed beyond the {:.0}% tolerance: {}",
+            comparison.regressions().len(),
+            tolerance.0 * 100.0,
+            comparison.regressions().join(", ")
+        );
+        ExitCode::from(2)
+    } else {
+        println!(
+            "\nOK: no benchmark regressed beyond the {:.0}% tolerance",
+            tolerance.0 * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// The default report label: `DPSYNC_BENCH_LABEL`, else the git short SHA,
+/// else `local`.
+fn default_label() -> String {
+    if let Ok(label) = std::env::var("DPSYNC_BENCH_LABEL") {
+        if !label.trim().is_empty() {
+            return label;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "local".into())
+}

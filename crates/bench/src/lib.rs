@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod pool;
 pub mod report;
 

@@ -1,0 +1,477 @@
+//! A dependency-free JSON reader/writer for benchmark reports.
+//!
+//! The vendored crate set deliberately excludes `serde_json`; the benchmark
+//! report schema is a handful of flat fields, so this module implements just
+//! enough of RFC 8259 to round-trip it: objects, arrays, strings (with the
+//! standard escapes and BMP `\uXXXX`), finite numbers, booleans and null.
+//! Parse errors carry the byte offset so malformed reports fail with a
+//! message a human can act on.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; key order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, when it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document; the error message includes the byte offset.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!(
+                "trailing characters after JSON document at byte {}",
+                parser.pos
+            ));
+        }
+        Ok(value)
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value with two-space indentation (for checked-in files).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (newline, pad, pad_close): (String, String, String) = match indent {
+            Some(width) => (
+                "\n".into(),
+                " ".repeat(width * (depth + 1)),
+                " ".repeat(width * depth),
+            ),
+            None => (String::new(), String::new(), String::new()),
+        };
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(v) => out.push_str(&render_number(*v)),
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&newline);
+                    out.push_str(&pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(&newline);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&newline);
+                    out.push_str(&pad);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent, depth + 1);
+                }
+                out.push_str(&newline);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders a finite number; integers print without a fraction.
+fn render_number(v: f64) -> String {
+    assert!(v.is_finite(), "JSON cannot represent non-finite numbers");
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {}",
+                byte as char,
+                self.pos,
+                self.describe_current()
+            ))
+        }
+    }
+
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            Some(b) if b.is_ascii_graphic() => format!("`{}`", b as char),
+            Some(b) => format!("byte 0x{b:02x}"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(format!(
+                "expected a JSON value at byte {}, found {}",
+                self.pos,
+                self.describe_current()
+            )),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("invalid number `{text}` at byte {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(format!("unterminated string at byte {}", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(format!("truncated \\u escape at byte {}", self.pos));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| {
+                                format!("invalid \\u escape `{hex}` at byte {}", self.pos)
+                            })?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("invalid escape at byte {}: {:?}", self.pos, other))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => {
+                    return Err(format!(
+                        "expected `,` or `]` at byte {}, found {}",
+                        self.pos,
+                        self.describe_current()
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => {
+                    return Err(format!(
+                        "expected `,` or `}}` at byte {}, found {}",
+                        self.pos,
+                        self.describe_current()
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(
+            JsonValue::parse("-1.5e3").unwrap(),
+            JsonValue::Number(-1500.0)
+        );
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::String("hi".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = JsonValue::parse(r#"{"a": [1, {"b": "x"}, null], "c": true}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&JsonValue::Bool(true)));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(arr[2], JsonValue::Null);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = JsonValue::String("line\nwith \"quotes\" \\ and \ttabs \u{1}".into());
+        let rendered = original.render();
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), original);
+        // Unicode escape parsing.
+        assert_eq!(
+            JsonValue::parse(r#""A""#).unwrap(),
+            JsonValue::String("A".into())
+        );
+    }
+
+    #[test]
+    fn render_roundtrips_compact_and_pretty() {
+        let v = JsonValue::Object(vec![
+            ("n".into(), JsonValue::Number(1.25)),
+            ("i".into(), JsonValue::Number(7.0)),
+            (
+                "items".into(),
+                JsonValue::Array(vec![JsonValue::Bool(false)]),
+            ),
+            ("empty".into(), JsonValue::Array(vec![])),
+        ]);
+        for rendered in [v.render(), v.render_pretty()] {
+            assert_eq!(JsonValue::parse(&rendered).unwrap(), v);
+        }
+        // Integers render without a fraction.
+        assert!(v.render().contains("\"i\": 7"));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        for (input, needle) in [
+            ("{", "end of input"),
+            ("{\"a\" 1}", "expected `:`"),
+            ("[1 2]", "expected `,` or `]`"),
+            ("{\"a\": 1} extra", "trailing"),
+            ("\"unterminated", "unterminated"),
+            ("12..5", "invalid number"),
+            ("nah", "invalid literal"),
+            ("", "expected a JSON value"),
+        ] {
+            let err = JsonValue::parse(input).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "input {input:?}: error {err:?} lacks {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accessors_return_none_for_wrong_kinds() {
+        let v = JsonValue::Number(1.0);
+        assert!(v.get("x").is_none());
+        assert!(v.as_str().is_none());
+        assert!(v.as_bool().is_none());
+        assert!(v.as_array().is_none());
+        assert_eq!(v.as_f64(), Some(1.0));
+    }
+}

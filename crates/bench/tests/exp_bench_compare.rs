@@ -1,0 +1,195 @@
+//! End-to-end tests for the `exp_bench compare` regression gate: the exit
+//! codes CI relies on, and readable errors for malformed/missing reports.
+
+use dpsync_bench::perf::{BenchReport, BenchResult, Tolerance, REPORT_VERSION};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn report_with(throughputs: &[(&str, f64)]) -> BenchReport {
+    BenchReport {
+        version: REPORT_VERSION,
+        label: "test".into(),
+        seed: 1,
+        smoke: true,
+        workers: 1,
+        results: throughputs
+            .iter()
+            .map(|&(name, throughput)| BenchResult {
+                name: name.into(),
+                median_ns_per_op: 1e9 / throughput,
+                throughput_per_sec: throughput,
+                records_processed: 64,
+                samples: 3,
+            })
+            .collect(),
+    }
+}
+
+/// Writes a report under a unique temp path and returns the path.
+fn write_report(stem: &str, report: &BenchReport) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "dpsync_exp_bench_{}_{}.json",
+        stem,
+        std::process::id()
+    ));
+    std::fs::write(&path, report.to_json()).expect("temp dir is writable");
+    path
+}
+
+fn exp_bench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_exp_bench"))
+}
+
+#[test]
+fn compare_exits_nonzero_on_regression_beyond_tolerance() {
+    let baseline = write_report(
+        "base_regress",
+        &report_with(&[("pi_update_ingest", 1_000_000.0)]),
+    );
+    let current = write_report(
+        "cur_regress",
+        &report_with(&[("pi_update_ingest", 600_000.0)]),
+    );
+    let output = exp_bench()
+        .args([
+            "compare",
+            baseline.to_str().unwrap(),
+            current.to_str().unwrap(),
+            "--tolerance",
+            "25%",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2), "regression must gate CI");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("pi_update_ingest"),
+        "stderr names the regressed benchmark: {stderr}"
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn compare_passes_within_tolerance_and_on_improvement() {
+    let baseline = write_report(
+        "base_ok",
+        &report_with(&[("pi_update_ingest", 1_000_000.0), ("crypto_encrypt", 500.0)]),
+    );
+    // One benchmark 10% slower (inside 25%), one faster.
+    let current = write_report(
+        "cur_ok",
+        &report_with(&[("pi_update_ingest", 900_000.0), ("crypto_encrypt", 800.0)]),
+    );
+    let output = exp_bench()
+        .args([
+            "compare",
+            baseline.to_str().unwrap(),
+            current.to_str().unwrap(),
+            "--tolerance",
+            "25%",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("OK"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn compare_reports_missing_file_readably() {
+    let baseline = write_report("base_missing", &report_with(&[("x", 1.0)]));
+    let output = exp_bench()
+        .args([
+            "compare",
+            baseline.to_str().unwrap(),
+            "/nonexistent/definitely/absent.json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("absent.json") && stderr.contains("cannot read"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(baseline);
+}
+
+#[test]
+fn compare_reports_malformed_file_readably() {
+    let baseline = write_report("base_malformed", &report_with(&[("x", 1.0)]));
+    let malformed = std::env::temp_dir().join(format!(
+        "dpsync_exp_bench_malformed_{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&malformed, "{\"version\": 1, oops").unwrap();
+    let output = exp_bench()
+        .args([
+            "compare",
+            baseline.to_str().unwrap(),
+            malformed.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("not valid JSON"),
+        "stderr lacks parse diagnosis: {stderr}"
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(malformed);
+}
+
+#[test]
+fn compare_rejects_bad_tolerance_and_wrong_arity() {
+    let some = write_report("base_args", &report_with(&[("x", 1.0)]));
+    let output = exp_bench()
+        .args([
+            "compare",
+            some.to_str().unwrap(),
+            some.to_str().unwrap(),
+            "--tolerance",
+            "sideways",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("sideways"));
+
+    let output = exp_bench()
+        .args(["compare", some.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("exactly two"));
+    let _ = std::fs::remove_file(some);
+}
+
+#[test]
+fn checked_in_baseline_is_loadable_and_covers_the_gated_benchmarks() {
+    // Guards the bench/baseline.json CI actually compares against: if its
+    // schema drifts from the reader, the gate dies here rather than in CI.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench/baseline.json");
+    let report = dpsync_bench::perf::load_report(path.to_str().unwrap())
+        .expect("checked-in baseline parses");
+    assert_eq!(report.version, REPORT_VERSION);
+    assert!(report.smoke, "the CI baseline is a smoke-scale report");
+    for name in ["pi_update_ingest", "crypto_encrypt", "e2e_sync"] {
+        assert!(
+            report.result(name).is_some(),
+            "baseline lacks gated benchmark {name}"
+        );
+    }
+    // Sanity on the comparator against itself: identical reports never gate.
+    let cmp = dpsync_bench::perf::compare(&report, &report, Tolerance(0.0));
+    assert!(!cmp.has_regressions());
+}

@@ -13,7 +13,7 @@
 use crate::cache::{CachePolicy, LocalCache};
 use crate::strategy::{SyncDecision, SyncStrategy, TickContext};
 use crate::timeline::Timestamp;
-use dpsync_crypto::{MasterKey, RecordCryptor, RecordPlaintext};
+use dpsync_crypto::{MasterKey, RecordCryptor};
 use dpsync_edb::sogdb::{EdbError, SecureOutsourcedDatabase};
 use dpsync_edb::{Row, Schema};
 use rand::RngCore;
@@ -235,13 +235,14 @@ impl Owner {
         let real = read.records.len() as u64;
         let dummy = read.dummies_needed;
         let mut out = Vec::with_capacity((real + dummy) as usize);
-        for row in &read.records {
-            let plaintext = RecordPlaintext::real(row.to_bytes());
-            out.push(self.cryptor.encrypt(&plaintext)?);
-        }
-        for _ in 0..dummy {
-            out.push(self.cryptor.encrypt_dummy()?);
-        }
+        // One payload buffer for the whole batch; dummies reuse the prepared
+        // padded plaintext but are each a fresh encryption.
+        self.cryptor.encrypt_batch_into(
+            &read.records,
+            |row, buf| row.encode_into(buf),
+            dummy as usize,
+            &mut out,
+        )?;
         Ok((out, real, dummy))
     }
 }

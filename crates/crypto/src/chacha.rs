@@ -150,17 +150,40 @@ impl Keystream {
     }
 
     /// XORs the keystream into `data`.
+    ///
+    /// Keystream bytes are consumed in exactly the same order as repeated
+    /// [`Keystream::next_byte`] calls, but whole 64-byte spans are generated
+    /// directly and XORed block-at-a-time instead of staging every byte
+    /// through the buffered single-byte path.
     pub fn xor_into(&mut self, data: &mut [u8]) {
-        for byte in data.iter_mut() {
+        let mut i = 0usize;
+        // Drain the partially consumed buffered block first.
+        while self.offset < CHACHA_BLOCK_LEN && i < data.len() {
+            data[i] ^= self.block[self.offset];
+            self.offset += 1;
+            i += 1;
+        }
+        // Whole blocks, generated straight into the XOR.
+        while data.len() - i >= CHACHA_BLOCK_LEN {
+            let block = chacha20_block(&self.key, self.counter, &self.nonce);
+            self.counter = self.counter.wrapping_add(1);
+            for (byte, key) in data[i..i + CHACHA_BLOCK_LEN].iter_mut().zip(&block) {
+                *byte ^= key;
+            }
+            i += CHACHA_BLOCK_LEN;
+        }
+        // Tail (shorter than one block) through the buffered path so a later
+        // call continues mid-block correctly.
+        for byte in data[i..].iter_mut() {
             *byte ^= self.next_byte();
         }
     }
 
     /// Fills `out` with raw keystream bytes (used by the PRF).
     pub fn fill(&mut self, out: &mut [u8]) {
-        for byte in out.iter_mut() {
-            *byte = self.next_byte();
-        }
+        // Zero the destination and reuse the block-wise XOR: x ^ 0 = x.
+        out.fill(0);
+        self.xor_into(out);
     }
 }
 

@@ -32,7 +32,8 @@ pub use chacha::{ChaCha20, Keystream, CHACHA_KEY_LEN, CHACHA_NONCE_LEN};
 pub use keys::{KeyPurpose, MasterKey, SubKey};
 pub use prf::{Mac, Prf};
 pub use record::{
-    CiphertextBytes, EncryptedRecord, RecordCryptor, RecordPlaintext, RECORD_PAYLOAD_LEN,
+    CiphertextBytes, EncryptedRecord, PlaintextView, PreparedPlaintext, RecordCryptor,
+    RecordPlaintext, RECORD_PAYLOAD_LEN,
 };
 
 /// Error type for all cryptographic operations in this crate.

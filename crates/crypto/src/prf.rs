@@ -47,9 +47,16 @@ fn compress(
 }
 
 /// A keyed pseudo-random function with 32-byte output.
+///
+/// The key-absorption compression (the first Davies–Meyer round, which
+/// depends only on the key) is performed once at construction and its
+/// chaining value cached, so every [`Prf::eval`] — and therefore every MAC
+/// tag and nonce derivation on the record hot path — saves one ChaCha20
+/// block evaluation.
 #[derive(Clone)]
 pub struct Prf {
-    key: [u8; CHACHA_KEY_LEN],
+    /// Chaining value after absorbing the key (`compress(0, key, 0)`).
+    keyed_cv: [u8; PRF_OUTPUT_LEN],
 }
 
 impl std::fmt::Debug for Prf {
@@ -61,23 +68,42 @@ impl std::fmt::Debug for Prf {
 impl Prf {
     /// Creates a PRF keyed with `key`.
     pub fn new(key: [u8; CHACHA_KEY_LEN]) -> Self {
-        Self { key }
+        // Absorb the key as the first block (secret-prefix keying); message
+        // blocks continue from this cached chaining value.
+        Self {
+            keyed_cv: compress(&[0u8; PRF_OUTPUT_LEN], &key, 0),
+        }
     }
 
     /// Evaluates the PRF on `input`, producing 32 pseudo-random bytes.
+    ///
+    /// The message is the 8-byte little-endian length prefix followed by
+    /// `input`, absorbed in 32-byte blocks.  The blocks are assembled on the
+    /// stack straight from the two source slices — the eval path performs no
+    /// heap allocation, which matters because every record encryption calls
+    /// it twice (nonce derivation and MAC).
     pub fn eval(&self, input: &[u8]) -> [u8; PRF_OUTPUT_LEN] {
-        // Absorb the key as the first block, then the length-prefixed input
-        // in 32-byte blocks, through the Davies–Meyer compression below.
-        let mut cv = [0u8; PRF_OUTPUT_LEN];
-        cv = compress(&cv, &self.key, 0);
-
-        let mut data = Vec::with_capacity(8 + input.len());
-        data.extend_from_slice(&(input.len() as u64).to_le_bytes());
-        data.extend_from_slice(input);
-        for (i, chunk) in data.chunks(PRF_OUTPUT_LEN).enumerate() {
+        let mut cv = self.keyed_cv;
+        let prefix = (input.len() as u64).to_le_bytes();
+        let total = prefix.len() + input.len();
+        let mut offset = 0usize; // position in the virtual prefix ‖ input
+        let mut counter = 1u32;
+        while offset < total {
             let mut block = [0u8; PRF_OUTPUT_LEN];
-            block[..chunk.len()].copy_from_slice(chunk);
-            cv = compress(&cv, &block, (i as u32).wrapping_add(1));
+            let mut filled = 0usize;
+            if offset < prefix.len() {
+                let n = (prefix.len() - offset).min(PRF_OUTPUT_LEN);
+                block[..n].copy_from_slice(&prefix[offset..offset + n]);
+                filled = n;
+            }
+            // After the prefix bytes are placed, `offset + filled` is always
+            // at least `prefix.len()`, so this index never underflows.
+            let input_start = (offset + filled) - prefix.len();
+            let n = (PRF_OUTPUT_LEN - filled).min(input.len() - input_start);
+            block[filled..filled + n].copy_from_slice(&input[input_start..input_start + n]);
+            cv = compress(&cv, &block, counter);
+            counter = counter.wrapping_add(1);
+            offset += filled + n;
         }
         cv
     }
@@ -176,6 +202,34 @@ mod tests {
         // Length prefixing: a message equal to another message plus trailing
         // zeros must not collide.
         assert_ne!(prf.eval(&[0u8; 47]), prf.eval(&[0u8; 48]));
+    }
+
+    #[test]
+    fn streaming_eval_matches_reference_chunking() {
+        // Reference: materialize `len ‖ input` and absorb zero-padded
+        // 32-byte chunks (the pre-optimization implementation).  The
+        // allocation-free streaming path must be byte-identical for every
+        // boundary-straddling length.
+        let key = [0x5Au8; CHACHA_KEY_LEN];
+        let prf = Prf::new(key);
+        let reference = |input: &[u8]| -> [u8; PRF_OUTPUT_LEN] {
+            let mut cv = compress(&[0u8; PRF_OUTPUT_LEN], &key, 0);
+            let mut data = Vec::with_capacity(8 + input.len());
+            data.extend_from_slice(&(input.len() as u64).to_le_bytes());
+            data.extend_from_slice(input);
+            for (i, chunk) in data.chunks(PRF_OUTPUT_LEN).enumerate() {
+                let mut block = [0u8; PRF_OUTPUT_LEN];
+                block[..chunk.len()].copy_from_slice(chunk);
+                cv = compress(&cv, &block, (i as u32).wrapping_add(1));
+            }
+            cv
+        };
+        for len in [
+            0usize, 1, 7, 8, 23, 24, 25, 31, 32, 33, 55, 56, 64, 100, 1000,
+        ] {
+            let input: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            assert_eq!(prf.eval(&input), reference(&input), "len {len}");
+        }
     }
 
     #[test]

@@ -70,14 +70,72 @@ impl RecordPlaintext {
         body[3..3 + self.payload.len()].copy_from_slice(&self.payload);
         Ok(body)
     }
+}
 
-    fn from_body(body: &[u8; BODY_LEN]) -> Self {
-        let is_dummy = body[0] != 0;
-        let len = u16::from_le_bytes([body[1], body[2]]) as usize;
-        let len = len.min(RECORD_PAYLOAD_LEN);
-        Self {
-            is_dummy,
-            payload: body[3..3 + len].to_vec(),
+/// A plaintext record whose padded body has been assembled ahead of time.
+///
+/// Preparing a plaintext performs the size check and the copy into the
+/// fixed-size padded body once; [`RecordCryptor::encrypt_prepared`] can then
+/// be called many times, and **every call is a fresh encryption** — a new
+/// nonce, a new keystream, a new tag.  This is the dummy-record fast path:
+/// the all-zero dummy body is a compile-time constant, but the emitted
+/// ciphertexts must never repeat, or the server could count dummies and the
+/// update-pattern indistinguishability of Definition 4 would collapse.
+/// Cache the *plaintext*, never the *ciphertext*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedPlaintext {
+    body: [u8; BODY_LEN],
+}
+
+impl PreparedPlaintext {
+    /// Prepares a plaintext record (validates and pads the payload once).
+    pub fn new(record: &RecordPlaintext) -> Result<Self, CryptoError> {
+        Ok(Self {
+            body: record.to_body()?,
+        })
+    }
+
+    /// The prepared dummy record (flag set, zero-length zero padding).
+    pub const fn dummy() -> Self {
+        let mut body = [0u8; BODY_LEN];
+        body[0] = 1; // is_dummy flag; length bytes and padding stay zero.
+        Self { body }
+    }
+
+    /// Whether this prepared record is a dummy.
+    pub fn is_dummy(&self) -> bool {
+        self.body[0] != 0
+    }
+}
+
+/// An authenticated, decrypted record body exposed without copying the
+/// payload out of the fixed-size buffer.
+///
+/// [`RecordCryptor::decrypt_view`] returns this on the `Π_Update` ingest hot
+/// path so engines can parse rows straight from [`PlaintextView::payload`]
+/// instead of materializing an intermediate `Vec` per record.
+#[derive(Debug, Clone)]
+pub struct PlaintextView {
+    body: [u8; BODY_LEN],
+}
+
+impl PlaintextView {
+    /// Whether the record is a dummy.
+    pub fn is_dummy(&self) -> bool {
+        self.body[0] != 0
+    }
+
+    /// The true (unpadded) payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        let len = u16::from_le_bytes([self.body[1], self.body[2]]) as usize;
+        &self.body[3..3 + len.min(RECORD_PAYLOAD_LEN)]
+    }
+
+    /// Converts the view into an owned plaintext record.
+    pub fn into_plaintext(self) -> RecordPlaintext {
+        RecordPlaintext {
+            is_dummy: self.is_dummy(),
+            payload: self.payload().to_vec(),
         }
     }
 }
@@ -167,35 +225,101 @@ impl RecordCryptor {
         self.next_sequence
     }
 
-    /// Encrypts a plaintext record into a fixed-size ciphertext.
-    pub fn encrypt(&mut self, record: &RecordPlaintext) -> Result<EncryptedRecord, CryptoError> {
-        let mut body = record.to_body()?;
+    /// Seals an already-padded body: fresh nonce, encrypt, authenticate.
+    ///
+    /// The MAC input lives on the stack — this is the per-record inner loop
+    /// of every upload and must not heap-allocate.
+    fn seal_body(&mut self, mut body: [u8; BODY_LEN]) -> EncryptedRecord {
         let nonce = self.nonce_prf.derive_nonce(self.next_sequence);
         self.next_sequence += 1;
         self.cipher.apply(nonce, 0, &mut body);
-        let mut mac_input = Vec::with_capacity(CHACHA_NONCE_LEN + BODY_LEN);
-        mac_input.extend_from_slice(&nonce);
-        mac_input.extend_from_slice(&body);
+        let mut mac_input = [0u8; CHACHA_NONCE_LEN + BODY_LEN];
+        mac_input[..CHACHA_NONCE_LEN].copy_from_slice(&nonce);
+        mac_input[CHACHA_NONCE_LEN..].copy_from_slice(&body);
         let tag = self.mac.tag(&mac_input);
-        Ok(EncryptedRecord { nonce, body, tag })
+        EncryptedRecord { nonce, body, tag }
+    }
+
+    /// Encrypts a plaintext record into a fixed-size ciphertext.
+    pub fn encrypt(&mut self, record: &RecordPlaintext) -> Result<EncryptedRecord, CryptoError> {
+        Ok(self.seal_body(record.to_body()?))
+    }
+
+    /// Encrypts a real record directly from its payload bytes, skipping the
+    /// intermediate [`RecordPlaintext`] (and its owned `Vec`).
+    pub fn encrypt_payload(&mut self, payload: &[u8]) -> Result<EncryptedRecord, CryptoError> {
+        if payload.len() > RECORD_PAYLOAD_LEN {
+            return Err(CryptoError::PayloadTooLarge {
+                got: payload.len(),
+                max: RECORD_PAYLOAD_LEN,
+            });
+        }
+        let mut body = [0u8; BODY_LEN];
+        body[1..3].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+        body[3..3 + payload.len()].copy_from_slice(payload);
+        Ok(self.seal_body(body))
+    }
+
+    /// Encrypts a prepared plaintext.  Infallible (the body was validated at
+    /// preparation time) and **fresh** every call: a new nonce and keystream
+    /// are derived per invocation, so encrypting the same prepared plaintext
+    /// twice never yields related ciphertexts.
+    pub fn encrypt_prepared(&mut self, prepared: &PreparedPlaintext) -> EncryptedRecord {
+        self.seal_body(prepared.body)
     }
 
     /// Encrypts a dummy record.
     pub fn encrypt_dummy(&mut self) -> Result<EncryptedRecord, CryptoError> {
-        self.encrypt(&RecordPlaintext::dummy())
+        Ok(self.encrypt_prepared(&PreparedPlaintext::dummy()))
+    }
+
+    /// Encrypts a batch of real records followed by `dummies` dummy records
+    /// into `out`, amortizing per-record setup across the whole batch.
+    ///
+    /// `encode` serializes one item into the scratch buffer it is handed
+    /// (already cleared); the same buffer is reused for every item, so the
+    /// batch performs no per-record payload allocation.  The dummies ride
+    /// the prepared fast path — each one still a fresh encryption.  `out` is
+    /// not cleared, so a caller draining a queue can reuse one output buffer
+    /// across batches.
+    pub fn encrypt_batch_into<T>(
+        &mut self,
+        items: &[T],
+        mut encode: impl FnMut(&T, &mut Vec<u8>),
+        dummies: usize,
+        out: &mut Vec<EncryptedRecord>,
+    ) -> Result<(), CryptoError> {
+        out.reserve(items.len() + dummies);
+        let mut payload = Vec::with_capacity(RECORD_PAYLOAD_LEN);
+        for item in items {
+            payload.clear();
+            encode(item, &mut payload);
+            out.push(self.encrypt_payload(&payload)?);
+        }
+        let dummy = PreparedPlaintext::dummy();
+        for _ in 0..dummies {
+            out.push(self.encrypt_prepared(&dummy));
+        }
+        Ok(())
     }
 
     /// Decrypts and authenticates an encrypted record.
     pub fn decrypt(&self, record: &EncryptedRecord) -> Result<RecordPlaintext, CryptoError> {
-        let mut mac_input = Vec::with_capacity(CHACHA_NONCE_LEN + BODY_LEN);
-        mac_input.extend_from_slice(&record.nonce);
-        mac_input.extend_from_slice(&record.body);
+        Ok(self.decrypt_view(record)?.into_plaintext())
+    }
+
+    /// Decrypts and authenticates a record, returning a zero-copy view of
+    /// the padded body (the `Π_Update` ingest hot path).
+    pub fn decrypt_view(&self, record: &EncryptedRecord) -> Result<PlaintextView, CryptoError> {
+        let mut mac_input = [0u8; CHACHA_NONCE_LEN + BODY_LEN];
+        mac_input[..CHACHA_NONCE_LEN].copy_from_slice(&record.nonce);
+        mac_input[CHACHA_NONCE_LEN..].copy_from_slice(&record.body);
         if !self.mac.verify(&mac_input, &record.tag) {
             return Err(CryptoError::AuthenticationFailed);
         }
         let mut body = record.body;
         self.cipher.apply(record.nonce, 0, &mut body);
-        Ok(RecordPlaintext::from_body(&body))
+        Ok(PlaintextView { body })
     }
 }
 
@@ -322,6 +446,134 @@ mod tests {
         assert_eq!(real_bytes.len(), dummy_bytes.len());
         let mean = |v: &[u8]| v.iter().map(|&b| f64::from(b)).sum::<f64>() / v.len() as f64;
         assert!((mean(&real_bytes) - mean(&dummy_bytes)).abs() < 3.0);
+    }
+
+    #[test]
+    fn prepared_dummy_matches_plaintext_dummy() {
+        // The prepared fast path and the general path must produce
+        // ciphertexts that decrypt to the same plaintext dummy record.
+        let master = MasterKey::from_bytes([3u8; 32]);
+        let mut via_plaintext = RecordCryptor::new(&master);
+        let mut via_prepared = RecordCryptor::new(&master);
+        let a = via_plaintext
+            .encrypt(&RecordPlaintext::dummy())
+            .unwrap()
+            .to_bytes();
+        let b = via_prepared
+            .encrypt_prepared(&PreparedPlaintext::dummy())
+            .to_bytes();
+        // Identical sequence numbers + identical bodies => identical bytes.
+        assert_eq!(a, b);
+        assert!(PreparedPlaintext::dummy().is_dummy());
+    }
+
+    #[test]
+    fn prepared_encryption_is_fresh_every_call() {
+        let mut c = cryptor();
+        let prepared = PreparedPlaintext::new(&RecordPlaintext::real(b"same".to_vec())).unwrap();
+        assert!(!prepared.is_dummy());
+        let a = c.encrypt_prepared(&prepared);
+        let b = c.encrypt_prepared(&prepared);
+        assert_ne!(a.nonce(), b.nonce());
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        assert_eq!(c.decrypt(&a).unwrap(), c.decrypt(&b).unwrap());
+    }
+
+    #[test]
+    fn prepared_rejects_oversized_payloads() {
+        let err = PreparedPlaintext::new(&RecordPlaintext::real(vec![0u8; RECORD_PAYLOAD_LEN + 1]))
+            .unwrap_err();
+        assert!(matches!(err, CryptoError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn encrypt_payload_matches_encrypt() {
+        let master = MasterKey::from_bytes([3u8; 32]);
+        let mut a = RecordCryptor::new(&master);
+        let mut b = RecordCryptor::new(&master);
+        let payload = b"pickup=42".to_vec();
+        let via_record = a.encrypt(&RecordPlaintext::real(payload.clone())).unwrap();
+        let via_payload = b.encrypt_payload(&payload).unwrap();
+        assert_eq!(via_record.to_bytes(), via_payload.to_bytes());
+        assert!(matches!(
+            b.encrypt_payload(&[0u8; RECORD_PAYLOAD_LEN + 1]),
+            Err(CryptoError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_encryption_matches_one_by_one() {
+        let master = MasterKey::from_bytes([3u8; 32]);
+        let mut batch_cryptor = RecordCryptor::new(&master);
+        let mut single_cryptor = RecordCryptor::new(&master);
+        let payloads: Vec<Vec<u8>> = (0..10u64).map(|i| i.to_le_bytes().to_vec()).collect();
+
+        let mut batched = Vec::new();
+        batch_cryptor
+            .encrypt_batch_into(
+                &payloads,
+                |p, buf| buf.extend_from_slice(p),
+                4,
+                &mut batched,
+            )
+            .unwrap();
+
+        let mut singles = Vec::new();
+        for p in &payloads {
+            singles.push(
+                single_cryptor
+                    .encrypt(&RecordPlaintext::real(p.clone()))
+                    .unwrap(),
+            );
+        }
+        for _ in 0..4 {
+            singles.push(single_cryptor.encrypt_dummy().unwrap());
+        }
+        assert_eq!(batched, singles);
+        assert_eq!(
+            batch_cryptor.next_sequence(),
+            single_cryptor.next_sequence()
+        );
+        // The output buffer is appended to, not cleared.
+        let no_items: [Vec<u8>; 0] = [];
+        batch_cryptor
+            .encrypt_batch_into(
+                &no_items,
+                |p, buf| buf.extend_from_slice(p),
+                1,
+                &mut batched,
+            )
+            .unwrap();
+        assert_eq!(batched.len(), 15);
+        // An oversized item surfaces the payload error, not a panic.
+        let oversized = [vec![0u8; RECORD_PAYLOAD_LEN + 1]];
+        let err = batch_cryptor
+            .encrypt_batch_into(
+                &oversized,
+                |p, buf| buf.extend_from_slice(p),
+                0,
+                &mut batched,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CryptoError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn decrypt_view_exposes_payload_without_copy() {
+        let mut c = cryptor();
+        let ct = c
+            .encrypt(&RecordPlaintext::real(b"hot path".to_vec()))
+            .unwrap();
+        let view = c.decrypt_view(&ct).unwrap();
+        assert!(!view.is_dummy());
+        assert_eq!(view.payload(), b"hot path");
+        assert_eq!(
+            view.into_plaintext(),
+            RecordPlaintext::real(b"hot path".to_vec())
+        );
+        let dummy_view = c.decrypt_view(&c.clone().encrypt_dummy().unwrap()).unwrap();
+        assert!(dummy_view.is_dummy());
+        assert!(dummy_view.payload().is_empty());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use crate::exec;
 use crate::query::{Query, QueryAnswer};
-use crate::rewrite::{self, IS_DUMMY_COLUMN};
+use crate::rewrite;
 use crate::row::Row;
 use crate::schema::{Schema, Value};
 use crate::server::ServerStorage;
@@ -47,6 +47,12 @@ pub struct EngineTable {
     pub real_records: u64,
     /// Number of dummy records ingested.
     pub dummy_records: u64,
+    /// Index of the `is_dummy` flag column, cached at `Π_Setup` so queries
+    /// and ingest never search the schema by name.
+    pub flag_column: usize,
+    /// The padded dummy row for this schema (all NULLs plus `is_dummy =
+    /// true`), precomputed once at `Π_Setup` and cloned per ingested dummy.
+    pub dummy_row: Row,
 }
 
 /// A shareable handle to one decrypted table.
@@ -99,6 +105,13 @@ impl EngineCore {
                 return Err(EdbError::AlreadySetUp(table.to_string()));
             }
             let extended = rewrite::schema_with_dummy_flag(&schema);
+            let flag_column = extended
+                .column_index(rewrite::IS_DUMMY_COLUMN)
+                .expect("flag column was just appended");
+            let dummy_row = Row::new(rewrite::values_with_dummy_flag(
+                vec![Value::Null; extended.arity() - 1],
+                true,
+            ));
             tables.insert(
                 table.to_string(),
                 Arc::new(RwLock::new(EngineTable {
@@ -106,6 +119,8 @@ impl EngineCore {
                     rows: Vec::new(),
                     real_records: 0,
                     dummy_records: 0,
+                    flag_column,
+                    dummy_row,
                 })),
             );
         }
@@ -129,20 +144,23 @@ impl EngineCore {
         let ciphertexts: Vec<_> = records.iter().map(EncryptedRecord::to_bytes).collect();
         self.storage.ingest(table, time, ciphertexts);
 
-        // Then the trusted side decrypts into the plaintext mirror.
+        // Then the trusted side decrypts into the plaintext mirror.  Dummies
+        // take the fast path: the padded dummy row was precomputed per schema
+        // at setup, so each dummy ingest is one clone — no per-record value
+        // construction.  (The *ciphertexts* arriving here are still unique:
+        // freshness is enforced at encryption time, see
+        // `dpsync_crypto::PreparedPlaintext`.)
         let mut entry = handle.write();
-        let base_arity = entry.schema.arity() - 1; // without the flag column
         for record in &records {
-            let plaintext = self.cryptor.decrypt(record)?;
-            if plaintext.is_dummy {
-                let mut values = vec![Value::Null; base_arity];
-                values.push(Value::Bool(true));
-                entry.rows.push(Row::new(values));
+            let view = self.cryptor.decrypt_view(record)?;
+            if view.is_dummy() {
+                let dummy = entry.dummy_row.clone();
+                entry.rows.push(dummy);
                 entry.dummy_records += 1;
             } else {
-                let row = Row::from_bytes(&plaintext.payload)
+                let row = Row::from_bytes(view.payload())
                     .map_err(|e| EdbError::CorruptRow(e.to_string()))?;
-                let values = rewrite::values_with_dummy_flag(row.values().to_vec(), false);
+                let values = rewrite::values_with_dummy_flag(row.into_values(), false);
                 entry.rows.push(Row::new(values));
                 entry.real_records += 1;
             }
@@ -179,20 +197,18 @@ impl EngineCore {
             .map(|name| guards.get(*name).map_or(0, |t| t.rows.len() as u64))
             .sum();
         // Joins: the AST rewrite is the identity, so filter dummies by
-        // materializing dummy-free sides here.
-        let answer = match &rewritten {
+        // materializing dummy-free sides here.  Schemas are *borrowed* from
+        // the guards for the duration of execution — the per-query
+        // `schema.clone()` this used to do was pure churn.
+        let answer = match &*rewritten {
             Query::JoinCount { .. } => {
                 let filtered: BTreeMap<&str, Vec<Row>> = guards
                     .iter()
                     .map(|(name, t)| {
-                        let flag = t
-                            .schema
-                            .column_index(IS_DUMMY_COLUMN)
-                            .expect("flag column present");
                         let rows = t
                             .rows
                             .iter()
-                            .filter(|r| r.value(flag) == Some(&Value::Bool(false)))
+                            .filter(|r| r.value(t.flag_column) == Some(&Value::Bool(false)))
                             .cloned()
                             .collect::<Vec<_>>();
                         (*name, rows)
@@ -201,12 +217,12 @@ impl EngineCore {
                 exec::execute(&rewritten, |name| {
                     let table = guards.get(name)?;
                     let rows = filtered.get(name)?;
-                    Some((Some(table.schema.clone()), rows.as_slice()))
+                    Some((Some(&table.schema), rows.as_slice()))
                 })?
             }
             _ => exec::execute(&rewritten, |name| {
                 let table = guards.get(name)?;
-                Some((Some(table.schema.clone()), table.rows.as_slice()))
+                Some((Some(&table.schema), table.rows.as_slice()))
             })?,
         };
         Ok((answer, touched))
@@ -255,27 +271,19 @@ impl EngineCore {
 /// Helper shared by the engines' tests and the workload crate: encrypts a
 /// batch of plaintext rows (plus `dummies` dummy records) with the owner-side
 /// cryptor.
+///
+/// One payload buffer is reused across all rows, and the dummies ride the
+/// prepared fast path — each one still a fresh encryption (fresh nonce and
+/// keystream), only the padded plaintext is shared.
 pub fn encrypt_batch(
     cryptor: &mut RecordCryptor,
     rows: &[Row],
     dummies: usize,
 ) -> Vec<EncryptedRecord> {
     let mut out = Vec::with_capacity(rows.len() + dummies);
-    for row in rows {
-        let plaintext = dpsync_crypto::RecordPlaintext::real(row.to_bytes());
-        out.push(
-            cryptor
-                .encrypt(&plaintext)
-                .expect("row fits record payload"),
-        );
-    }
-    for _ in 0..dummies {
-        out.push(
-            cryptor
-                .encrypt_dummy()
-                .expect("dummy encryption cannot fail"),
-        );
-    }
+    cryptor
+        .encrypt_batch_into(rows, |row, buf| row.encode_into(buf), dummies, &mut out)
+        .expect("row fits record payload");
     out
 }
 

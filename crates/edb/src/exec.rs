@@ -158,7 +158,7 @@ impl PlainDatabase {
         execute(query, |name| {
             self.tables
                 .get(name)
-                .map(|t| (t.schema.clone(), t.rows.as_slice()))
+                .map(|t| (t.schema.as_ref(), t.rows.as_slice()))
         })
     }
 }
@@ -167,12 +167,14 @@ impl PlainDatabase {
 ///
 /// `lookup` returns the (optional) schema and row slice for a table name, or
 /// `None` when the table does not exist.  Engines use this entry point so
-/// they can resolve tables from their own storage structures.
+/// they can resolve tables from their own storage structures.  Schemas are
+/// borrowed, not cloned — execution is on the per-query hot path and must
+/// not copy column metadata for every table it touches.
 pub fn execute<'a, F>(query: &Query, lookup: F) -> Result<QueryAnswer, ExecError>
 where
-    F: Fn(&str) -> Option<(Option<Schema>, &'a [Row])>,
+    F: Fn(&str) -> Option<(Option<&'a Schema>, &'a [Row])>,
 {
-    let resolve = |name: &str| -> Result<(Option<Schema>, &'a [Row]), ExecError> {
+    let resolve = |name: &str| -> Result<(Option<&'a Schema>, &'a [Row]), ExecError> {
         lookup(name).ok_or_else(|| ExecError::UnknownTable(name.to_string()))
     };
 
@@ -212,7 +214,7 @@ where
             let mut groups = BTreeMap::new();
             for row in rows {
                 if let Some(p) = predicate {
-                    if !eval_predicate(p, &schema, row) {
+                    if !eval_predicate(p, schema, row) {
                         continue;
                     }
                 }
@@ -303,7 +305,7 @@ where
             let mut out = Vec::new();
             for row in rows {
                 if let Some(p) = predicate {
-                    if !eval_predicate(p, &schema, row) {
+                    if !eval_predicate(p, schema, row) {
                         continue;
                     }
                 }
@@ -314,11 +316,11 @@ where
     }
 }
 
-fn schema_or_err(
+fn schema_or_err<'a>(
     table: &str,
-    schema: Option<Schema>,
+    schema: Option<&'a Schema>,
     predicate: Option<&Predicate>,
-) -> Result<Option<Schema>, ExecError> {
+) -> Result<Option<&'a Schema>, ExecError> {
     if schema.is_none() {
         if let Some(p) = predicate {
             if let Some(col) = p.columns().first() {

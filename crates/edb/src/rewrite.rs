@@ -16,6 +16,7 @@
 
 use crate::query::{Predicate, Query};
 use crate::schema::{ColumnDef, DataType, Schema, Value};
+use std::borrow::Cow;
 
 /// Name of the synthetic column carrying the dummy flag.
 pub const IS_DUMMY_COLUMN: &str = "is_dummy";
@@ -44,34 +45,39 @@ pub fn values_with_dummy_flag(mut values: Vec<Value>, is_dummy: bool) -> Vec<Val
 }
 
 /// Rewrites a query so that dummy records cannot affect its answer.
-pub fn rewrite_query(query: &Query) -> Query {
+///
+/// Returns a [`Cow`] so the identity cases borrow the input instead of deep
+/// cloning it on every execution: joins are rewritten at materialization
+/// time (not in the AST), and a query whose predicate already conjoins
+/// `is_dummy = false` would be rewritten to itself.
+pub fn rewrite_query(query: &Query) -> Cow<'_, Query> {
     match query {
-        Query::Count { table, predicate } => Query::Count {
+        Query::Count { table, predicate } => Cow::Owned(Query::Count {
             table: table.clone(),
             predicate: Some(conjoin(predicate.clone())),
-        },
+        }),
         Query::GroupByCount {
             table,
             group_by,
             predicate,
-        } => Query::GroupByCount {
+        } => Cow::Owned(Query::GroupByCount {
             table: table.clone(),
             group_by: group_by.clone(),
             predicate: Some(conjoin(predicate.clone())),
-        },
+        }),
         // The join executor filters both sides; expressing that in the AST
         // would require per-side predicates, so the engines apply `not_dummy`
         // when materializing each side.  The rewrite itself is the identity.
-        Query::JoinCount { .. } => query.clone(),
+        Query::JoinCount { .. } => Cow::Borrowed(query),
         Query::Select {
             table,
             columns,
             predicate,
-        } => Query::Select {
+        } => Cow::Owned(Query::Select {
             table: table.clone(),
             columns: columns.clone(),
             predicate: Some(conjoin(predicate.clone())),
-        },
+        }),
     }
 }
 
@@ -180,7 +186,14 @@ mod tests {
     #[test]
     fn join_rewrite_is_identity_at_ast_level() {
         let q = paper_queries::q3_join_count("yellow", "green");
-        assert_eq!(rewrite_query(&q), q);
+        let rewritten = rewrite_query(&q);
+        assert_eq!(*rewritten, q);
+        // And it borrows rather than cloning.
+        assert!(matches!(rewritten, Cow::Borrowed(_)));
+        assert!(matches!(
+            rewrite_query(&paper_queries::q1_range_count("yellow")),
+            Cow::Owned(_)
+        ));
     }
 
     #[test]

@@ -80,9 +80,21 @@ impl Row {
         )
     }
 
+    /// Consumes the row, returning its values without cloning.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
     /// Serializes the row to a compact byte string.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.values.len() * 9 + 1);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the row into `out` (appended), so batch encoders can reuse
+    /// one buffer across rows instead of allocating per row.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(self.values.len() as u8);
         for v in &self.values {
             match v {
@@ -112,7 +124,6 @@ impl Row {
                 }
             }
         }
-        out
     }
 
     /// Decodes a row previously produced by [`Row::to_bytes`].

@@ -18,7 +18,7 @@
 //! * [`queries`] — the evaluation queries Q1/Q2/Q3 with their paper labels.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arrival;
 pub mod csv;

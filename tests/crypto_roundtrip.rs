@@ -2,8 +2,11 @@
 //! through the facade crate.
 
 use dp_sync::crypto::{
-    EncryptedRecord, MasterKey, RecordCryptor, RecordPlaintext, RECORD_PAYLOAD_LEN,
+    EncryptedRecord, MasterKey, PreparedPlaintext, RecordCryptor, RecordPlaintext,
+    RECORD_PAYLOAD_LEN,
 };
+use dp_sync::edb::engines::base::encrypt_batch;
+use dp_sync::edb::{DataType, Row, Schema, Value};
 use proptest::prelude::*;
 
 proptest! {
@@ -51,6 +54,68 @@ proptest! {
         // flag round-trips through decryption alone.
         prop_assert!(cryptor.decrypt(&dummy).unwrap().is_dummy);
         prop_assert!(!cryptor.decrypt(&real).unwrap().is_dummy);
+    }
+
+    /// The dummy fast path caches the padded *plaintext* per schema but must
+    /// re-encrypt it freshly every time: batches mixing real rows of any
+    /// shape with prepared dummies stay length-uniform on the wire, and no
+    /// two emitted dummy ciphertexts share bytes (distinct nonces, distinct
+    /// encrypted bodies) — otherwise the server could count dummies and break
+    /// Definition 4 indistinguishability.
+    #[test]
+    fn cached_schema_dummies_are_fresh_and_length_indistinguishable(
+        key in any::<[u8; 32]>(),
+        pickups in prop::collection::vec(1i64..=265, 1..=12),
+        dummies in 2usize..=24,
+    ) {
+        let schema = Schema::from_pairs(&[
+            ("pick_time", DataType::Timestamp),
+            ("pickup_id", DataType::Int),
+        ]);
+        let rows: Vec<Row> = pickups
+            .iter()
+            .enumerate()
+            .map(|(t, &p)| Row::new(vec![Value::Timestamp(t as u64), Value::Int(p)]))
+            .collect();
+        prop_assert!(rows.iter().all(|r| schema.validates(r.values())));
+
+        let master = MasterKey::from_bytes(key);
+        let mut cryptor = RecordCryptor::new(&master);
+        let batch = encrypt_batch(&mut cryptor, &rows, dummies);
+        prop_assert_eq!(batch.len(), rows.len() + dummies);
+
+        // Length indistinguishability: every ciphertext (real or prepared
+        // dummy) serializes to exactly TOTAL_LEN bytes.
+        for record in &batch {
+            prop_assert_eq!(record.to_bytes().len(), EncryptedRecord::TOTAL_LEN);
+        }
+
+        // Freshness: the dummies all decrypt as dummies, yet no two share
+        // bytes — nonces and encrypted bodies are pairwise distinct, even
+        // though they all came from one cached PreparedPlaintext.
+        let dummy_records: Vec<_> = batch[rows.len()..].to_vec();
+        prop_assert_eq!(dummy_records.len(), dummies);
+        for record in &dummy_records {
+            prop_assert!(cryptor.decrypt(record).unwrap().is_dummy);
+        }
+        for (i, a) in dummy_records.iter().enumerate() {
+            for b in &dummy_records[i + 1..] {
+                prop_assert_ne!(a.nonce(), b.nonce());
+                prop_assert_ne!(a.to_bytes(), b.to_bytes());
+                // The encrypted body segments (between nonce and tag) must
+                // differ too — identical bodies under different nonces would
+                // mean the keystream was reused.
+                let bytes_a = a.to_bytes();
+                let bytes_b = b.to_bytes();
+                let body = 12..EncryptedRecord::TOTAL_LEN - 16;
+                prop_assert_ne!(&bytes_a[body.clone()], &bytes_b[body]);
+            }
+        }
+
+        // And a dummy prepared directly equals the batch's view of a dummy.
+        let direct = cryptor.encrypt_prepared(&PreparedPlaintext::dummy());
+        prop_assert!(cryptor.decrypt(&direct).unwrap().is_dummy);
+        prop_assert_eq!(direct.to_bytes().len(), EncryptedRecord::TOTAL_LEN);
     }
 }
 

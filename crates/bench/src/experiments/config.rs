@@ -13,31 +13,50 @@ use dpsync_dp::Epsilon;
 use dpsync_workloads::taxi::{TaxiConfig, TaxiDataset};
 use serde::{Deserialize, Serialize};
 
-/// Which encrypted-database engine an experiment runs against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum EngineKind {
-    /// The ObliDB-like engine (L-0).
-    ObliDb,
-    /// The Crypt-ε-like engine (L-DP).
-    CryptEpsilon,
+/// Engine selection now lives next to the engines themselves; the harness
+/// re-exports it so experiment code keeps one import path.
+pub use dpsync_edb::engines::EngineKind;
+
+/// Which ciphertext-storage backend the server tier runs on.
+///
+/// The adversary view — and therefore every simulation report — is
+/// byte-identical across backends on a fixed seed (pinned by the
+/// backend-equivalence suite in `dpsync-core`); the choice only affects
+/// durability and ingest cost.  `Disk` runs each simulation against a
+/// durable segment log in its own per-run scratch directory (under
+/// `DPSYNC_DISK_ROOT` when set, the system temp directory otherwise),
+/// removed when the run finishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The in-memory backend (the default).
+    #[default]
+    Memory,
+    /// The durable encrypted segment-log backend.
+    Disk,
 }
 
-impl EngineKind {
-    /// Display label matching the paper.
-    pub fn label(self) -> &'static str {
+impl BackendKind {
+    /// The `--backend` flag spelling.
+    pub fn flag_name(self) -> &'static str {
         match self {
-            EngineKind::ObliDb => "ObliDB",
-            EngineKind::CryptEpsilon => "Crypt-epsilon",
+            BackendKind::Memory => "memory",
+            BackendKind::Disk => "disk",
         }
     }
 
-    /// Both engines, in the order the paper presents them.
-    pub const ALL: [EngineKind; 2] = [EngineKind::CryptEpsilon, EngineKind::ObliDb];
+    /// Parses a `--backend` flag value.
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw {
+            "memory" => Some(BackendKind::Memory),
+            "disk" => Some(BackendKind::Disk),
+            _ => None,
+        }
+    }
 }
 
-impl std::fmt::Display for EngineKind {
+impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.label())
+        write!(f, "{}", self.flag_name())
     }
 }
 
@@ -105,6 +124,8 @@ pub struct ExperimentConfig {
     pub query_interval: u64,
     /// Size-sample interval in time units (paper: 7200).
     pub size_sample_interval: u64,
+    /// Which storage backend hosts the server-side ciphertexts.
+    pub backend: BackendKind,
 }
 
 impl Default for ExperimentConfig {
@@ -115,18 +136,20 @@ impl Default for ExperimentConfig {
             params: StrategyParams::default(),
             query_interval: 360,
             size_sample_interval: 7200,
+            backend: BackendKind::Memory,
         }
     }
 }
 
 impl ExperimentConfig {
-    /// Parses `--scale N`, `--seed S` and `--jobs J` from command-line
-    /// arguments, starting from the defaults.
+    /// Parses `--scale N`, `--seed S`, `--jobs J` and `--backend
+    /// {memory,disk}` from command-line arguments, starting from the
+    /// defaults.
     ///
     /// `--jobs` configures the experiment worker pool (see [`crate::pool`]):
     /// it caps how many simulations run concurrently, and defaults to the
     /// machine's available parallelism.  Results are byte-identical for every
-    /// worker count.
+    /// worker count — and, with a fixed seed, for every `--backend`.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
         let mut config = Self::default();
         let args: Vec<String> = args.collect();
@@ -148,6 +171,16 @@ impl ExperimentConfig {
                 "--jobs" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
                         crate::pool::set_worker_override(std::num::NonZeroUsize::new(v));
+                        i += 1;
+                    }
+                }
+                "--backend" => {
+                    if let Some(v) = args
+                        .get(i + 1)
+                        .map(String::as_str)
+                        .and_then(BackendKind::parse)
+                    {
+                        config.backend = v;
                         i += 1;
                     }
                 }
@@ -214,17 +247,39 @@ mod tests {
     #[test]
     fn arg_parsing_and_rescaling() {
         let c = ExperimentConfig::from_args(
-            ["--scale", "20", "--seed", "7", "--ignored"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale",
+                "20",
+                "--seed",
+                "7",
+                "--backend",
+                "disk",
+                "--ignored",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(c.scale, 20);
         assert_eq!(c.seed, 7);
         assert_eq!(c.query_interval, 18);
         assert_eq!(c.size_sample_interval, 360);
+        assert_eq!(c.backend, BackendKind::Disk);
         // Missing values fall back to defaults.
         let d = ExperimentConfig::from_args(["--scale"].iter().map(|s| s.to_string()));
         assert_eq!(d.scale, 1);
+        assert_eq!(d.backend, BackendKind::Memory);
+        // Unknown backend values are ignored, keeping the default.
+        let e = ExperimentConfig::from_args(["--backend", "floppy"].iter().map(|s| s.to_string()));
+        assert_eq!(e.backend, BackendKind::Memory);
+    }
+
+    #[test]
+    fn backend_kind_parses_and_renders() {
+        assert_eq!(BackendKind::parse("memory"), Some(BackendKind::Memory));
+        assert_eq!(BackendKind::parse("disk"), Some(BackendKind::Disk));
+        assert_eq!(BackendKind::parse("tape"), None);
+        assert_eq!(BackendKind::Disk.to_string(), "disk");
+        assert_eq!(BackendKind::default(), BackendKind::Memory);
     }
 
     #[test]

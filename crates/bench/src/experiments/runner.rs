@@ -8,16 +8,18 @@
 //! fields, see [`SimulationReport::normalized`]) whether it executes
 //! sequentially or on the pool, in any worker count.
 
-use crate::experiments::config::{EngineKind, ExperimentConfig};
+use crate::experiments::config::{BackendKind, EngineKind, ExperimentConfig};
 use crate::pool::parallel_map;
 use dpsync_core::metrics::SimulationReport;
 use dpsync_core::simulation::{Simulation, SimulationConfig, TableWorkload};
 use dpsync_core::strategy::StrategyKind;
 use dpsync_crypto::MasterKey;
-use dpsync_edb::engines::{CryptEpsilonEngine, ObliDbEngine};
+use dpsync_edb::backend::BackendConfig;
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
 use dpsync_edb::Query;
 use dpsync_workloads::queries;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One simulation run specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,11 +56,77 @@ fn master_key(config: &ExperimentConfig) -> MasterKey {
     MasterKey::from_bytes(bytes)
 }
 
-/// Builds the engine for a run.
+/// Builds the engine for a run (in-memory backend).
 pub fn build_engine(kind: EngineKind, master: &MasterKey) -> Box<dyn SecureOutsourcedDatabase> {
-    match kind {
-        EngineKind::ObliDb => Box::new(ObliDbEngine::new(master)),
-        EngineKind::CryptEpsilon => Box::new(CryptEpsilonEngine::new(master)),
+    kind.build(master)
+}
+
+/// Monotone counter distinguishing concurrent disk runs within one process.
+static DISK_RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Root under which every disk-backed scratch directory is created:
+/// `DPSYNC_DISK_ROOT` when set (CI points it at a job-scoped temp dir), the
+/// system temp directory otherwise.  Shared by the experiment runner and
+/// the disk-ingest benchmark so both measure the same medium.
+pub fn disk_scratch_root() -> PathBuf {
+    std::env::var_os("DPSYNC_DISK_ROOT")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+/// Scratch directory for one disk-backed run, removed on drop.
+///
+/// The root is `DPSYNC_DISK_ROOT` when set (CI points it at a job-scoped
+/// temp dir), the system temp directory otherwise; every run gets a unique
+/// subdirectory so pooled runs never collide.
+#[derive(Debug)]
+pub struct DiskRunDir {
+    path: PathBuf,
+}
+
+impl DiskRunDir {
+    fn new() -> Self {
+        let path = disk_scratch_root().join(format!(
+            "dpsync-run-{}-{}",
+            std::process::id(),
+            DISK_RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        Self { path }
+    }
+
+    /// The scratch directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for DiskRunDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Builds the engine a spec asks for, on the spec's storage backend.
+///
+/// Returns the scratch-directory guard for disk runs; hold it for as long as
+/// the engine lives (dropping it deletes the run's segment logs).
+pub fn build_run_engine(
+    spec: &RunSpec,
+    master: &MasterKey,
+) -> (Box<dyn SecureOutsourcedDatabase>, Option<DiskRunDir>) {
+    match spec.config.backend {
+        BackendKind::Memory => (spec.engine.build(master), None),
+        BackendKind::Disk => {
+            let dir = DiskRunDir::new();
+            let backend = BackendConfig::segment_log(dir.path())
+                .build()
+                .expect("scratch directory for a disk run is creatable");
+            let engine = spec
+                .engine
+                .build_with_backend(master, backend)
+                .expect("fresh segment log opens");
+            (engine, Some(dir))
+        }
     }
 }
 
@@ -93,13 +161,17 @@ fn simulation_for(spec: &RunSpec) -> Simulation {
 /// [`run_simulation_sequential`] for the single-threaded reference.
 pub fn run_simulation(spec: &RunSpec) -> SimulationReport {
     let master = master_key(&spec.config);
-    let engine = build_engine(spec.engine, &master);
+    let (engine, _disk_dir) = build_run_engine(spec, &master);
     let workloads = build_workloads(spec);
-    simulation_for(spec)
+    let report = simulation_for(spec)
         .run_parallel(&workloads, engine.as_ref(), &master, |_| {
             spec.config.params.build(spec.strategy)
         })
-        .expect("simulation over generated workloads cannot fail")
+        .expect("simulation over generated workloads cannot fail");
+    // `engine` drops before `_disk_dir`, so the segment files are closed
+    // when the scratch directory is removed.
+    drop(engine);
+    report
 }
 
 /// Runs one full simulation on the single-threaded reference driver.
@@ -108,13 +180,15 @@ pub fn run_simulation(spec: &RunSpec) -> SimulationReport {
 /// sharded path reproduces the sequential reports byte for byte.
 pub fn run_simulation_sequential(spec: &RunSpec) -> SimulationReport {
     let master = master_key(&spec.config);
-    let engine = build_engine(spec.engine, &master);
+    let (engine, _disk_dir) = build_run_engine(spec, &master);
     let workloads = build_workloads(spec);
-    simulation_for(spec)
+    let report = simulation_for(spec)
         .run(&workloads, engine.as_ref(), &master, |_| {
             spec.config.params.build(spec.strategy)
         })
-        .expect("simulation over generated workloads cannot fail")
+        .expect("simulation over generated workloads cannot fail");
+    drop(engine);
+    report
 }
 
 /// Runs a batch of independent specs on the worker pool, preserving order.
@@ -213,6 +287,37 @@ mod tests {
             .unwrap()
             .outsourced_records;
         assert!(set_records > sur_records);
+    }
+
+    #[test]
+    fn disk_backend_reproduces_the_memory_report() {
+        // The storage backend must be invisible in every report field: same
+        // seed, same answers, same transcript-derived sizes.
+        let memory_spec = RunSpec {
+            engine: EngineKind::ObliDb,
+            strategy: StrategyKind::DpTimer,
+            config: smoke_config(),
+        };
+        let disk_spec = RunSpec {
+            config: ExperimentConfig {
+                backend: BackendKind::Disk,
+                ..memory_spec.config
+            },
+            ..memory_spec
+        };
+        let memory = run_simulation(&memory_spec).normalized();
+        let disk = run_simulation(&disk_spec).normalized();
+        assert_eq!(memory, disk);
+    }
+
+    #[test]
+    fn disk_runs_clean_up_their_scratch_directories() {
+        let dir = DiskRunDir::new();
+        let path = dir.path().to_path_buf();
+        std::fs::create_dir_all(&path).unwrap();
+        std::fs::write(path.join("seg-000000.dpl"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists(), "drop removes the scratch directory");
     }
 
     #[test]

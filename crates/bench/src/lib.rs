@@ -14,13 +14,13 @@
 //! that factor) and `--seed S` so results are reproducible.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod perf;
 pub mod pool;
 pub mod report;
 
-pub use experiments::config::{EngineKind, ExperimentConfig, StrategyParams};
+pub use experiments::config::{BackendKind, EngineKind, ExperimentConfig, StrategyParams};
 pub use experiments::runner::{run_simulation, run_simulation_sequential, run_specs, RunSpec};
 pub use pool::parallel_map;

@@ -4,8 +4,10 @@
 //! The ROADMAP demands "as fast as the hardware allows"; this module gives
 //! that demand teeth.  [`run_suite`] times the hot paths that dominate
 //! DP-Sync's cost — record encryption/decryption, the DP sampling primitives,
-//! engine `Π_Update` ingest, query execution, and a small end-to-end sync —
-//! and renders the medians into a versioned [`BenchReport`].  The `exp_bench`
+//! engine `Π_Update` ingest (against both the in-memory store and the
+//! durable segment log with per-batch fsync), query execution, and a small
+//! end-to-end sync — and renders the medians into a versioned
+//! [`BenchReport`].  The `exp_bench`
 //! binary writes the report as `BENCH_<label>.json`, and its `compare`
 //! subcommand diffs two reports with a configurable tolerance, exiting
 //! nonzero on regression so CI can gate on it (see `bench/baseline.json`).
@@ -617,13 +619,15 @@ fn bench_dp_svt(scale: &SuiteScale, seed: u64) -> BenchResult {
     })
 }
 
-fn bench_pi_update_ingest(scale: &SuiteScale, seed: u64) -> BenchResult {
-    let master = MasterKey::from_bytes([0xB3; 32]);
-    let mut cryptor = RecordCryptor::new(&master);
-    // One quarter of every batch is dummy padding, matching a DP-Timer-like
-    // steady state.  Batches are encrypted once up front; each sample clones
-    // them outside the timed region (Π_Update consumes the batch by value).
-    let batches: Vec<_> = (0..scale.ingest_batches)
+/// Pre-encrypts the shared ingest workload: one quarter of every batch is
+/// dummy padding, matching a DP-Timer-like steady state.
+fn ingest_batches(
+    scale: &SuiteScale,
+    seed: u64,
+    master: &MasterKey,
+) -> Vec<Vec<dpsync_crypto::EncryptedRecord>> {
+    let mut cryptor = RecordCryptor::new(master);
+    (0..scale.ingest_batches)
         .map(|b| {
             let rows = synthetic_rows(
                 scale.ingest_batch_size * 3 / 4,
@@ -631,7 +635,14 @@ fn bench_pi_update_ingest(scale: &SuiteScale, seed: u64) -> BenchResult {
             );
             encrypt_batch(&mut cryptor, &rows, scale.ingest_batch_size / 4)
         })
-        .collect();
+        .collect()
+}
+
+fn bench_pi_update_ingest(scale: &SuiteScale, seed: u64) -> BenchResult {
+    let master = MasterKey::from_bytes([0xB3; 32]);
+    // Batches are encrypted once up front; each sample clones them outside
+    // the timed region (Π_Update consumes the batch by value).
+    let batches = ingest_batches(scale, seed, &master);
     let records: u64 = batches.iter().map(|b| b.len() as u64).sum();
     run_bench("pi_update_ingest", scale.samples, records, || {
         let engine = ObliDbEngine::new(&master);
@@ -649,6 +660,42 @@ fn bench_pi_update_ingest(scale: &SuiteScale, seed: u64) -> BenchResult {
         black_box(engine.table_stats("bench").ciphertext_count);
         elapsed
     })
+}
+
+fn bench_pi_update_ingest_disk(scale: &SuiteScale, seed: u64) -> BenchResult {
+    let master = MasterKey::from_bytes([0xB3; 32]);
+    let batches = ingest_batches(scale, seed, &master);
+    let records: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let root = crate::experiments::runner::disk_scratch_root()
+        .join(format!("dpsync-perf-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut sample_index = 0u64;
+    let result = run_bench("pi_update_ingest_disk", scale.samples, records, || {
+        // A fresh segment log per sample, full durability: every Π_Update
+        // batch is CRC-framed and fsynced, so this measures the real disk
+        // ingest path, not just the framing.
+        let dir = root.join(format!("sample-{sample_index}"));
+        sample_index += 1;
+        let backend = dpsync_edb::BackendConfig::segment_log(&dir)
+            .build()
+            .expect("scratch dir is creatable");
+        let engine = ObliDbEngine::with_backend(&master, backend).expect("fresh log opens");
+        engine
+            .setup("bench", taxi_like_schema(), Vec::new())
+            .expect("fresh engine");
+        let cloned: Vec<_> = batches.to_vec();
+        let started = Instant::now();
+        for (time, batch) in cloned.into_iter().enumerate() {
+            engine
+                .update("bench", time as u64 + 1, batch)
+                .expect("disk ingest succeeds");
+        }
+        let elapsed = started.elapsed();
+        black_box(engine.table_stats("bench").ciphertext_count);
+        elapsed
+    });
+    let _ = std::fs::remove_dir_all(&root);
+    result
 }
 
 fn query_engine(scale: &SuiteScale, seed: u64) -> ObliDbEngine {
@@ -723,6 +770,7 @@ pub fn run_suite(config: &SuiteConfig) -> BenchReport {
         bench_dp_laplace(&scale, seed),
         bench_dp_svt(&scale, seed),
         bench_pi_update_ingest(&scale, seed),
+        bench_pi_update_ingest_disk(&scale, seed),
         bench_query(
             "query_q1_count",
             &scale,
@@ -890,6 +938,7 @@ mod tests {
             "dp_laplace",
             "dp_svt",
             "pi_update_ingest",
+            "pi_update_ingest_disk",
             "query_q1_count",
             "query_q2_group_by",
             "e2e_sync",

@@ -1,9 +1,44 @@
 //! End-to-end tests for the `exp_bench compare` regression gate: the exit
 //! codes CI relies on, and readable errors for malformed/missing reports.
+//!
+//! Every test works inside its own [`TestDir`] — a per-test scratch
+//! directory removed on drop — so the suite is parallel-safe: no fixture
+//! path is shared, and no test can `remove_file` another test's report.
 
 use dpsync_bench::perf::{BenchReport, BenchResult, Tolerance, REPORT_VERSION};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
+
+/// A scratch directory unique to one test invocation, removed on drop.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(test: &str) -> Self {
+        let path = std::env::temp_dir()
+            .join(format!("dpsync_exp_bench_{}", std::process::id()))
+            .join(test);
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("temp dir is writable");
+        Self(path)
+    }
+
+    /// Writes `report` as `<stem>.json` inside this test's directory.
+    fn write_report(&self, stem: &str, report: &BenchReport) -> PathBuf {
+        let path = self.0.join(format!("{stem}.json"));
+        std::fs::write(&path, report.to_json()).expect("test dir is writable");
+        path
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 fn report_with(throughputs: &[(&str, f64)]) -> BenchReport {
     BenchReport {
@@ -25,31 +60,18 @@ fn report_with(throughputs: &[(&str, f64)]) -> BenchReport {
     }
 }
 
-/// Writes a report under a unique temp path and returns the path.
-fn write_report(stem: &str, report: &BenchReport) -> PathBuf {
-    let path = std::env::temp_dir().join(format!(
-        "dpsync_exp_bench_{}_{}.json",
-        stem,
-        std::process::id()
-    ));
-    std::fs::write(&path, report.to_json()).expect("temp dir is writable");
-    path
-}
-
 fn exp_bench() -> Command {
     Command::new(env!("CARGO_BIN_EXE_exp_bench"))
 }
 
 #[test]
 fn compare_exits_nonzero_on_regression_beyond_tolerance() {
-    let baseline = write_report(
-        "base_regress",
+    let dir = TestDir::new("regression");
+    let baseline = dir.write_report(
+        "baseline",
         &report_with(&[("pi_update_ingest", 1_000_000.0)]),
     );
-    let current = write_report(
-        "cur_regress",
-        &report_with(&[("pi_update_ingest", 600_000.0)]),
-    );
+    let current = dir.write_report("current", &report_with(&[("pi_update_ingest", 600_000.0)]));
     let output = exp_bench()
         .args([
             "compare",
@@ -66,19 +88,18 @@ fn compare_exits_nonzero_on_regression_beyond_tolerance() {
         stderr.contains("pi_update_ingest"),
         "stderr names the regressed benchmark: {stderr}"
     );
-    let _ = std::fs::remove_file(baseline);
-    let _ = std::fs::remove_file(current);
 }
 
 #[test]
 fn compare_passes_within_tolerance_and_on_improvement() {
-    let baseline = write_report(
-        "base_ok",
+    let dir = TestDir::new("within_tolerance");
+    let baseline = dir.write_report(
+        "baseline",
         &report_with(&[("pi_update_ingest", 1_000_000.0), ("crypto_encrypt", 500.0)]),
     );
     // One benchmark 10% slower (inside 25%), one faster.
-    let current = write_report(
-        "cur_ok",
+    let current = dir.write_report(
+        "current",
         &report_with(&[("pi_update_ingest", 900_000.0), ("crypto_encrypt", 800.0)]),
     );
     let output = exp_bench()
@@ -99,37 +120,34 @@ fn compare_passes_within_tolerance_and_on_improvement() {
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("OK"), "stdout: {stdout}");
-    let _ = std::fs::remove_file(baseline);
-    let _ = std::fs::remove_file(current);
 }
 
 #[test]
 fn compare_reports_missing_file_readably() {
-    let baseline = write_report("base_missing", &report_with(&[("x", 1.0)]));
+    let dir = TestDir::new("missing_file");
+    let baseline = dir.write_report("baseline", &report_with(&[("x", 1.0)]));
+    let absent = dir.path().join("definitely_absent.json");
     let output = exp_bench()
         .args([
             "compare",
             baseline.to_str().unwrap(),
-            "/nonexistent/definitely/absent.json",
+            absent.to_str().unwrap(),
         ])
         .output()
         .expect("binary runs");
     assert_eq!(output.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
-        stderr.contains("absent.json") && stderr.contains("cannot read"),
+        stderr.contains("definitely_absent.json") && stderr.contains("cannot read"),
         "stderr: {stderr}"
     );
-    let _ = std::fs::remove_file(baseline);
 }
 
 #[test]
 fn compare_reports_malformed_file_readably() {
-    let baseline = write_report("base_malformed", &report_with(&[("x", 1.0)]));
-    let malformed = std::env::temp_dir().join(format!(
-        "dpsync_exp_bench_malformed_{}.json",
-        std::process::id()
-    ));
+    let dir = TestDir::new("malformed_file");
+    let baseline = dir.write_report("baseline", &report_with(&[("x", 1.0)]));
+    let malformed = dir.path().join("malformed.json");
     std::fs::write(&malformed, "{\"version\": 1, oops").unwrap();
     let output = exp_bench()
         .args([
@@ -145,13 +163,12 @@ fn compare_reports_malformed_file_readably() {
         stderr.contains("not valid JSON"),
         "stderr lacks parse diagnosis: {stderr}"
     );
-    let _ = std::fs::remove_file(baseline);
-    let _ = std::fs::remove_file(malformed);
 }
 
 #[test]
 fn compare_rejects_bad_tolerance_and_wrong_arity() {
-    let some = write_report("base_args", &report_with(&[("x", 1.0)]));
+    let dir = TestDir::new("bad_args");
+    let some = dir.write_report("baseline", &report_with(&[("x", 1.0)]));
     let output = exp_bench()
         .args([
             "compare",
@@ -171,7 +188,6 @@ fn compare_rejects_bad_tolerance_and_wrong_arity() {
         .expect("binary runs");
     assert_eq!(output.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&output.stderr).contains("exactly two"));
-    let _ = std::fs::remove_file(some);
 }
 
 #[test]
@@ -183,7 +199,12 @@ fn checked_in_baseline_is_loadable_and_covers_the_gated_benchmarks() {
         .expect("checked-in baseline parses");
     assert_eq!(report.version, REPORT_VERSION);
     assert!(report.smoke, "the CI baseline is a smoke-scale report");
-    for name in ["pi_update_ingest", "crypto_encrypt", "e2e_sync"] {
+    for name in [
+        "pi_update_ingest",
+        "pi_update_ingest_disk",
+        "crypto_encrypt",
+        "e2e_sync",
+    ] {
         assert!(
             report.result(name).is_some(),
             "baseline lacks gated benchmark {name}"

@@ -28,7 +28,7 @@
 //!   executable evidence.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analyst;
 pub mod cache;

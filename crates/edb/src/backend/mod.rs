@@ -1,0 +1,317 @@
+//! Pluggable ciphertext-storage backends for the untrusted server.
+//!
+//! DP-Sync's guarantees (Definitions 1–4) constrain *what the server
+//! observes* — the update pattern, the ciphertext volumes, the query
+//! transcript — and say nothing about *how* the server materializes the
+//! outsourced data.  This module makes that distinction mechanical: the
+//! server tier ([`crate::server::ServerStorage`]) talks to storage only
+//! through the [`StorageBackend`] / [`TableStore`] traits, so swapping the
+//! substrate can never change the adversary's transcript.  The
+//! backend-equivalence suite in `dpsync-core` pins exactly that invariant:
+//! query answers, simulation reports and the full [`crate::AdversaryView`]
+//! are byte-identical across backends on fixed-seed workloads.
+//!
+//! Two backends ship today:
+//!
+//! * [`MemoryBackend`] — the original in-memory `Vec<Bytes>` store, extracted
+//!   behind the trait with zero behavior change.  The default everywhere.
+//! * [`SegmentLogBackend`] — a durable append-only encrypted segment log
+//!   (fixed-size segment files, CRC-checked headers, batch-fsync on
+//!   `Π_Update` boundaries, torn-tail crash recovery).  See [`segment_log`]
+//!   for the on-disk format.
+//!
+//! A SOGDB only ever grows (Definition 1 has no delete protocol), which is
+//! why an append-only log is a *complete* storage engine here, not a
+//! compromise.
+
+use crate::leakage::UpdateEvent;
+use bytes::Bytes;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+pub mod segment_log;
+
+pub use segment_log::{SegmentLogBackend, SegmentLogConfig};
+
+/// Errors surfaced by storage backends.
+///
+/// Backend failures compose into [`crate::EdbError::Storage`] so owner and
+/// analyst code paths propagate them cleanly instead of panicking.  The
+/// variants carry rendered messages (not live `io::Error` values) so the
+/// error stays `Clone + PartialEq` like the rest of the error tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operating-system I/O failure (open, write, fsync, ...).
+    Io {
+        /// Path the operation touched.
+        path: String,
+        /// Rendered `io::Error` message.
+        message: String,
+    },
+    /// On-disk data failed validation (bad magic, CRC mismatch, impossible
+    /// lengths) somewhere recovery is not allowed to repair silently.
+    Corrupt {
+        /// Path of the corrupt file.
+        path: String,
+        /// Byte offset at which validation failed.
+        offset: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// A backend-specific invariant violation (bad configuration, unusable
+    /// table name, ...).
+    Backend {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl StorageError {
+    /// Convenience constructor wrapping an `io::Error` with its path.
+    pub fn io(path: &std::path::Path, error: &std::io::Error) -> Self {
+        StorageError::Io {
+            path: path.display().to_string(),
+            message: error.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io { path, message } => {
+                write!(f, "storage I/O error at `{path}`: {message}")
+            }
+            StorageError::Corrupt {
+                path,
+                offset,
+                message,
+            } => write!(
+                f,
+                "corrupt storage in `{path}` at offset {offset}: {message}"
+            ),
+            StorageError::Backend { message } => write!(f, "storage backend error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// One table's ciphertext store, as seen by the server shard that owns it.
+///
+/// A store is append-only: `Π_Setup` / `Π_Update` batches arrive through
+/// [`TableStore::append_batch`] and nothing is ever overwritten or deleted —
+/// a secure outsourced *growing* database only grows.  The store also
+/// remembers the `(time, volume)` of every batch it accepted (including
+/// batches recovered from disk at open time), because that sequence *is* the
+/// table's slice of the Definition-2 update pattern.
+pub trait TableStore: Send + Sync + std::fmt::Debug {
+    /// Appends one batch of ciphertexts observed at `time`.
+    ///
+    /// Durable backends must not acknowledge the batch until it is persisted
+    /// (the segment log fsyncs before returning); an error means the batch
+    /// must be treated as never stored.
+    fn append_batch(&mut self, time: u64, ciphertexts: &[Bytes]) -> Result<(), StorageError>;
+
+    /// Number of ciphertexts stored.
+    fn ciphertext_count(&self) -> u64;
+
+    /// Total ciphertext bytes stored.
+    fn ciphertext_bytes(&self) -> u64;
+
+    /// The update events this store accepted (or recovered), in arrival
+    /// order — the table's slice of the adversary-visible update pattern.
+    fn updates(&self) -> &[UpdateEvent];
+
+    /// Scans every stored ciphertext in arrival order.
+    ///
+    /// Durable backends read back from their persistent medium; the visitor
+    /// sees each ciphertext exactly once, in the order it was appended.
+    fn scan(&self, visit: &mut dyn FnMut(&[u8])) -> Result<(), StorageError>;
+}
+
+/// A ciphertext-storage backend: a factory of per-table stores plus
+/// discovery of tables that already exist on the medium.
+///
+/// Backends are shared (`Arc<dyn StorageBackend>`) across the server's
+/// per-table shards; each shard owns the `Box<dyn TableStore>` the backend
+/// opened for it, behind the shard's own lock, so the sharded concurrency
+/// story of the server tier is backend-independent.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    /// A short backend name ("memory", "segment-log").
+    fn name(&self) -> &'static str;
+
+    /// Opens (creating if absent) the store for `table`.
+    ///
+    /// For durable backends an existing table is *recovered*: its
+    /// ciphertexts, byte counts and update events are rebuilt from the
+    /// medium before the store is returned.
+    fn open_table(&self, table: &str) -> Result<Box<dyn TableStore>, StorageError>;
+
+    /// The tables that already exist on the backend's medium, in sorted
+    /// order (empty for volatile backends and fresh directories).
+    fn existing_tables(&self) -> Result<Vec<String>, StorageError>;
+}
+
+/// Declarative backend selection, threaded through configuration layers
+/// (`dpsync-core` simulations, `dpsync-bench` experiment binaries) down to
+/// the server tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendConfig {
+    /// The in-memory backend (volatile, the default).
+    Memory,
+    /// The durable segment-log backend rooted at a directory.
+    SegmentLog(SegmentLogConfig),
+}
+
+impl BackendConfig {
+    /// A segment-log configuration with defaults at `dir`.
+    pub fn segment_log(dir: impl Into<PathBuf>) -> Self {
+        BackendConfig::SegmentLog(SegmentLogConfig::new(dir))
+    }
+
+    /// Builds the configured backend (creating directories for durable
+    /// backends, recovering whatever already exists there).
+    pub fn build(&self) -> Result<Arc<dyn StorageBackend>, StorageError> {
+        match self {
+            BackendConfig::Memory => Ok(Arc::new(MemoryBackend::new())),
+            BackendConfig::SegmentLog(config) => {
+                Ok(Arc::new(SegmentLogBackend::open(config.clone())?))
+            }
+        }
+    }
+}
+
+/// The in-memory backend: ciphertexts live in a `Vec<Bytes>` per table.
+///
+/// This is the seed repository's original server storage, extracted behind
+/// [`StorageBackend`] with zero behavior change.  It is volatile by design —
+/// tests, experiments and the privacy verifier only need the transcript of
+/// one process lifetime.
+#[derive(Debug, Default)]
+pub struct MemoryBackend;
+
+impl MemoryBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn open_table(&self, _table: &str) -> Result<Box<dyn TableStore>, StorageError> {
+        Ok(Box::new(MemoryTableStore::default()))
+    }
+
+    fn existing_tables(&self) -> Result<Vec<String>, StorageError> {
+        Ok(Vec::new())
+    }
+}
+
+/// The in-memory per-table store behind [`MemoryBackend`].
+#[derive(Debug, Default)]
+pub struct MemoryTableStore {
+    ciphertexts: Vec<Bytes>,
+    updates: Vec<UpdateEvent>,
+    bytes: u64,
+}
+
+impl TableStore for MemoryTableStore {
+    fn append_batch(&mut self, time: u64, ciphertexts: &[Bytes]) -> Result<(), StorageError> {
+        self.bytes += ciphertexts.iter().map(|c| c.len() as u64).sum::<u64>();
+        self.ciphertexts.extend_from_slice(ciphertexts);
+        self.updates.push(UpdateEvent {
+            time,
+            volume: ciphertexts.len() as u64,
+        });
+        Ok(())
+    }
+
+    fn ciphertext_count(&self) -> u64 {
+        self.ciphertexts.len() as u64
+    }
+
+    fn ciphertext_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn updates(&self) -> &[UpdateEvent] {
+        &self.updates
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(&[u8])) -> Result<(), StorageError> {
+        for c in &self.ciphertexts {
+            visit(c);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ct(byte: u8, len: usize) -> Bytes {
+        Bytes::from(vec![byte; len])
+    }
+
+    #[test]
+    fn memory_store_appends_and_scans_in_order() {
+        let backend = MemoryBackend::new();
+        assert_eq!(backend.name(), "memory");
+        assert!(backend.existing_tables().unwrap().is_empty());
+        let mut store = backend.open_table("t").unwrap();
+        store.append_batch(0, &[ct(1, 10), ct(2, 20)]).unwrap();
+        store.append_batch(5, &[ct(3, 30)]).unwrap();
+        store.append_batch(9, &[]).unwrap();
+        assert_eq!(store.ciphertext_count(), 3);
+        assert_eq!(store.ciphertext_bytes(), 60);
+        assert_eq!(
+            store.updates(),
+            &[
+                UpdateEvent { time: 0, volume: 2 },
+                UpdateEvent { time: 5, volume: 1 },
+                UpdateEvent { time: 9, volume: 0 },
+            ]
+        );
+        let mut seen = Vec::new();
+        store.scan(&mut |c| seen.push(c[0])).unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn backend_config_builds_both_backends() {
+        let memory = BackendConfig::Memory.build().unwrap();
+        assert_eq!(memory.name(), "memory");
+        let dir = std::env::temp_dir().join(format!("dpsync-backend-cfg-{}", std::process::id()));
+        let disk = BackendConfig::segment_log(&dir).build().unwrap();
+        assert_eq!(disk.name(), "segment-log");
+        drop(disk);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storage_error_renders_readably() {
+        let io = StorageError::Io {
+            path: "/x/y".into(),
+            message: "denied".into(),
+        };
+        assert!(io.to_string().contains("/x/y"));
+        assert!(io.to_string().contains("denied"));
+        let corrupt = StorageError::Corrupt {
+            path: "seg".into(),
+            offset: 42,
+            message: "bad crc".into(),
+        };
+        assert!(corrupt.to_string().contains("42"));
+        assert!(corrupt.to_string().contains("bad crc"));
+        let backend = StorageError::Backend {
+            message: "nope".into(),
+        };
+        assert!(backend.to_string().contains("nope"));
+    }
+}

@@ -23,6 +23,7 @@
 //! multi-table workload: "yellow" + "green").  Queries take read locks on the
 //! tables they touch, mirroring an enclave that scans a stable snapshot.
 
+use crate::backend::{StorageBackend, StorageError};
 use crate::exec;
 use crate::query::{Query, QueryAnswer};
 use crate::rewrite;
@@ -72,7 +73,8 @@ pub struct EngineCore {
 
 impl EngineCore {
     /// Creates the core with the owner's master key (the engine needs the key
-    /// material inside its trusted boundary to process queries).
+    /// material inside its trusted boundary to process queries), storing
+    /// ciphertexts in memory.
     pub fn new(master: &MasterKey) -> Self {
         Self {
             cryptor: RecordCryptor::new(master),
@@ -80,6 +82,28 @@ impl EngineCore {
             tables: RwLock::new(BTreeMap::new()),
             query_sequence: AtomicU64::new(0),
         }
+    }
+
+    /// Creates the core over an explicit storage backend.
+    ///
+    /// Tables already present on a durable backend's medium are recovered
+    /// into the server storage (their transcript becomes visible through
+    /// [`EngineCore::storage`] immediately), but they have no *decrypted
+    /// mirror* — schemas are not persisted by the storage layer — so
+    /// recovered tables cannot be queried or appended to through this
+    /// engine; [`EngineCore::setup`] refuses them rather than corrupt the
+    /// recovered log.  Serve them via [`crate::server::ServerStorage`]
+    /// until a schema-aware reopen path exists.
+    pub fn with_backend(
+        master: &MasterKey,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self, StorageError> {
+        Ok(Self {
+            cryptor: RecordCryptor::new(master),
+            storage: ServerStorage::with_backend(backend)?,
+            tables: RwLock::new(BTreeMap::new()),
+            query_sequence: AtomicU64::new(0),
+        })
     }
 
     /// Whether `table` has been set up.
@@ -93,6 +117,15 @@ impl EngineCore {
 
     /// `Π_Setup` plumbing: registers the schema and ingests the initial batch
     /// at time 0.
+    ///
+    /// Refuses tables the *storage* already holds, not just tables this
+    /// engine instance set up: on a recovered durable backend, re-running
+    /// `Π_Setup` would append a duplicate time-0 batch to a log that already
+    /// contains the table's full history, corrupting the recovered
+    /// transcript.  (Rebuilding the decrypted mirror from recovered
+    /// ciphertexts needs the schema re-registered through a dedicated reopen
+    /// path — future work; until then, recovered tables are served by
+    /// `ServerStorage` directly.)
     pub fn setup(
         &self,
         table: &str,
@@ -101,7 +134,7 @@ impl EngineCore {
     ) -> Result<(), EdbError> {
         {
             let mut tables = self.tables.write();
-            if tables.contains_key(table) {
+            if tables.contains_key(table) || self.storage.existing_shard(table).is_some() {
                 return Err(EdbError::AlreadySetUp(table.to_string()));
             }
             let extended = rewrite::schema_with_dummy_flag(&schema);
@@ -140,29 +173,46 @@ impl EngineCore {
         let Some(handle) = self.table_handle(table) else {
             return Err(EdbError::NotSetUp(table.to_string()));
         };
-        // The server stores (and observes) the ciphertexts first.
-        let ciphertexts: Vec<_> = records.iter().map(EncryptedRecord::to_bytes).collect();
-        self.storage.ingest(table, time, ciphertexts);
-
-        // Then the trusted side decrypts into the plaintext mirror.  Dummies
-        // take the fast path: the padded dummy row was precomputed per schema
-        // at setup, so each dummy ingest is one clone — no per-record value
-        // construction.  (The *ciphertexts* arriving here are still unique:
-        // freshness is enforced at encryption time, see
-        // `dpsync_crypto::PreparedPlaintext`.)
-        let mut entry = handle.write();
+        // The trusted side validates the whole batch first: a record that
+        // fails authentication or row decoding rejects the batch before
+        // anything is persisted or observed, so a failed protocol run leaves
+        // no trace in the durable log, the transcript, or the mirror.
+        // Dummies take the fast path (`None`): the padded dummy row was
+        // precomputed per schema at setup, so each dummy ingest is one clone
+        // — no per-record value construction.  (The *ciphertexts* arriving
+        // here are still unique: freshness is enforced at encryption time,
+        // see `dpsync_crypto::PreparedPlaintext`.)
+        let mut decoded: Vec<Option<Row>> = Vec::with_capacity(records.len());
         for record in &records {
             let view = self.cryptor.decrypt_view(record)?;
             if view.is_dummy() {
-                let dummy = entry.dummy_row.clone();
-                entry.rows.push(dummy);
-                entry.dummy_records += 1;
+                decoded.push(None);
             } else {
                 let row = Row::from_bytes(view.payload())
                     .map_err(|e| EdbError::CorruptRow(e.to_string()))?;
-                let values = rewrite::values_with_dummy_flag(row.into_values(), false);
-                entry.rows.push(Row::new(values));
-                entry.real_records += 1;
+                decoded.push(Some(row));
+            }
+        }
+
+        // Then the server stores (and observes) the ciphertexts; a backend
+        // I/O failure still aborts before the mirror is touched, so an
+        // unacknowledged batch is visible nowhere.
+        let ciphertexts: Vec<_> = records.iter().map(EncryptedRecord::to_bytes).collect();
+        self.storage.ingest(table, time, &ciphertexts)?;
+
+        let mut entry = handle.write();
+        for row in decoded {
+            match row {
+                None => {
+                    let dummy = entry.dummy_row.clone();
+                    entry.rows.push(dummy);
+                    entry.dummy_records += 1;
+                }
+                Some(row) => {
+                    let values = rewrite::values_with_dummy_flag(row.into_values(), false);
+                    entry.rows.push(Row::new(values));
+                    entry.real_records += 1;
+                }
             }
         }
         Ok(())
@@ -428,6 +478,33 @@ mod tests {
         let batch = encrypt_batch(&mut wrong_cryptor, &[row(1, 1)], 0);
         let err = core.setup("yellow", schema(), batch).unwrap_err();
         assert!(matches!(err, EdbError::Crypto(_)));
+    }
+
+    #[test]
+    fn rejected_batch_leaves_no_trace_anywhere() {
+        // Validation happens before the durable append and before the
+        // mirror is touched: a batch with one bad record must be invisible
+        // in storage, the transcript, and the decrypted mirror — otherwise a
+        // crash-recovered log would replay a batch the protocol never
+        // acknowledged.
+        let (core, mut cryptor) = core_with_data();
+        let stats_before = core.table_stats("yellow");
+        let view_before = core.storage().adversary_view();
+
+        let wrong = MasterKey::from_bytes([1u8; 32]);
+        let mut wrong_cryptor = RecordCryptor::new(&wrong);
+        let mut batch = encrypt_batch(&mut cryptor, &[row(7, 70)], 1);
+        batch.extend(encrypt_batch(&mut wrong_cryptor, &[row(8, 80)], 0));
+
+        let err = core.ingest("yellow", 60, batch).unwrap_err();
+        assert!(matches!(err, EdbError::Crypto(_)));
+        assert_eq!(core.table_stats("yellow"), stats_before);
+        assert_eq!(core.storage().adversary_view(), view_before);
+        let mirror = core.table_snapshot("yellow").unwrap();
+        assert_eq!(
+            mirror.rows.len() as u64,
+            stats_before.real_records + stats_before.dummy_records
+        );
     }
 
     #[test]

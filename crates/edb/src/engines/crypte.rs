@@ -42,9 +42,23 @@ pub struct CryptEpsilonEngine {
 }
 
 impl CryptEpsilonEngine {
-    /// Creates an engine with the paper's default query budget (ε = 3).
+    /// Creates an engine with the paper's default query budget (ε = 3) and
+    /// in-memory ciphertext storage.
     pub fn new(master: &MasterKey) -> Self {
         Self::with_query_epsilon(master, Epsilon::new_unchecked(DEFAULT_QUERY_EPSILON))
+    }
+
+    /// Creates an engine over an explicit storage backend (e.g. the durable
+    /// segment log), with the default query budget.
+    pub fn with_backend(
+        master: &MasterKey,
+        backend: std::sync::Arc<dyn crate::backend::StorageBackend>,
+    ) -> Result<Self, crate::backend::StorageError> {
+        Ok(Self {
+            core: EngineCore::with_backend(master, backend)?,
+            cost: CostModel::crypt_epsilon(),
+            query_epsilon: Epsilon::new_unchecked(DEFAULT_QUERY_EPSILON),
+        })
     }
 
     /// Creates an engine with a custom per-query budget.

@@ -33,9 +33,21 @@ pub struct ObliDbEngine {
 
 impl ObliDbEngine {
     /// Creates an engine sharing the owner's master key, with the default
-    /// ObliDB cost model.
+    /// ObliDB cost model and in-memory ciphertext storage.
     pub fn new(master: &MasterKey) -> Self {
         Self::with_cost_model(master, CostModel::oblidb())
+    }
+
+    /// Creates an engine over an explicit storage backend (e.g. the durable
+    /// segment log), with the default cost model.
+    pub fn with_backend(
+        master: &MasterKey,
+        backend: std::sync::Arc<dyn crate::backend::StorageBackend>,
+    ) -> Result<Self, crate::backend::StorageError> {
+        Ok(Self {
+            core: EngineCore::with_backend(master, backend)?,
+            cost: CostModel::oblidb(),
+        })
     }
 
     /// Creates an engine with a custom cost model (used by ablation benches).

@@ -20,14 +20,18 @@
 //!   leakage classification of §6 (L-0, L-DP, L-1, L-2).
 //! * [`server`] — the untrusted server's storage together with the
 //!   [`server::AdversaryView`] transcript of everything the server observes.
+//! * [`backend`] — pluggable ciphertext-storage backends behind the server
+//!   tier: the in-memory store and a durable encrypted segment log with
+//!   crash recovery.  Swapping backends cannot change the adversary view.
 //! * [`cost`] — an explicit query-cost model standing in for the paper's
 //!   SGX / crypto testbed wall-clock numbers.
 //! * [`engines`] — two concrete engines mirroring the paper's evaluation:
 //!   a Crypt-ε-like engine (L-DP leakage) and an ObliDB-like engine (L-0).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 pub mod engines;
 pub mod exec;
@@ -40,6 +44,8 @@ pub mod server;
 pub mod sogdb;
 pub mod view;
 
+pub use backend::{BackendConfig, StorageBackend, StorageError, TableStore};
+pub use engines::EngineKind;
 pub use leakage::{LeakageClass, UpdateEvent, UpdatePattern};
 pub use query::{Predicate, Query, QueryAnswer};
 pub use row::Row;

@@ -16,12 +16,13 @@
 //!
 //! # Sharding
 //!
-//! Storage is sharded **per table**: each table's ciphertexts and its slice
-//! of the update-pattern transcript live in their own [`TableShard`] behind
-//! an independent `RwLock`, so owners of different tables can run `Π_Update`
-//! concurrently without serializing on one global lock.  The table map itself
-//! is only write-locked when a new table is created; steady-state ingest
-//! takes the map read lock just long enough to clone the shard handle.
+//! Storage is sharded **per table**: each table's ciphertext store and its
+//! slice of the update-pattern transcript live in their own [`TableShard`]
+//! behind an independent `RwLock`, so owners of different tables can run
+//! `Π_Update` concurrently without serializing on one global lock.  The
+//! table map itself is only write-locked when a new table is created;
+//! steady-state ingest takes the map read lock just long enough to clone the
+//! shard handle.
 //!
 //! Concurrency does not change what the adversary formally sees: the
 //! transcript of Definition 2 is a *set* of `(t, |γ_t|)` events, and
@@ -30,7 +31,19 @@
 //! per-table arrival index).  Both the sequential and the parallel simulation
 //! drivers read the transcript through this merge, so the privacy verifier
 //! always sees the same canonical view regardless of thread interleaving.
+//!
+//! # Storage backends
+//!
+//! How a shard *materializes* its ciphertexts is delegated to a pluggable
+//! [`StorageBackend`] (see [`crate::backend`]): the default in-memory store,
+//! or the durable encrypted segment log.  The shard records the same
+//! `(time, volume)` observation either way, so the adversary view — and
+//! therefore the leakage profile — is backend-independent by construction.
+//! [`ServerStorage::with_backend`] additionally *recovers* tables that
+//! already exist on a durable backend's medium, rebuilding the pre-crash
+//! transcript before any new protocol runs.
 
+use crate::backend::{MemoryBackend, StorageBackend, StorageError, TableStore};
 use crate::leakage::{UpdateEvent, UpdatePattern};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -39,65 +52,47 @@ use std::sync::Arc;
 
 pub use crate::view::{AdversaryView, QueryObservation};
 
-/// Ciphertext storage for one table.
-#[derive(Debug, Clone, Default)]
-pub struct StoredTable {
-    ciphertexts: Vec<Bytes>,
-}
-
-impl StoredTable {
-    /// Number of stored ciphertexts.
-    pub fn len(&self) -> usize {
-        self.ciphertexts.len()
-    }
-
-    /// Whether the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.ciphertexts.is_empty()
-    }
-
-    /// Total stored bytes.
-    pub fn bytes(&self) -> u64 {
-        self.ciphertexts.iter().map(|c| c.len() as u64).sum()
-    }
-
-    /// The raw ciphertexts.
-    pub fn ciphertexts(&self) -> &[Bytes] {
-        &self.ciphertexts
-    }
-}
-
-/// One table's slice of the server: its ciphertexts plus the update events
+/// One table's slice of the server: its ciphertext store (owned `Box<dyn
+/// TableStore>`, opened from the configured backend) plus the update events
 /// the server observed for it, in arrival order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct TableShard {
-    table: StoredTable,
-    updates: Vec<UpdateEvent>,
-    ciphertext_bytes: u64,
+    store: Box<dyn TableStore>,
 }
 
 impl TableShard {
+    /// Wraps an opened per-table store.
+    pub fn new(store: Box<dyn TableStore>) -> Self {
+        Self { store }
+    }
+
     /// Appends a batch of ciphertexts at `time` and records the observation.
-    pub fn ingest(&mut self, time: u64, ciphertexts: Vec<Bytes>) {
-        let volume = ciphertexts.len() as u64;
-        self.ciphertext_bytes += ciphertexts.iter().map(|c| c.len() as u64).sum::<u64>();
-        self.table.ciphertexts.extend(ciphertexts);
-        self.updates.push(UpdateEvent { time, volume });
+    ///
+    /// Durable backends persist the batch before returning; an error means
+    /// the batch was not stored and no observation was recorded.
+    pub fn ingest(&mut self, time: u64, ciphertexts: &[Bytes]) -> Result<(), StorageError> {
+        self.store.append_batch(time, ciphertexts)
     }
 
-    /// The stored ciphertexts.
-    pub fn stored(&self) -> &StoredTable {
-        &self.table
-    }
-
-    /// The update events observed for this table, in arrival order.
-    pub fn updates(&self) -> &[UpdateEvent] {
-        &self.updates
+    /// Number of stored ciphertexts.
+    pub fn ciphertext_count(&self) -> u64 {
+        self.store.ciphertext_count()
     }
 
     /// Total ciphertext bytes received for this table.
     pub fn ciphertext_bytes(&self) -> u64 {
-        self.ciphertext_bytes
+        self.store.ciphertext_bytes()
+    }
+
+    /// The update events observed for this table (including events recovered
+    /// from a durable backend at open time), in arrival order.
+    pub fn updates(&self) -> &[UpdateEvent] {
+        self.store.updates()
+    }
+
+    /// Scans every stored ciphertext in arrival order.
+    pub fn scan(&self, visit: &mut dyn FnMut(&[u8])) -> Result<(), StorageError> {
+        self.store.scan(visit)
     }
 }
 
@@ -109,27 +104,68 @@ pub type ShardHandle = Arc<RwLock<TableShard>>;
 /// All methods take `&self`: per-table state lives behind the shard locks and
 /// the query transcript behind its own mutex, so one `ServerStorage` can be
 /// driven by several owner threads at once.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStorage {
+    backend: Arc<dyn StorageBackend>,
     shards: RwLock<BTreeMap<String, ShardHandle>>,
     queries: Mutex<Vec<QueryObservation>>,
 }
 
+impl Default for ServerStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ServerStorage {
-    /// Creates empty storage.
+    /// Creates empty storage on the in-memory backend.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            backend: Arc::new(MemoryBackend::new()),
+            shards: RwLock::new(BTreeMap::new()),
+            queries: Mutex::new(Vec::new()),
+        }
     }
 
-    /// The shard handle for `table`, creating it when absent.
+    /// Creates storage on an explicit backend, recovering every table that
+    /// already exists on the backend's medium (a reopened segment log
+    /// rebuilds its pre-crash transcript here).
+    pub fn with_backend(backend: Arc<dyn StorageBackend>) -> Result<Self, StorageError> {
+        let mut shards = BTreeMap::new();
+        for table in backend.existing_tables()? {
+            let store = backend.open_table(&table)?;
+            shards.insert(table, Arc::new(RwLock::new(TableShard::new(store))));
+        }
+        Ok(Self {
+            backend,
+            shards: RwLock::new(shards),
+            queries: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The backend this storage runs on.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// The shard handle for `table`, creating (opening) it when absent.
     ///
     /// Steady-state callers hold the map lock only long enough to clone the
     /// `Arc`; all per-table work happens under the shard's own lock.
-    pub fn shard(&self, table: &str) -> ShardHandle {
+    pub fn shard(&self, table: &str) -> Result<ShardHandle, StorageError> {
         if let Some(shard) = self.shards.read().get(table) {
-            return Arc::clone(shard);
+            return Ok(Arc::clone(shard));
         }
-        Arc::clone(self.shards.write().entry(table.to_string()).or_default())
+        let mut map = self.shards.write();
+        // Re-check under the write lock: another thread may have opened the
+        // table between our read and write acquisitions.
+        if let Some(shard) = map.get(table) {
+            return Ok(Arc::clone(shard));
+        }
+        let store = self.backend.open_table(table)?;
+        let shard = Arc::new(RwLock::new(TableShard::new(store)));
+        map.insert(table.to_string(), Arc::clone(&shard));
+        Ok(shard)
     }
 
     /// The shard handle for `table`, when the table exists.
@@ -140,9 +176,16 @@ impl ServerStorage {
     /// Appends ciphertexts to a table and records the update observation.
     ///
     /// Only `table`'s shard is write-locked; owners of other tables proceed
-    /// concurrently.
-    pub fn ingest(&self, table: &str, time: u64, ciphertexts: Vec<Bytes>) {
-        self.shard(table).write().ingest(time, ciphertexts);
+    /// concurrently.  Backend I/O failures surface as [`StorageError`] (the
+    /// engines wrap them into [`crate::EdbError::Storage`]); on error nothing
+    /// was stored and no observation was recorded.
+    pub fn ingest(
+        &self,
+        table: &str,
+        time: u64,
+        ciphertexts: &[Bytes],
+    ) -> Result<(), StorageError> {
+        self.shard(table)?.write().ingest(time, ciphertexts)
     }
 
     /// Records a query observation.
@@ -150,33 +193,46 @@ impl ServerStorage {
         self.queries.lock().push(observation);
     }
 
-    /// Runs `f` over the stored table, if present (shard read-locked).
-    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&StoredTable) -> R) -> Option<R> {
+    /// Runs `f` over the shard of `table`, if present (read-locked).
+    pub fn with_shard<R>(&self, name: &str, f: impl FnOnce(&TableShard) -> R) -> Option<R> {
         let shard = self.existing_shard(name)?;
         let guard = shard.read();
-        Some(f(guard.stored()))
+        Some(f(&guard))
     }
 
     /// Number of ciphertexts in a table (0 when missing).
     pub fn ciphertext_count(&self, table: &str) -> u64 {
-        self.with_table(table, |t| t.len() as u64).unwrap_or(0)
+        self.with_shard(table, TableShard::ciphertext_count)
+            .unwrap_or(0)
     }
 
     /// Total ciphertext bytes stored for a table (0 when missing).
     pub fn table_bytes(&self, table: &str) -> u64 {
-        self.with_table(table, StoredTable::bytes).unwrap_or(0)
+        self.with_shard(table, TableShard::ciphertext_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Scans every ciphertext of `table` in arrival order (`None` when the
+    /// table does not exist).  Used by recovery checks and white-box tests;
+    /// durable backends read back from their medium.
+    pub fn scan_table(
+        &self,
+        table: &str,
+        visit: &mut dyn FnMut(&[u8]),
+    ) -> Option<Result<(), StorageError>> {
+        self.with_shard(table, |shard| shard.scan(visit))
     }
 
     /// Total ciphertexts across all tables.
     pub fn total_ciphertexts(&self) -> u64 {
         let shards: Vec<ShardHandle> = self.shards.read().values().map(Arc::clone).collect();
-        shards.iter().map(|s| s.read().stored().len() as u64).sum()
+        shards.iter().map(|s| s.read().ciphertext_count()).sum()
     }
 
     /// Total stored bytes across all tables.
     pub fn total_bytes(&self) -> u64 {
         let shards: Vec<ShardHandle> = self.shards.read().values().map(Arc::clone).collect();
-        shards.iter().map(|s| s.read().stored().bytes()).sum()
+        shards.iter().map(|s| s.read().ciphertext_bytes()).sum()
     }
 
     /// Merges the per-table shards into the canonical adversary transcript.
@@ -184,7 +240,9 @@ impl ServerStorage {
     /// Update events are ordered by `(time, table name, per-table arrival
     /// index)` — a deterministic total order independent of how owner threads
     /// interleaved their uploads, so the privacy verifier sees the same
-    /// transcript whether the simulation ran sequentially or sharded.
+    /// transcript whether the simulation ran sequentially or sharded — and,
+    /// by the same argument, independent of which storage backend
+    /// materialized the ciphertexts.
     pub fn adversary_view(&self) -> AdversaryView {
         let shards: Vec<(String, ShardHandle)> = self
             .shards
@@ -235,7 +293,7 @@ impl ServerStorage {
 /// harness hold clones; the engine holds another).
 pub type SharedServerStorage = Arc<ServerStorage>;
 
-/// Creates a new shared server storage handle.
+/// Creates a new shared server storage handle (in-memory backend).
 pub fn shared_storage() -> SharedServerStorage {
     Arc::new(ServerStorage::new())
 }
@@ -243,18 +301,23 @@ pub fn shared_storage() -> SharedServerStorage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{BackendConfig, SegmentLogConfig};
     use std::thread;
 
     fn ct(len: usize) -> Bytes {
         Bytes::from(vec![0u8; len])
     }
 
+    fn ingest(s: &ServerStorage, table: &str, time: u64, cts: Vec<Bytes>) {
+        s.ingest(table, time, &cts).expect("memory ingest");
+    }
+
     #[test]
     fn ingest_accumulates_ciphertexts_and_pattern() {
         let s = ServerStorage::new();
-        s.ingest("yellow", 0, vec![ct(95); 120]);
-        s.ingest("yellow", 30, vec![ct(95); 4]);
-        s.ingest("green", 30, vec![ct(95); 2]);
+        ingest(&s, "yellow", 0, vec![ct(95); 120]);
+        ingest(&s, "yellow", 30, vec![ct(95); 4]);
+        ingest(&s, "green", 30, vec![ct(95); 2]);
         assert_eq!(s.ciphertext_count("yellow"), 124);
         assert_eq!(s.ciphertext_count("green"), 2);
         assert_eq!(s.ciphertext_count("missing"), 0);
@@ -271,10 +334,10 @@ mod tests {
     fn merged_transcript_is_canonically_ordered() {
         let s = ServerStorage::new();
         // Interleave ingests out of time/table order.
-        s.ingest("yellow", 30, vec![ct(10); 2]);
-        s.ingest("green", 0, vec![ct(10); 5]);
-        s.ingest("yellow", 0, vec![ct(10); 3]);
-        s.ingest("green", 30, vec![ct(10); 1]);
+        ingest(&s, "yellow", 30, vec![ct(10); 2]);
+        ingest(&s, "green", 0, vec![ct(10); 5]);
+        ingest(&s, "yellow", 0, vec![ct(10); 3]);
+        ingest(&s, "green", 30, vec![ct(10); 1]);
         let view = s.adversary_view();
         // Sorted by (time, table): green@0, yellow@0, green@30, yellow@30.
         assert_eq!(view.update_pattern().times(), vec![0, 0, 30, 30]);
@@ -284,8 +347,8 @@ mod tests {
     #[test]
     fn table_view_restricts_to_one_shard() {
         let s = ServerStorage::new();
-        s.ingest("yellow", 0, vec![ct(10); 3]);
-        s.ingest("green", 5, vec![ct(10); 2]);
+        ingest(&s, "yellow", 0, vec![ct(10); 3]);
+        ingest(&s, "green", 5, vec![ct(10); 2]);
         let yellow = s.table_view("yellow");
         assert_eq!(yellow.update_pattern().times(), vec![0]);
         assert_eq!(yellow.update_pattern().total_volume(), 3);
@@ -299,7 +362,7 @@ mod tests {
         // a protocol run; DP-Sync never produces one (Perturb returns nothing
         // when the noisy count is <= 0), but the server model must not hide it.
         let s = ServerStorage::new();
-        s.ingest("t", 5, vec![]);
+        ingest(&s, "t", 5, vec![]);
         let view = s.adversary_view();
         assert_eq!(view.update_pattern().len(), 1);
         assert_eq!(view.update_pattern().total_volume(), 0);
@@ -324,18 +387,23 @@ mod tests {
     }
 
     #[test]
-    fn stored_table_accessors() {
+    fn shard_accessors_and_scan() {
         let s = ServerStorage::new();
-        s.ingest("t", 1, vec![ct(10), ct(20)]);
-        s.with_table("t", |table| {
-            assert_eq!(table.len(), 2);
-            assert!(!table.is_empty());
-            assert_eq!(table.bytes(), 30);
-            assert_eq!(table.ciphertexts().len(), 2);
+        ingest(&s, "t", 1, vec![ct(10), ct(20)]);
+        s.with_shard("t", |shard| {
+            assert_eq!(shard.ciphertext_count(), 2);
+            assert_eq!(shard.ciphertext_bytes(), 30);
+            assert_eq!(shard.updates().len(), 1);
         })
         .unwrap();
-        assert!(s.with_table("other", |_| ()).is_none());
+        assert!(s.with_shard("other", |_| ()).is_none());
         assert_eq!(s.table_bytes("t"), 30);
+        let mut lens = Vec::new();
+        s.scan_table("t", &mut |c| lens.push(c.len()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(lens, vec![10, 20]);
+        assert!(s.scan_table("missing", &mut |_| ()).is_none());
     }
 
     #[test]
@@ -346,7 +414,7 @@ mod tests {
                 let storage = Arc::clone(&shared);
                 scope.spawn(move || {
                     for t in 0..100u64 {
-                        storage.ingest(table, t, vec![ct(10); 2]);
+                        storage.ingest(table, t, &vec![ct(10); 2]).unwrap();
                     }
                 });
             }
@@ -363,9 +431,32 @@ mod tests {
     #[test]
     fn shared_storage_allows_concurrent_reads() {
         let shared = shared_storage();
-        shared.ingest("t", 0, vec![ct(5)]);
+        shared.ingest("t", 0, &[ct(5)]).unwrap();
         let a = Arc::clone(&shared);
         let b = Arc::clone(&shared);
         assert_eq!(a.total_ciphertexts(), b.total_ciphertexts());
+    }
+
+    #[test]
+    fn segment_log_storage_recovers_the_transcript_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("dpsync-server-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = BackendConfig::SegmentLog(SegmentLogConfig::new(&dir));
+
+        let before = {
+            let s = ServerStorage::with_backend(config.build().unwrap()).unwrap();
+            s.ingest("yellow", 0, &vec![ct(95); 5]).unwrap();
+            s.ingest("green", 7, &vec![ct(95); 2]).unwrap();
+            s.ingest("yellow", 30, &vec![ct(95); 1]).unwrap();
+            s.adversary_view()
+        };
+
+        let s = ServerStorage::with_backend(config.build().unwrap()).unwrap();
+        assert_eq!(s.adversary_view(), before);
+        assert_eq!(s.ciphertext_count("yellow"), 6);
+        // Recovered tables keep accepting appends.
+        s.ingest("yellow", 60, &vec![ct(95); 3]).unwrap();
+        assert_eq!(s.ciphertext_count("yellow"), 9);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,6 +14,7 @@
 //! Engines are object-safe so the owner runtime and the experiment harness
 //! can swap them freely (`Box<dyn SecureOutsourcedDatabase>`).
 
+use crate::backend::StorageError;
 use crate::cost::CostModel;
 use crate::exec::ExecError;
 use crate::leakage::LeakageProfile;
@@ -45,6 +46,13 @@ pub enum EdbError {
     NotSetUp(String),
     /// A stored row failed to decode after decryption.
     CorruptRow(String),
+    /// The storage backend failed (I/O error, on-disk corruption).
+    ///
+    /// Carried through from [`crate::backend::StorageError`] so owner and
+    /// analyst code paths propagate backend failures cleanly instead of
+    /// panicking; the underlying error is reachable via
+    /// [`std::error::Error::source`].
+    Storage(StorageError),
 }
 
 impl std::fmt::Display for EdbError {
@@ -58,11 +66,21 @@ impl std::fmt::Display for EdbError {
             EdbError::AlreadySetUp(t) => write!(f, "table `{t}` was already set up"),
             EdbError::NotSetUp(t) => write!(f, "table `{t}` has not been set up"),
             EdbError::CorruptRow(msg) => write!(f, "corrupt row: {msg}"),
+            EdbError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
 
-impl std::error::Error for EdbError {}
+impl std::error::Error for EdbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdbError::Crypto(e) => Some(e),
+            EdbError::Exec(e) => Some(e),
+            EdbError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CryptoError> for EdbError {
     fn from(e: CryptoError) -> Self {
@@ -73,6 +91,12 @@ impl From<CryptoError> for EdbError {
 impl From<ExecError> for EdbError {
     fn from(e: ExecError) -> Self {
         EdbError::Exec(e)
+    }
+}
+
+impl From<StorageError> for EdbError {
+    fn from(e: StorageError) -> Self {
+        EdbError::Storage(e)
     }
 }
 
@@ -196,5 +220,21 @@ mod tests {
         assert!(EdbError::CorruptRow("bad".into())
             .to_string()
             .contains("bad"));
+    }
+
+    #[test]
+    fn storage_errors_convert_and_expose_their_source() {
+        use std::error::Error as _;
+        let inner = StorageError::Io {
+            path: "/data/seg-000001.dpl".into(),
+            message: "disk full".into(),
+        };
+        let e: EdbError = inner.clone().into();
+        assert!(matches!(e, EdbError::Storage(_)));
+        assert!(e.to_string().contains("disk full"));
+        let source = e.source().expect("storage errors carry a source");
+        assert_eq!(source.to_string(), inner.to_string());
+        // Non-wrapping variants have no source.
+        assert!(EdbError::NotSetUp("t".into()).source().is_none());
     }
 }

@@ -1,0 +1,105 @@
+//! Durable storage: run DP-Sync over the encrypted segment-log backend,
+//! "crash", and recover the exact server-side transcript from disk.
+//!
+//! The storage backend is invisible to the privacy analysis — the adversary
+//! view is byte-identical between the in-memory store and the segment log —
+//! but only the latter survives a restart.  This example outsources a small
+//! growing database onto a segment log, then reopens the directory cold (as
+//! a restarted server would) and shows that the update pattern, ciphertext
+//! bytes and the ciphertexts themselves are all still there.
+//!
+//! Run with: `cargo run --example durable_storage`
+
+use dp_sync::core::strategy::{DpTimerStrategy, SyncStrategy};
+use dp_sync::core::{Owner, Timestamp};
+use dp_sync::crypto::MasterKey;
+use dp_sync::dp::{DpRng, Epsilon};
+use dp_sync::edb::backend::BackendConfig;
+use dp_sync::edb::engines::ObliDbEngine;
+use dp_sync::edb::server::ServerStorage;
+use dp_sync::edb::sogdb::SecureOutsourcedDatabase;
+use dp_sync::edb::{DataType, Row, Schema, Value};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("dpsync-durable-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let backend_config = BackendConfig::segment_log(&dir);
+    println!("segment log rooted at {}", dir.display());
+
+    // ---- First server lifetime: outsource under DP-Timer. ----------------
+    let mut rng = DpRng::seed_from_u64(7);
+    let master = MasterKey::generate(&mut rng);
+    let view_before = {
+        let backend = backend_config.build().expect("create segment log");
+        let engine = ObliDbEngine::with_backend(&master, backend).expect("open engine");
+
+        let schema = Schema::from_pairs(&[
+            ("pick_time", DataType::Timestamp),
+            ("pickup_id", DataType::Int),
+        ]);
+        let strategy = DpTimerStrategy::new(Epsilon::new_unchecked(0.5), 30);
+        println!(
+            "strategy: {} (epsilon = {})",
+            strategy.kind(),
+            strategy.epsilon().unwrap()
+        );
+        let mut owner = Owner::new("events", schema, &master, Box::new(strategy));
+        let initial: Vec<Row> = (0..10)
+            .map(|i| Row::new(vec![Value::Timestamp(0), Value::Int(50 + i)]))
+            .collect();
+        owner.setup(initial, &engine, &mut rng).expect("setup");
+        for t in 1..=240u64 {
+            let arrivals: Vec<Row> = if t % 3 == 0 {
+                vec![Row::new(vec![
+                    Value::Timestamp(t),
+                    Value::Int((t % 200) as i64),
+                ])]
+            } else {
+                vec![]
+            };
+            owner
+                .tick(Timestamp(t), &arrivals, &engine, &mut rng)
+                .expect("tick");
+        }
+        let view = engine.adversary_view();
+        println!(
+            "\nbefore 'crash': {} updates observed, {} ciphertext bytes on disk",
+            view.update_pattern().len(),
+            view.total_ciphertext_bytes()
+        );
+        view
+        // Engine dropped here: the server process "dies".
+    };
+
+    // ---- Second server lifetime: recover from the segments alone. --------
+    let backend = backend_config.build().expect("reopen segment log");
+    let storage = ServerStorage::with_backend(backend).expect("recover tables");
+    let recovered = storage.adversary_view();
+    println!(
+        "after restart:  {} updates recovered, {} ciphertext bytes readable",
+        recovered.update_pattern().len(),
+        recovered.total_ciphertext_bytes()
+    );
+    assert_eq!(recovered.update_pattern(), view_before.update_pattern());
+    assert_eq!(
+        recovered.total_ciphertext_bytes(),
+        view_before.total_ciphertext_bytes()
+    );
+
+    let mut stored = 0u64;
+    storage
+        .scan_table("events", &mut |_ciphertext| stored += 1)
+        .expect("events table recovered")
+        .expect("segments scan cleanly");
+    println!("scanned {stored} ciphertexts back from the log");
+    assert_eq!(stored, storage.ciphertext_count("events"));
+
+    println!("\nupdate pattern (time, volume) — identical before and after:");
+    for event in recovered.update_events().iter().take(8) {
+        println!("  t={:<4} volume={}", event.time, event.volume);
+    }
+    println!("  ...");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("\nok: the transcript survived the restart byte-for-byte");
+}

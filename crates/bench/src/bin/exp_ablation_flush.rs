@@ -5,7 +5,7 @@
 //! fetches happen to defer can linger in the local cache indefinitely.  This
 //! binary quantifies that trade-off on the full workload.
 //!
-//! Usage: `cargo run --release -p dpsync-bench --bin exp_ablation_flush [--scale N] [--seed S]`
+//! Usage: `cargo run --release -p dpsync-bench --bin exp_ablation_flush [--scale N] [--seed S] [--backend {memory,disk}] [--transport {inproc,tcp}]`
 
 use dpsync_bench::experiments::ablation::{ablation_table, flush_ablation};
 use dpsync_bench::ExperimentConfig;

@@ -4,7 +4,7 @@
 //! Output is one CSV block per panel (`time` column plus one column per
 //! strategy), ready to plot.
 //!
-//! Usage: `cargo run --release -p dpsync-bench --bin exp_fig2 [--scale N] [--seed S]`
+//! Usage: `cargo run --release -p dpsync-bench --bin exp_fig2 [--scale N] [--seed S] [--backend {memory,disk}] [--transport {inproc,tcp}]`
 
 use dpsync_bench::experiments::config::EngineKind;
 use dpsync_bench::experiments::end_to_end::{figure2_series, run_end_to_end, Fig2Metric};

@@ -3,7 +3,7 @@
 //! should land near the lower-left corner (close to SUR), SET in the lower
 //! right, OTO in the upper left.
 //!
-//! Usage: `cargo run --release -p dpsync-bench --bin exp_fig4 [--scale N] [--seed S]`
+//! Usage: `cargo run --release -p dpsync-bench --bin exp_fig4 [--scale N] [--seed S] [--backend {memory,disk}] [--transport {inproc,tcp}]`
 
 use dpsync_bench::experiments::end_to_end::{figure4_legend, figure4_series, run_end_to_end};
 use dpsync_bench::ExperimentConfig;

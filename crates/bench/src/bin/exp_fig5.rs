@@ -3,7 +3,7 @@
 //! and reports the mean L1 error (panel a) and the mean QET (panel b), with
 //! the ε-independent SUR / SET / OTO baselines for reference.
 //!
-//! Usage: `cargo run --release -p dpsync-bench --bin exp_fig5 [--scale N] [--seed S]`
+//! Usage: `cargo run --release -p dpsync-bench --bin exp_fig5 [--scale N] [--seed S] [--backend {memory,disk}] [--transport {inproc,tcp}]`
 
 use dpsync_bench::experiments::sweeps::{
     baseline_points, figure5_epsilons, privacy_sweep, sweep_series,

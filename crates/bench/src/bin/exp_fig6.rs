@@ -3,7 +3,7 @@
 //! the DP-ANT threshold θ (panels b, d), swept from 1 to 1000 with ε = 0.5 on
 //! the ObliDB engine and the default query Q2.
 //!
-//! Usage: `cargo run --release -p dpsync-bench --bin exp_fig6 [--scale N] [--seed S]`
+//! Usage: `cargo run --release -p dpsync-bench --bin exp_fig6 [--scale N] [--seed S] [--backend {memory,disk}] [--transport {inproc,tcp}]`
 
 use dpsync_bench::experiments::sweeps::{
     ant_threshold_sweep, baseline_points, figure6_parameters, sweep_series, timer_period_sweep,

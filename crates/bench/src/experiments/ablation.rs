@@ -9,7 +9,7 @@
 //! server?), the dummy volume, and the query error.
 
 use crate::experiments::config::{EngineKind, ExperimentConfig};
-use crate::experiments::runner::{build_engine, build_workloads, RunSpec};
+use crate::experiments::runner::{build_run_engine, build_workloads, RunSpec};
 use crate::report::TextTable;
 use dpsync_core::metrics::SimulationReport;
 use dpsync_core::simulation::{Simulation, SimulationConfig};
@@ -50,7 +50,10 @@ fn run_with_flush(
     bytes[..8].copy_from_slice(&config.seed.to_le_bytes());
     bytes[8] = 0xAB;
     let master = MasterKey::from_bytes(bytes);
-    let engine = build_engine(EngineKind::ObliDb, &master);
+    // Honors the spec's backend *and* transport (`--backend disk`,
+    // `--transport tcp`), exactly like every other experiment runner; the
+    // guard keeps a disk run's scratch directory alive for the run.
+    let (engine, _disk_dir) = build_run_engine(&spec, &master);
     let workloads = build_workloads(&spec);
     let eps = Epsilon::new_unchecked(config.params.epsilon);
     let sim = Simulation::new(SimulationConfig {

@@ -60,6 +60,108 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+/// How the experiment harness reaches the outsourced server.
+///
+/// `Tcp` runs every protocol over a loopback/network socket against a
+/// `dpsync-serve` process (see [`serve_addr`]); with a fixed seed the
+/// reports are byte-identical to `Inproc` runs — pinned by the
+/// remote-equivalence suite in `dpsync-core` — so the transport is a pure
+/// deployment choice, never an experimental variable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Engine calls are in-process function calls (the default).
+    #[default]
+    Inproc,
+    /// Engine calls travel over TCP to a `dpsync-serve` server.
+    Tcp,
+}
+
+impl TransportKind {
+    /// The `--transport` flag spelling.
+    pub fn flag_name(self) -> &'static str {
+        match self {
+            TransportKind::Inproc => "inproc",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parses a `--transport` flag value.
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw {
+            "inproc" => Some(TransportKind::Inproc),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.flag_name())
+    }
+}
+
+/// The default `dpsync-serve` address `--transport tcp` connects to — a
+/// re-export of the one constant `dpsync-serve` itself binds, so
+/// `dpsync-serve &` followed by `exp_* --transport tcp` works with no
+/// further configuration and the pairing cannot drift.
+pub use dpsync_net::DEFAULT_SERVE_ADDR;
+
+/// Process-wide server address override (set from `--addr`, consulted by
+/// TCP-transport runs).  Mirrors the `--jobs` pattern in [`crate::pool`]:
+/// `ExperimentConfig` stays `Copy`, the address lives here.
+static SERVE_ADDR: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+
+/// Overrides the `dpsync-serve` address for subsequent TCP-transport runs
+/// (`--addr HOST:PORT` in the experiment binaries).  `None` restores the
+/// default.
+pub fn set_serve_addr(addr: Option<String>) {
+    *SERVE_ADDR.lock().expect("serve-addr lock") = addr;
+}
+
+/// The address TCP-transport runs connect to: the `--addr` override, else
+/// the `DPSYNC_SERVE_ADDR` environment variable, else [`DEFAULT_SERVE_ADDR`].
+pub fn serve_addr() -> String {
+    if let Some(addr) = SERVE_ADDR.lock().expect("serve-addr lock").clone() {
+        return addr;
+    }
+    std::env::var("DPSYNC_SERVE_ADDR").unwrap_or_else(|_| DEFAULT_SERVE_ADDR.to_string())
+}
+
+/// A scratch directory that is removed when the guard drops — **including
+/// during a panic unwind**, so an aborted run never leaves segment logs (or
+/// any other per-run disk state) behind.
+///
+/// Every per-run disk root in the experiment layer rides behind one of
+/// these: hold the guard for as long as anything may touch the directory and
+/// let scope exit (normal or unwinding) do the cleanup.  Never pair a bare
+/// `create_dir_all` with a trailing `remove_dir_all` — the trailing call is
+/// skipped the moment anything in between panics.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: std::path::PathBuf,
+}
+
+impl ScratchDir {
+    /// Claims `path` as a scratch directory (the directory itself is created
+    /// lazily by whoever writes into it; dropping the guard removes whatever
+    /// exists there).
+    pub fn claim(path: impl Into<std::path::PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The scratch directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
 /// Strategy parameters for one run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StrategyParams {
@@ -126,6 +228,8 @@ pub struct ExperimentConfig {
     pub size_sample_interval: u64,
     /// Which storage backend hosts the server-side ciphertexts.
     pub backend: BackendKind,
+    /// How the harness reaches the outsourced server.
+    pub transport: TransportKind,
 }
 
 impl Default for ExperimentConfig {
@@ -137,19 +241,22 @@ impl Default for ExperimentConfig {
             query_interval: 360,
             size_sample_interval: 7200,
             backend: BackendKind::Memory,
+            transport: TransportKind::Inproc,
         }
     }
 }
 
 impl ExperimentConfig {
-    /// Parses `--scale N`, `--seed S`, `--jobs J` and `--backend
-    /// {memory,disk}` from command-line arguments, starting from the
-    /// defaults.
+    /// Parses `--scale N`, `--seed S`, `--jobs J`, `--backend
+    /// {memory,disk}`, `--transport {inproc,tcp}` and `--addr HOST:PORT`
+    /// from command-line arguments, starting from the defaults.
     ///
     /// `--jobs` configures the experiment worker pool (see [`crate::pool`]):
     /// it caps how many simulations run concurrently, and defaults to the
     /// machine's available parallelism.  Results are byte-identical for every
-    /// worker count — and, with a fixed seed, for every `--backend`.
+    /// worker count — and, with a fixed seed, for every `--backend` and
+    /// every `--transport`.  `--transport tcp` connects each run to the
+    /// `dpsync-serve` process at `--addr` (default [`DEFAULT_SERVE_ADDR`]).
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
         let mut config = Self::default();
         let args: Vec<String> = args.collect();
@@ -184,6 +291,22 @@ impl ExperimentConfig {
                         i += 1;
                     }
                 }
+                "--transport" => {
+                    if let Some(v) = args
+                        .get(i + 1)
+                        .map(String::as_str)
+                        .and_then(TransportKind::parse)
+                    {
+                        config.transport = v;
+                        i += 1;
+                    }
+                }
+                "--addr" => {
+                    if let Some(v) = args.get(i + 1) {
+                        set_serve_addr(Some(v.clone()));
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -214,6 +337,38 @@ impl ExperimentConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a_panicking_run_leaves_no_scratch_directory_behind() {
+        let path =
+            std::env::temp_dir().join(format!("dpsync-scratch-panic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        let result = std::panic::catch_unwind({
+            let path = path.clone();
+            move || {
+                let scratch = ScratchDir::claim(&path);
+                std::fs::create_dir_all(scratch.path()).unwrap();
+                std::fs::write(scratch.path().join("seg-000000.dpl"), b"x").unwrap();
+                assert!(scratch.path().exists());
+                panic!("simulated mid-run failure");
+            }
+        });
+        assert!(result.is_err(), "the run must actually have panicked");
+        assert!(
+            !path.exists(),
+            "unwinding through the guard must remove the scratch directory"
+        );
+    }
+
+    #[test]
+    fn scratch_dir_cleans_up_on_normal_drop_too() {
+        let path = std::env::temp_dir().join(format!("dpsync-scratch-drop-{}", std::process::id()));
+        let scratch = ScratchDir::claim(&path);
+        std::fs::create_dir_all(scratch.path()).unwrap();
+        assert_eq!(scratch.path(), path.as_path());
+        drop(scratch);
+        assert!(!path.exists());
+    }
 
     #[test]
     fn defaults_match_paper_section_8() {
@@ -271,6 +426,36 @@ mod tests {
         // Unknown backend values are ignored, keeping the default.
         let e = ExperimentConfig::from_args(["--backend", "floppy"].iter().map(|s| s.to_string()));
         assert_eq!(e.backend, BackendKind::Memory);
+    }
+
+    #[test]
+    fn transport_kind_parses_and_renders() {
+        assert_eq!(TransportKind::parse("inproc"), Some(TransportKind::Inproc));
+        assert_eq!(TransportKind::parse("tcp"), Some(TransportKind::Tcp));
+        assert_eq!(TransportKind::parse("smoke-signals"), None);
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+        assert_eq!(TransportKind::default(), TransportKind::Inproc);
+        let c = ExperimentConfig::from_args(["--transport", "tcp"].iter().map(|s| s.to_string()));
+        assert_eq!(c.transport, TransportKind::Tcp);
+        // Unknown transports keep the default.
+        let d = ExperimentConfig::from_args(
+            ["--transport", "carrier-pigeon"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(d.transport, TransportKind::Inproc);
+    }
+
+    #[test]
+    fn serve_addr_resolution_order() {
+        // Guarded by the same single-test discipline as the pool override:
+        // the address is process-global state.
+        set_serve_addr(Some("10.0.0.9:9999".into()));
+        assert_eq!(serve_addr(), "10.0.0.9:9999");
+        set_serve_addr(None);
+        if std::env::var("DPSYNC_SERVE_ADDR").is_err() {
+            assert_eq!(serve_addr(), DEFAULT_SERVE_ADDR);
+        }
     }
 
     #[test]

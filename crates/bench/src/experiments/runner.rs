@@ -8,7 +8,9 @@
 //! fields, see [`SimulationReport::normalized`]) whether it executes
 //! sequentially or on the pool, in any worker count.
 
-use crate::experiments::config::{BackendKind, EngineKind, ExperimentConfig};
+use crate::experiments::config::{
+    serve_addr, BackendKind, EngineKind, ExperimentConfig, ScratchDir, TransportKind,
+};
 use crate::pool::parallel_map;
 use dpsync_core::metrics::SimulationReport;
 use dpsync_core::simulation::{Simulation, SimulationConfig, TableWorkload};
@@ -17,6 +19,7 @@ use dpsync_crypto::MasterKey;
 use dpsync_edb::backend::BackendConfig;
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
 use dpsync_edb::Query;
+use dpsync_net::{BackendRequest, RemoteEdb};
 use dpsync_workloads::queries;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,11 +59,6 @@ fn master_key(config: &ExperimentConfig) -> MasterKey {
     MasterKey::from_bytes(bytes)
 }
 
-/// Builds the engine for a run (in-memory backend).
-pub fn build_engine(kind: EngineKind, master: &MasterKey) -> Box<dyn SecureOutsourcedDatabase> {
-    kind.build(master)
-}
-
 /// Monotone counter distinguishing concurrent disk runs within one process.
 static DISK_RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -74,14 +72,16 @@ pub fn disk_scratch_root() -> PathBuf {
         .unwrap_or_else(std::env::temp_dir)
 }
 
-/// Scratch directory for one disk-backed run, removed on drop.
+/// Scratch directory for one disk-backed run, removed on drop (a thin
+/// wrapper over [`ScratchDir`], so cleanup also happens when the run
+/// panics mid-simulation).
 ///
 /// The root is `DPSYNC_DISK_ROOT` when set (CI points it at a job-scoped
 /// temp dir), the system temp directory otherwise; every run gets a unique
 /// subdirectory so pooled runs never collide.
 #[derive(Debug)]
 pub struct DiskRunDir {
-    path: PathBuf,
+    dir: ScratchDir,
 }
 
 impl DiskRunDir {
@@ -91,41 +91,66 @@ impl DiskRunDir {
             std::process::id(),
             DISK_RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        Self { path }
+        Self {
+            dir: ScratchDir::claim(path),
+        }
     }
 
     /// The scratch directory path.
     pub fn path(&self) -> &std::path::Path {
-        &self.path
+        self.dir.path()
     }
 }
 
-impl Drop for DiskRunDir {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.path);
-    }
-}
-
-/// Builds the engine a spec asks for, on the spec's storage backend.
+/// Builds the engine a spec asks for, on the spec's storage backend and
+/// transport.
 ///
-/// Returns the scratch-directory guard for disk runs; hold it for as long as
-/// the engine lives (dropping it deletes the run's segment logs).
+/// * `Inproc` builds the engine in this process (disk runs get a per-run
+///   scratch directory; hold the returned guard for as long as the engine
+///   lives — dropping it deletes the run's segment logs).
+/// * `Tcp` opens a fresh session against the `dpsync-serve` process at
+///   [`serve_addr`]; the server builds the engine (and owns any disk
+///   scratch state, removed when the session ends), so no local guard is
+///   returned.  The connection *is* the run: dropping the engine closes it.
 pub fn build_run_engine(
     spec: &RunSpec,
     master: &MasterKey,
 ) -> (Box<dyn SecureOutsourcedDatabase>, Option<DiskRunDir>) {
-    match spec.config.backend {
-        BackendKind::Memory => (spec.engine.build(master), None),
-        BackendKind::Disk => {
-            let dir = DiskRunDir::new();
-            let backend = BackendConfig::segment_log(dir.path())
-                .build()
-                .expect("scratch directory for a disk run is creatable");
-            let engine = spec
-                .engine
-                .build_with_backend(master, backend)
-                .expect("fresh segment log opens");
-            (engine, Some(dir))
+    match spec.config.transport {
+        TransportKind::Inproc => match spec.config.backend {
+            BackendKind::Memory => (spec.engine.build(master), None),
+            BackendKind::Disk => {
+                let dir = DiskRunDir::new();
+                let backend = BackendConfig::segment_log(dir.path())
+                    .build()
+                    .expect("scratch directory for a disk run is creatable");
+                let engine = spec
+                    .engine
+                    .build_with_backend(master, backend)
+                    .expect("fresh segment log opens");
+                (engine, Some(dir))
+            }
+        },
+        TransportKind::Tcp => {
+            let addr = serve_addr();
+            let backend = match spec.config.backend {
+                BackendKind::Memory => BackendRequest::Memory,
+                BackendKind::Disk => BackendRequest::Disk,
+            };
+            let engine = RemoteEdb::connect_engine(addr.as_str(), spec.engine, master, backend)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "cannot open a remote session at {addr}: {e}\n\
+                         (--transport tcp needs a running server: \
+                         `cargo run --release -p dpsync-net --bin dpsync-serve`{})",
+                        if spec.config.backend == BackendKind::Disk {
+                            " with --disk-root DIR"
+                        } else {
+                            ""
+                        }
+                    )
+                });
+            (Box::new(engine), None)
         }
     }
 }

@@ -21,6 +21,8 @@ pub mod perf;
 pub mod pool;
 pub mod report;
 
-pub use experiments::config::{BackendKind, EngineKind, ExperimentConfig, StrategyParams};
+pub use experiments::config::{
+    BackendKind, EngineKind, ExperimentConfig, StrategyParams, TransportKind,
+};
 pub use experiments::runner::{run_simulation, run_simulation_sequential, run_specs, RunSpec};
 pub use pool::parallel_map;

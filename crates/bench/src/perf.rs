@@ -666,15 +666,20 @@ fn bench_pi_update_ingest_disk(scale: &SuiteScale, seed: u64) -> BenchResult {
     let master = MasterKey::from_bytes([0xB3; 32]);
     let batches = ingest_batches(scale, seed, &master);
     let records: u64 = batches.iter().map(|b| b.len() as u64).sum();
-    let root = crate::experiments::runner::disk_scratch_root()
-        .join(format!("dpsync-perf-disk-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&root);
+    // The scratch root rides behind a drop guard so the directory disappears
+    // even when a sample panics mid-ingest (a trailing `remove_dir_all`
+    // would be skipped during unwinding).
+    let root = crate::experiments::config::ScratchDir::claim(
+        crate::experiments::runner::disk_scratch_root()
+            .join(format!("dpsync-perf-disk-{}", std::process::id())),
+    );
+    let _ = std::fs::remove_dir_all(root.path());
     let mut sample_index = 0u64;
-    let result = run_bench("pi_update_ingest_disk", scale.samples, records, || {
+    run_bench("pi_update_ingest_disk", scale.samples, records, || {
         // A fresh segment log per sample, full durability: every Π_Update
         // batch is CRC-framed and fsynced, so this measures the real disk
         // ingest path, not just the framing.
-        let dir = root.join(format!("sample-{sample_index}"));
+        let dir = root.path().join(format!("sample-{sample_index}"));
         sample_index += 1;
         let backend = dpsync_edb::BackendConfig::segment_log(&dir)
             .build()
@@ -693,9 +698,7 @@ fn bench_pi_update_ingest_disk(scale: &SuiteScale, seed: u64) -> BenchResult {
         let elapsed = started.elapsed();
         black_box(engine.table_stats("bench").ciphertext_count);
         elapsed
-    });
-    let _ = std::fs::remove_dir_all(&root);
-    result
+    })
 }
 
 fn query_engine(scale: &SuiteScale, seed: u64) -> ObliDbEngine {

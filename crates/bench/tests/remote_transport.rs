@@ -1,0 +1,67 @@
+//! The experiment harness over TCP: `--transport tcp` runs must reproduce
+//! in-process reports bit for bit.
+//!
+//! Lives in its own integration binary because it owns the process-global
+//! serve-address override for its whole duration (the config unit tests
+//! exercise the same global in the library test binary).
+
+use dpsync_bench::experiments::config::{set_serve_addr, TransportKind};
+use dpsync_bench::{run_simulation, BackendKind, EngineKind, ExperimentConfig, RunSpec};
+use dpsync_core::strategy::StrategyKind;
+use dpsync_net::{EdbTcpServer, EngineFactory, EngineProvider};
+
+#[test]
+fn tcp_transport_runs_reproduce_in_process_reports() {
+    let root = std::env::temp_dir().join(format!("dpsync-bench-remote-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let mut server = EdbTcpServer::bind(
+        "127.0.0.1:0",
+        EngineProvider::Factory(EngineFactory {
+            disk_root: Some(root.clone()),
+        }),
+    )
+    .expect("loopback server binds");
+    set_serve_addr(Some(server.local_addr().to_string()));
+
+    let config = ExperimentConfig {
+        scale: 60,
+        seed: 3,
+        ..Default::default()
+    }
+    .rescale();
+
+    for engine in EngineKind::ALL {
+        for backend in [BackendKind::Memory, BackendKind::Disk] {
+            let inproc_spec = RunSpec {
+                engine,
+                strategy: StrategyKind::DpTimer,
+                config: ExperimentConfig { backend, ..config },
+            };
+            let tcp_spec = RunSpec {
+                config: ExperimentConfig {
+                    transport: TransportKind::Tcp,
+                    ..inproc_spec.config
+                },
+                ..inproc_spec
+            };
+            let inproc = run_simulation(&inproc_spec).normalized();
+            let tcp = run_simulation(&tcp_spec).normalized();
+            assert_eq!(
+                inproc, tcp,
+                "transport must be invisible for {engine:?}/{backend:?}"
+            );
+        }
+    }
+
+    assert_eq!(server.handler_panics(), 0);
+    set_serve_addr(None);
+    server.shutdown();
+    // Every disk session cleaned up behind itself.
+    let leftover: Vec<_> = std::fs::read_dir(&root).unwrap().collect();
+    assert!(
+        leftover.is_empty(),
+        "sessions left scratch dirs: {leftover:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 pub mod segment_log;
 
-pub use segment_log::{SegmentLogBackend, SegmentLogConfig};
+pub use segment_log::{crc32, SegmentLogBackend, SegmentLogConfig};
 
 /// Errors surfaced by storage backends.
 ///

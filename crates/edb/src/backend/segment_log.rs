@@ -127,7 +127,11 @@ impl SegmentLogConfig {
 }
 
 /// CRC32 (IEEE 802.3 polynomial, reflected), table-driven.
-fn crc32(data: &[u8]) -> u32 {
+///
+/// Public because the wire protocol in `dpsync-net` frames its messages with
+/// the same checksum the segment log uses for its on-disk frames — one CRC
+/// implementation, one set of test vectors.
+pub fn crc32(data: &[u8]) -> u32 {
     const fn table() -> [u32; 256] {
         let mut table = [0u32; 256];
         let mut i = 0;

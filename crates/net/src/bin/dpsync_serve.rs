@@ -1,0 +1,110 @@
+//! `dpsync-serve` — the outsourced DP-Sync server as a standalone process.
+//!
+//! Runs an [`dpsync_net::EdbTcpServer`] in factory mode: every connection
+//! opens its own session and asks for the engine it wants (`ObliDB` or
+//! `Crypt-ε`, in-memory or durable segment-log storage), so independent
+//! experiment runs — e.g. the ten `strategy × engine` simulations of
+//! `exp_table5 --transport tcp` — share one server process without colliding
+//! on table names.
+//!
+//! Usage:
+//!
+//! ```text
+//! dpsync-serve [--addr 127.0.0.1:7450] [--disk-root DIR] [--io-deadline-secs N]
+//! ```
+//!
+//! * `--addr` — listen address (default `127.0.0.1:7450`, the address the
+//!   experiment binaries' `--transport tcp` connects to by default).
+//! * `--disk-root` — enables disk-backed sessions: each gets a scratch
+//!   subdirectory under `DIR`, removed when the session ends.  Without it,
+//!   disk session requests are rejected.
+//! * `--io-deadline-secs` — per-connection I/O deadline (default 10).
+//!
+//! The process runs until killed.  Disk-session scratch directories are
+//! removed when their connection ends; killing the process *mid-session*
+//! skips that cleanup (signals run no destructors), so anything left under
+//! `--disk-root` after a hard kill is safe to delete.
+
+use dpsync_net::{EdbTcpServer, EngineFactory, EngineProvider, ServeOptions, DEFAULT_SERVE_ADDR};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut factory = EngineFactory::default();
+    let mut options = ServeOptions::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                if let Some(v) = args.get(i + 1) {
+                    addr = v.clone();
+                    i += 1;
+                }
+            }
+            "--disk-root" => {
+                if let Some(v) = args.get(i + 1) {
+                    factory.disk_root = Some(PathBuf::from(v));
+                    i += 1;
+                }
+            }
+            "--io-deadline-secs" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    options.io_deadline = Duration::from_secs(v);
+                    i += 1;
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: dpsync-serve [--addr {DEFAULT_SERVE_ADDR}] [--disk-root DIR] [--io-deadline-secs 10]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("dpsync-serve: unknown argument `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(root) = &factory.disk_root {
+        if let Err(e) = std::fs::create_dir_all(root) {
+            eprintln!(
+                "dpsync-serve: cannot create disk root {}: {e}",
+                root.display()
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let disk_note = factory
+        .disk_root
+        .as_ref()
+        .map(|root| format!(", disk sessions under {}", root.display()))
+        .unwrap_or_else(|| ", memory sessions only".to_string());
+
+    let server =
+        match EdbTcpServer::bind_with_options(&addr, EngineProvider::Factory(factory), options) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("dpsync-serve: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+
+    // The readiness line scripts wait for before connecting.
+    println!(
+        "dpsync-serve listening on {}{disk_note}",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed; the accept loop runs on its own thread.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

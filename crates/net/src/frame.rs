@@ -1,0 +1,226 @@
+//! Length-prefixed, CRC-framed transport framing.
+//!
+//! Every wire message travels in one frame:
+//!
+//! ```text
+//! ┌──────────────┬──────────────┬─────────────────────┐
+//! │ len: u32 LE  │ crc: u32 LE  │ payload (len bytes) │
+//! └──────────────┴──────────────┴─────────────────────┘
+//! ```
+//!
+//! `crc` is the IEEE CRC-32 of the payload — the same checksum (and the same
+//! implementation, [`dpsync_edb::backend::crc32`]) the durable segment log
+//! uses for its on-disk frames.  `len` is capped at [`MAX_FRAME_LEN`]; a
+//! larger length is rejected *before* any allocation, so a hostile header
+//! cannot drive the peer out of memory.
+//!
+//! Framing errors are not recoverable: after a bad length or a CRC mismatch
+//! the stream offset can no longer be trusted, so both peers treat a framing
+//! error as fatal for the connection (the server sends one final
+//! protocol-error frame as a courtesy, then disconnects).
+
+use dpsync_edb::backend::crc32;
+use std::io::{self, Read, Write};
+
+/// Maximum frame payload length (64 MiB).
+///
+/// Generously above the largest legitimate message — a full-month `Π_Setup`
+/// batch is under 2 MiB of ciphertext — while small enough that a hostile
+/// length can never look like a plausible allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Length of the fixed frame header (length + CRC).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// A framing failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The header announced a payload longer than [`MAX_FRAME_LEN`].
+    TooLarge(u64),
+    /// The payload did not match the header's CRC.
+    CrcMismatch {
+        /// CRC the header carried.
+        expected: u32,
+        /// CRC of the payload actually received.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge(len) => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+            FrameError::CrcMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: header {expected:#010x}, payload {actual:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encodes one frame (header + payload) into a fresh buffer.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — outbound messages are
+/// produced by this crate's own encoders and never legitimately get there.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "outbound frame of {} bytes exceeds MAX_FRAME_LEN",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame (a single `write_all`, so frames from concurrent writers
+/// to different sockets never interleave partially).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(payload))
+}
+
+/// Validates a header + payload pair that was read elsewhere.
+pub fn check_frame(header: [u8; FRAME_HEADER_LEN], payload: &[u8]) -> Result<(), FrameError> {
+    let expected = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(FrameError::CrcMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+/// Parses a frame header, returning the payload length.
+pub fn payload_len(header: [u8; FRAME_HEADER_LEN]) -> Result<usize, FrameError> {
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as u64;
+    if len as usize > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    Ok(len as usize)
+}
+
+/// Reads exactly one frame from a blocking reader.
+///
+/// Returns [`FrameError::Closed`] on a clean EOF *between* frames (the peer
+/// hung up) and [`FrameError::Io`] on an EOF mid-frame (the peer died).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0;
+    while filled < 1 {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    r.read_exact(&mut header[filled..])?;
+    let len = payload_len(header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    check_frame(header, &payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for payload in [&b""[..], b"x", &[0xABu8; 1000]] {
+            let framed = encode_frame(payload);
+            let mut cursor = io::Cursor::new(framed);
+            assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_crc() {
+        let framed = encode_frame(b"hello, server");
+        for bit in 0..(framed.len() * 8) {
+            // Flips inside the length prefix change the length instead; only
+            // exercise CRC and payload bytes here (length flips are covered
+            // by `oversized_lengths_are_rejected` and truncation handling).
+            if bit / 8 < 4 {
+                continue;
+            }
+            let mut corrupted = framed.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            let mut cursor = io::Cursor::new(corrupted);
+            match read_frame(&mut cursor) {
+                Err(FrameError::CrcMismatch { .. }) => {}
+                other => panic!("bit {bit}: expected CRC mismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation() {
+        let mut framed = vec![0u8; FRAME_HEADER_LEN];
+        framed[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = io::Cursor::new(framed);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_closed() {
+        let mut cursor = io::Cursor::new(Vec::new());
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_io_error() {
+        let framed = encode_frame(b"cut short");
+        let mut cursor = io::Cursor::new(framed[..6].to_vec());
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn display_renders_every_variant() {
+        assert!(FrameError::Closed.to_string().contains("closed"));
+        assert!(FrameError::TooLarge(1 << 40).to_string().contains("cap"));
+        assert!(FrameError::CrcMismatch {
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("mismatch"));
+        assert!(FrameError::Io(io::Error::other("boom"))
+            .to_string()
+            .contains("boom"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Networked service tier for DP-Sync: the outsourced server over TCP.
+//!
+//! DP-Sync's model is an *outsourced* database — the owner and the analyst
+//! talk to an untrusted server across a trust boundary — and this crate is
+//! that boundary made physical.  Three pieces:
+//!
+//! * [`wire`] — a canonical binary codec for the Π_Setup / Π_Update /
+//!   Π_Query messages plus an error frame that round-trips [`dpsync_edb::EdbError`]
+//!   (including the `Storage` variant's source chain as text), carried in
+//!   [`frame`]'s length-prefixed, CRC-checked frames.
+//! * [`server`] — [`EdbTcpServer`], a threaded `std::net` listener that
+//!   wraps any engine (one shared instance, or a per-connection factory as
+//!   run by the `dpsync-serve` binary), with graceful shutdown and
+//!   per-connection I/O deadlines.
+//! * [`client`] — [`RemoteEdb`], a [`dpsync_edb::SecureOutsourcedDatabase`]
+//!   implementation that speaks the protocol over a socket, so every layer
+//!   above (owner runtime, analyst, simulation drivers, experiment harness)
+//!   runs remotely unchanged.
+//!
+//! # What the transport does and does not leak
+//!
+//! The wire protocol carries exactly the protocol messages of Definition 1,
+//! so a network adversary observing the ciphertext stream learns nothing
+//! beyond the Definition-2 transcript the server itself observes: update
+//! times, update volumes (frame sizes are an affine function of the batch
+//! volume — which the update pattern already reveals), query kinds and
+//! engine-dependent response volumes.  The remote/in-process equivalence
+//! suite in `dpsync-core` pins this down by comparing full adversary views
+//! across transports byte for byte.  (Like the in-process engines, the
+//! session handshake hands the server the record key — the engine simulators
+//! stand in for trusted hardware; see `ARCHITECTURE.md` §7.)
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::RemoteEdb;
+pub use server::{EdbTcpServer, EngineFactory, EngineProvider, ServeOptions, DEFAULT_SERVE_ADDR};
+pub use wire::{BackendRequest, Request, Response, SessionRequest, WireError};

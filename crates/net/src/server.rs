@@ -1,0 +1,685 @@
+//! The TCP service tier: [`EdbTcpServer`] runs any engine behind a socket.
+//!
+//! The server is deliberately boring `std::net` machinery — an accept loop on
+//! a non-blocking listener plus one handler thread per connection (the same
+//! scoped-worker discipline as the `dpsync-bench` pool: plain threads, an
+//! atomic for coordination, no async runtime in the vendored dependency
+//! set).  What it serves is the full SOGDB protocol suite over the
+//! [`crate::wire`] codec:
+//!
+//! * **Shared mode** — every connection talks to one engine instance
+//!   ([`EngineProvider::Shared`]).  Many concurrent clients land on the
+//!   existing sharded [`dpsync_edb::server::ServerStorage`], one owner per
+//!   table, exactly like in-process concurrent owners.
+//! * **Factory mode** — each connection gets a fresh engine built from its
+//!   `Hello` frame ([`EngineProvider::Factory`]); this is what `dpsync-serve`
+//!   runs, so independent experiment runs can share one server process
+//!   without colliding on table names.
+//!
+//! # Robustness rules
+//!
+//! * a malformed frame gets one final protocol-error frame, then the
+//!   connection closes (the stream offset can no longer be trusted);
+//! * a malformed *message* in a well-formed frame gets a protocol-error
+//!   frame and the connection continues;
+//! * handler panics are caught per connection and counted
+//!   ([`EdbTcpServer::handler_panics`]) — one hostile client can never take
+//!   the process down;
+//! * every read and write carries a deadline ([`ServeOptions::io_deadline`]),
+//!   so a stalled peer cannot pin a handler thread forever;
+//! * [`EdbTcpServer::shutdown`] stops accepting, wakes idle handlers and
+//!   joins every thread before returning.
+
+use crate::frame::{write_frame, FrameError, FRAME_HEADER_LEN};
+use crate::wire::{BackendRequest, EntropyDraw, Request, Response, SessionRequest};
+use dpsync_crypto::MasterKey;
+use dpsync_edb::engines::EngineKind;
+use dpsync_edb::sogdb::SecureOutsourcedDatabase;
+use dpsync_edb::BackendConfig;
+use rand::RngCore;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The default `dpsync-serve` listen address.
+///
+/// The experiment binaries' `--transport tcp` connects here by default, so
+/// the zero-config pairing (`dpsync-serve &` then `exp_* --transport tcp`)
+/// depends on both sides reading this one constant.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7450";
+
+/// Timing knobs for the server's I/O loops.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// How long a peer may stall mid-frame (or mid-entropy-exchange) before
+    /// the connection is dropped.
+    pub io_deadline: Duration,
+    /// How often idle loops re-check the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            io_deadline: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Builds per-connection engines for factory-mode servers.
+#[derive(Debug, Clone, Default)]
+pub struct EngineFactory {
+    /// Root directory for [`BackendRequest::Disk`] sessions; each session
+    /// gets its own subdirectory, removed when the connection ends.  `None`
+    /// rejects disk sessions.
+    pub disk_root: Option<PathBuf>,
+}
+
+/// A per-session scratch directory, removed on drop — even when the handler
+/// unwinds, so a panicking session never leaks its segment logs.
+#[derive(Debug)]
+struct SessionDir(PathBuf);
+
+impl Drop for SessionDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Monotone session counter so concurrent disk sessions never share a
+/// directory.
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl EngineFactory {
+    fn build(
+        &self,
+        kind: EngineKind,
+        master_key: [u8; 32],
+        backend: BackendRequest,
+    ) -> Result<(Box<dyn SecureOutsourcedDatabase>, Option<SessionDir>), String> {
+        let master = MasterKey::from_bytes(master_key);
+        match backend {
+            BackendRequest::Memory => Ok((kind.build(&master), None)),
+            BackendRequest::Disk => {
+                let Some(root) = &self.disk_root else {
+                    return Err("server was started without a disk root".to_string());
+                };
+                let dir = root.join(format!(
+                    "dpsync-session-{}-{}",
+                    std::process::id(),
+                    SESSION_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                let guard = SessionDir(dir.clone());
+                let backend = BackendConfig::segment_log(&dir)
+                    .build()
+                    .map_err(|e| format!("cannot open session segment log: {e}"))?;
+                let engine = kind
+                    .build_with_backend(&master, backend)
+                    .map_err(|e| format!("cannot build engine on session log: {e}"))?;
+                Ok((engine, Some(guard)))
+            }
+        }
+    }
+}
+
+/// Where connections get their engine from.
+pub enum EngineProvider {
+    /// One engine, shared by every connection.
+    Shared(Arc<dyn SecureOutsourcedDatabase>),
+    /// A fresh engine per connection, built from the client's `Hello`.
+    Factory(EngineFactory),
+}
+
+/// A running TCP server; dropping it shuts it down and joins every thread.
+#[derive(Debug)]
+pub struct EdbTcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    panics: Arc<AtomicUsize>,
+}
+
+impl EdbTcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral test port) and starts
+    /// accepting connections with default [`ServeOptions`].
+    pub fn bind(addr: impl ToSocketAddrs, provider: EngineProvider) -> io::Result<Self> {
+        Self::bind_with_options(addr, provider, ServeOptions::default())
+    }
+
+    /// As [`EdbTcpServer::bind`] with explicit timing options.
+    pub fn bind_with_options(
+        addr: impl ToSocketAddrs,
+        provider: EngineProvider,
+        options: ServeOptions,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let panics = Arc::new(AtomicUsize::new(0));
+        let provider = Arc::new(provider);
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_panics = Arc::clone(&panics);
+        let accept_thread = std::thread::Builder::new()
+            .name("dpsync-net-accept".into())
+            .spawn(move || {
+                accept_loop(listener, provider, options, accept_shutdown, accept_panics)
+            })?;
+
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            panics,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of connection handlers that panicked since startup.  The fuzz
+    /// suite asserts this stays zero under arbitrary input.
+    pub fn handler_panics(&self) -> usize {
+        self.panics.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, disconnects idle handlers and joins every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EdbTcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    provider: Arc<EngineProvider>,
+    options: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+    panics: Arc<AtomicUsize>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let provider = Arc::clone(&provider);
+                let shutdown = Arc::clone(&shutdown);
+                let panics = Arc::clone(&panics);
+                let handle = std::thread::Builder::new()
+                    .name("dpsync-net-conn".into())
+                    .spawn(move || {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            handle_connection(stream, &provider, options, &shutdown)
+                        }));
+                        if result.is_err() {
+                            panics.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                match handle {
+                    Ok(handle) => handlers.push(handle),
+                    Err(_) => { /* spawn failure: drop the connection */ }
+                }
+                // Opportunistically reap finished handlers so a long-lived
+                // server does not accumulate join handles.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(options.poll_interval);
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(options.poll_interval);
+            }
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Outcome of a deadline-aware exact read.
+enum ReadStatus {
+    /// The buffer was filled.
+    Done,
+    /// The peer closed the connection before the first byte (only when
+    /// `allow_idle`).
+    Eof,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+/// Reads exactly `buf.len()` bytes from a stream whose read timeout is the
+/// poll interval.
+///
+/// With `allow_idle`, the call waits indefinitely for the *first* byte
+/// (checking the shutdown flag at every poll); once a byte arrives — or when
+/// `allow_idle` is false — the peer must keep making progress within
+/// `deadline` or the read fails with `TimedOut`.
+fn read_exact_deadline(
+    stream: &mut &TcpStream,
+    buf: &mut [u8],
+    allow_idle: bool,
+    shutdown: &AtomicBool,
+    deadline: Duration,
+) -> io::Result<ReadStatus> {
+    let mut filled = 0;
+    let mut last_progress = Instant::now();
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && allow_idle {
+                    Ok(ReadStatus::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(ReadStatus::Shutdown);
+                }
+                let idling = filled == 0 && allow_idle;
+                if !idling && last_progress.elapsed() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled past the I/O deadline",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadStatus::Done)
+}
+
+/// Reads one frame with the server's deadline semantics.  `Ok(None)` means
+/// the connection should end quietly (clean EOF or shutdown).
+fn read_frame_deadline(
+    stream: &mut &TcpStream,
+    allow_idle: bool,
+    shutdown: &AtomicBool,
+    deadline: Duration,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match read_exact_deadline(stream, &mut header[..1], allow_idle, shutdown, deadline)? {
+        ReadStatus::Done => {}
+        ReadStatus::Eof | ReadStatus::Shutdown => return Ok(None),
+    }
+    match read_exact_deadline(stream, &mut header[1..], false, shutdown, deadline)? {
+        ReadStatus::Done => {}
+        ReadStatus::Eof | ReadStatus::Shutdown => return Ok(None),
+    }
+    let len = crate::frame::payload_len(header)?;
+    let mut payload = vec![0u8; len];
+    match read_exact_deadline(stream, &mut payload, false, shutdown, deadline)? {
+        ReadStatus::Done => {}
+        ReadStatus::Eof | ReadStatus::Shutdown => return Ok(None),
+    }
+    crate::frame::check_frame(header, &payload)?;
+    Ok(Some(payload))
+}
+
+/// The server side of the entropy sub-protocol: a [`RngCore`] whose draws
+/// round-trip to the client, one request frame per draw.
+///
+/// `Π_Query` takes its randomness from the caller — over the wire the caller
+/// is on the other end of the socket, so each `next_u32` / `next_u64` /
+/// `fill_bytes` becomes an [`Response::EntropyRequest`].  Draws map 1:1 onto
+/// the client RNG's methods, which is what keeps a fixed-seed client RNG
+/// stream byte-identical between transports.
+///
+/// `RngCore` has no error channel, so a transport failure mid-draw parks the
+/// proxy in a failed state (zeros are returned to let the engine unwind
+/// normally) and the handler drops the connection without sending a result.
+struct EntropyProxy<'a> {
+    stream: &'a TcpStream,
+    shutdown: &'a AtomicBool,
+    deadline: Duration,
+    failed: bool,
+}
+
+impl EntropyProxy<'_> {
+    fn exchange(&mut self, draw: EntropyDraw, expected_len: usize) -> Option<Vec<u8>> {
+        if self.failed {
+            return None;
+        }
+        let mut write_half = self.stream;
+        if write_frame(&mut write_half, &Response::EntropyRequest(draw).encode()).is_err() {
+            self.failed = true;
+            return None;
+        }
+        let mut read_half = self.stream;
+        let frame = match read_frame_deadline(&mut read_half, false, self.shutdown, self.deadline) {
+            Ok(Some(frame)) => frame,
+            _ => {
+                self.failed = true;
+                return None;
+            }
+        };
+        match Request::decode(&frame) {
+            Ok(Request::EntropyReply(bytes)) if bytes.len() == expected_len => Some(bytes),
+            _ => {
+                self.failed = true;
+                None
+            }
+        }
+    }
+}
+
+impl RngCore for EntropyProxy<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.exchange(EntropyDraw::U32, 4)
+            .map_or(0, |b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.exchange(EntropyDraw::U64, 8)
+            .map_or(0, |b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.exchange(EntropyDraw::Fill(dest.len() as u32), dest.len()) {
+            Some(bytes) => dest.copy_from_slice(&bytes),
+            None => dest.fill(0),
+        }
+    }
+}
+
+/// The per-connection engine binding (and, for disk sessions, the scratch
+/// directory that must outlive it).
+struct Session {
+    engine: EngineHandle,
+    _dir: Option<SessionDir>,
+}
+
+enum EngineHandle {
+    Shared(Arc<dyn SecureOutsourcedDatabase>),
+    Owned(Box<dyn SecureOutsourcedDatabase>),
+}
+
+impl EngineHandle {
+    fn engine(&self) -> &dyn SecureOutsourcedDatabase {
+        match self {
+            EngineHandle::Shared(engine) => engine.as_ref(),
+            EngineHandle::Owned(engine) => engine.as_ref(),
+        }
+    }
+}
+
+fn engine_info(engine: &dyn SecureOutsourcedDatabase) -> Response {
+    Response::EngineInfo {
+        name: engine.name().to_string(),
+        profile: engine.leakage_profile(),
+        cost: engine.cost_model(),
+    }
+}
+
+fn open_session(provider: &EngineProvider, hello: SessionRequest) -> Result<Session, String> {
+    match (provider, hello) {
+        (EngineProvider::Shared(engine), SessionRequest::Shared) => Ok(Session {
+            engine: EngineHandle::Shared(Arc::clone(engine)),
+            _dir: None,
+        }),
+        (EngineProvider::Shared(_), SessionRequest::NewEngine { .. }) => {
+            Err("this server hosts a shared engine; ask for the shared session".to_string())
+        }
+        (EngineProvider::Factory(_), SessionRequest::Shared) => {
+            Err("this server builds per-connection engines; send an engine request".to_string())
+        }
+        (
+            EngineProvider::Factory(factory),
+            SessionRequest::NewEngine {
+                engine,
+                master_key,
+                backend,
+            },
+        ) => {
+            let (engine, dir) = factory.build(engine, master_key, backend)?;
+            Ok(Session {
+                engine: EngineHandle::Owned(engine),
+                _dir: dir,
+            })
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    provider: &EngineProvider,
+    options: ServeOptions,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(options.poll_interval));
+    let _ = stream.set_write_timeout(Some(options.io_deadline));
+
+    let mut session: Option<Session> = None;
+    loop {
+        let mut read_half = &stream;
+        let frame = match read_frame_deadline(&mut read_half, true, shutdown, options.io_deadline) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean EOF or shutdown
+            Err(e) => {
+                // The stream offset can no longer be trusted: one courtesy
+                // error frame, then disconnect.
+                let mut write_half = &stream;
+                let _ = write_frame(
+                    &mut write_half,
+                    &Response::Protocol(format!("bad frame: {e}")).encode(),
+                );
+                return;
+            }
+        };
+
+        let request = match Request::decode(&frame) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame itself was sound (length + CRC), so the stream is
+                // still synchronized: report and keep serving.
+                if respond(&stream, Response::Protocol(format!("bad message: {e}"))).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        let response = match (&mut session, request) {
+            (_, Request::Hello(hello)) => match open_session(provider, hello) {
+                Ok(new_session) => {
+                    let info = engine_info(new_session.engine.engine());
+                    session = Some(new_session);
+                    info
+                }
+                Err(message) => Response::Protocol(message),
+            },
+            (None, _) => Response::Protocol("the first message must be a hello".to_string()),
+            (Some(_), Request::EntropyReply(_)) => {
+                Response::Protocol("entropy reply outside a query".to_string())
+            }
+            (
+                Some(session),
+                Request::Setup {
+                    table,
+                    schema,
+                    records,
+                },
+            ) => match session.engine.engine().setup(&table, schema, records) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Edb(e),
+            },
+            (
+                Some(session),
+                Request::Update {
+                    table,
+                    time,
+                    records,
+                },
+            ) => match session.engine.engine().update(&table, time, records) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Edb(e),
+            },
+            (Some(session), Request::Query(query)) => {
+                let mut proxy = EntropyProxy {
+                    stream: &stream,
+                    shutdown,
+                    deadline: options.io_deadline,
+                    failed: false,
+                };
+                let result = session.engine.engine().query(&query, &mut proxy);
+                if proxy.failed {
+                    // The client vanished mid-query; the result was computed
+                    // from a dead RNG stream and must not be released.
+                    return;
+                }
+                match result {
+                    Ok(outcome) => Response::Outcome(outcome),
+                    Err(e) => Response::Edb(e),
+                }
+            }
+            (Some(session), Request::Supports(query)) => {
+                Response::Supported(session.engine.engine().supports(&query))
+            }
+            (Some(session), Request::TableStats(table)) => {
+                Response::Stats(session.engine.engine().table_stats(&table))
+            }
+            (Some(session), Request::AdversaryView) => {
+                Response::View(session.engine.engine().adversary_view())
+            }
+        };
+
+        if respond(&stream, response).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(stream: &TcpStream, response: Response) -> io::Result<()> {
+    let mut write_half = stream;
+    write_frame(&mut write_half, &response.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsync_edb::engines::ObliDbEngine;
+    use std::io::Write;
+
+    fn shared_server() -> EdbTcpServer {
+        let master = MasterKey::from_bytes([1u8; 32]);
+        let engine: Arc<dyn SecureOutsourcedDatabase> = Arc::new(ObliDbEngine::new(&master));
+        EdbTcpServer::bind("127.0.0.1:0", EngineProvider::Shared(engine)).unwrap()
+    }
+
+    #[test]
+    fn server_binds_and_shuts_down_cleanly() {
+        let mut server = shared_server();
+        assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(server.handler_panics(), 0);
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn raw_garbage_gets_an_error_frame_then_disconnect() {
+        let server = shared_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A header announcing an oversized frame.
+        stream.write_all(&[0xFF; FRAME_HEADER_LEN]).unwrap();
+        let payload = crate::frame::read_frame(&mut stream).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Protocol(message) => assert!(message.contains("bad frame")),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        // The server closed its end afterwards.
+        let mut buf = [0u8; 1];
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(stream.read(&mut buf).unwrap(), 0);
+        assert_eq!(server.handler_panics(), 0);
+    }
+
+    #[test]
+    fn requests_before_hello_are_rejected_but_keep_the_connection() {
+        let server = shared_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(&mut stream, &Request::AdversaryView.encode()).unwrap();
+        let payload = crate::frame::read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Protocol(_)
+        ));
+        // Still connected: a hello now succeeds.
+        write_frame(
+            &mut stream,
+            &Request::Hello(SessionRequest::Shared).encode(),
+        )
+        .unwrap();
+        let payload = crate::frame::read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::EngineInfo { .. }
+        ));
+    }
+
+    #[test]
+    fn factory_server_rejects_disk_sessions_without_a_root() {
+        let server = EdbTcpServer::bind(
+            "127.0.0.1:0",
+            EngineProvider::Factory(EngineFactory::default()),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello(SessionRequest::NewEngine {
+                engine: EngineKind::ObliDb,
+                master_key: [0u8; 32],
+                backend: BackendRequest::Disk,
+            })
+            .encode(),
+        )
+        .unwrap();
+        let payload = crate::frame::read_frame(&mut stream).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Protocol(message) => assert!(message.contains("disk root")),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Fuzz suite for the wire codec and the server's frame handling.
+//!
+//! Three layers of property:
+//!
+//! 1. **Decoder totality** — `Request::decode` / `Response::decode` never
+//!    panic on arbitrary bytes; they return a value or a clean [`WireError`].
+//! 2. **Canonical round-trips** — every message our encoders can produce
+//!    decodes back to itself, and re-encodes to the *identical* bytes
+//!    (truncating any prefix of such a frame fails cleanly instead).
+//! 3. **Live-server robustness** — random, truncated, oversized-length and
+//!    bit-flipped streams thrown at a real `EdbTcpServer` over loopback
+//!    produce only clean error frames or disconnects: the handler-panic
+//!    counter stays at zero and the server keeps serving well-formed
+//!    sessions afterwards.
+//!
+//! All generators honor `PROPTEST_SEED` (the vendored proptest derives every
+//! case stream from it), so CI failures reproduce exactly.
+
+use dpsync_crypto::{MasterKey, RecordCryptor, RecordPlaintext};
+use dpsync_edb::engines::ObliDbEngine;
+use dpsync_edb::query::{Predicate, Query};
+use dpsync_edb::schema::{ColumnDef, DataType, Value};
+use dpsync_edb::sogdb::SecureOutsourcedDatabase;
+use dpsync_edb::Schema;
+use dpsync_net::frame::{encode_frame, read_frame, FrameError, FRAME_HEADER_LEN};
+use dpsync_net::wire::SessionRequest;
+use dpsync_net::{EdbTcpServer, EngineProvider, Request, Response};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_name() -> BoxedStrategy<String> {
+    prop::collection::vec(0u8..26, 1..8)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+        .boxed()
+}
+
+fn arb_value() -> BoxedStrategy<Value> {
+    (0u8..6, any::<i64>(), any::<u64>(), arb_name())
+        .prop_map(|(tag, i, u, s)| match tag {
+            0 => Value::Int(i),
+            1 => Value::Float(f64::from_bits(u)),
+            2 => Value::Timestamp(u),
+            3 => Value::Bool(u % 2 == 0),
+            4 => Value::Text(s),
+            _ => Value::Null,
+        })
+        .boxed()
+}
+
+fn arb_predicate(depth: u8) -> BoxedStrategy<Predicate> {
+    let leaf = (0u8..5, arb_name(), arb_value(), any::<u64>(), any::<u64>())
+        .prop_map(|(tag, col, value, a, b)| {
+            let (a, b) = (f64::from_bits(a), f64::from_bits(b));
+            match tag {
+                0 => Predicate::Eq(col, value),
+                1 => Predicate::Between(col, a, b),
+                2 => Predicate::LessThan(col, a),
+                3 => Predicate::GreaterThan(col, a),
+                _ => Predicate::True,
+            }
+        })
+        .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    (0u8..8)
+        .prop_flat_map(move |tag| match tag {
+            0 => (arb_predicate(depth - 1), arb_predicate(depth - 1))
+                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b)))
+                .boxed(),
+            1 => (arb_predicate(depth - 1), arb_predicate(depth - 1))
+                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b)))
+                .boxed(),
+            2 => arb_predicate(depth - 1)
+                .prop_map(|p| Predicate::Not(Box::new(p)))
+                .boxed(),
+            _ => arb_predicate(0),
+        })
+        .boxed()
+}
+
+fn arb_opt_predicate() -> BoxedStrategy<Option<Predicate>> {
+    (0u8..2, arb_predicate(3))
+        .prop_map(|(tag, p)| (tag == 1).then_some(p))
+        .boxed()
+}
+
+fn arb_query() -> BoxedStrategy<Query> {
+    (
+        0u8..4,
+        arb_name(),
+        arb_name(),
+        arb_name(),
+        arb_name(),
+        arb_opt_predicate(),
+        prop::collection::vec(arb_name(), 0..4),
+    )
+        .prop_map(|(tag, a, b, c, d, predicate, columns)| match tag {
+            0 => Query::Count {
+                table: a,
+                predicate,
+            },
+            1 => Query::GroupByCount {
+                table: a,
+                group_by: b,
+                predicate,
+            },
+            2 => Query::JoinCount {
+                left: a,
+                right: b,
+                left_column: c,
+                right_column: d,
+            },
+            _ => Query::Select {
+                table: a,
+                columns,
+                predicate,
+            },
+        })
+        .boxed()
+}
+
+fn arb_schema() -> BoxedStrategy<Schema> {
+    (prop::collection::vec((arb_name(), 0u8..5), 0..5))
+        .prop_map(|columns| {
+            let mut seen = std::collections::HashSet::new();
+            let columns: Vec<ColumnDef> = columns
+                .into_iter()
+                .filter(|(name, _)| seen.insert(name.clone()))
+                .map(|(name, ty)| {
+                    ColumnDef::new(
+                        name,
+                        match ty {
+                            0 => DataType::Int,
+                            1 => DataType::Float,
+                            2 => DataType::Timestamp,
+                            3 => DataType::Bool,
+                            _ => DataType::Text,
+                        },
+                    )
+                })
+                .collect();
+            Schema::new(columns)
+        })
+        .boxed()
+}
+
+fn arb_records() -> BoxedStrategy<Vec<dpsync_crypto::EncryptedRecord>> {
+    (
+        any::<u64>(),
+        prop::collection::vec((any::<u8>(), 0usize..32), 0..4),
+    )
+        .prop_map(|(key_seed, payloads)| {
+            let mut key = [0u8; 32];
+            key[..8].copy_from_slice(&key_seed.to_le_bytes());
+            let mut cryptor = RecordCryptor::new(&MasterKey::from_bytes(key));
+            payloads
+                .into_iter()
+                .map(|(byte, len)| {
+                    cryptor
+                        .encrypt(&RecordPlaintext::real(vec![byte; len]))
+                        .expect("payload within limit")
+                })
+                .collect()
+        })
+        .boxed()
+}
+
+fn arb_request() -> BoxedStrategy<Request> {
+    (
+        0u8..8,
+        arb_name(),
+        arb_schema(),
+        arb_records(),
+        arb_query(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..16),
+    )
+        .prop_map(
+            |(tag, table, schema, records, query, time, bytes)| match tag {
+                0 => Request::Hello(SessionRequest::Shared),
+                1 => Request::Setup {
+                    table,
+                    schema,
+                    records,
+                },
+                2 => Request::Update {
+                    table,
+                    time,
+                    records,
+                },
+                3 => Request::Query(query),
+                4 => Request::Supports(query),
+                5 => Request::TableStats(table),
+                6 => Request::AdversaryView,
+                _ => Request::EntropyReply(bytes),
+            },
+        )
+        .boxed()
+}
+
+// ---------------------------------------------------------------------------
+// Pure codec properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn random_bytes_never_panic_the_decoders(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Outcome is irrelevant; what matters is that neither decoder can be
+        // driven into a panic (the proptest harness catches and reports one).
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn valid_request_frames_round_trip_byte_identically(request in arb_request()) {
+        let payload = request.encode();
+        let decoded = Request::decode(&payload).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &request);
+        prop_assert_eq!(decoded.encode(), payload.clone(), "canonical re-encoding");
+
+        // Through the frame layer too.
+        let framed = encode_frame(&payload);
+        let mut cursor = std::io::Cursor::new(&framed);
+        prop_assert_eq!(read_frame(&mut cursor).expect("frame reads back"), payload);
+    }
+
+    #[test]
+    fn truncated_frames_fail_cleanly(request in arb_request(), cut_seed in any::<u64>()) {
+        let framed = encode_frame(&request.encode());
+        let cut = (cut_seed as usize) % framed.len();
+        let mut cursor = std::io::Cursor::new(&framed[..cut]);
+        match read_frame(&mut cursor) {
+            Ok(_) => prop_assert!(false, "a strict prefix must not parse as a whole frame"),
+            Err(FrameError::Io(_)) | Err(FrameError::Closed) => {}
+            Err(FrameError::TooLarge(_)) | Err(FrameError::CrcMismatch { .. }) => {
+                // A cut inside the header can only yield these if the prefix
+                // happens to form a complete smaller frame, which the length
+                // check above rules out.
+                prop_assert!(false, "truncation cannot produce a full frame error");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flipped_frames_never_round_trip_silently(
+        request in arb_request(),
+        flip_seed in any::<u64>(),
+    ) {
+        let framed = encode_frame(&request.encode());
+        let bit = (flip_seed as usize) % (framed.len() * 8);
+        let mut corrupted = framed.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        let mut cursor = std::io::Cursor::new(&corrupted);
+        // Flips in the length prefix shrink/extend the claimed payload: a
+        // shrunk frame either fails its CRC (overwhelmingly) or, in the
+        // 2^-32 freak case, parses — but can then not equal the original
+        // request's canonical bytes, because the payload is a strict prefix
+        // of a canonical encoding and the decoder demands full consumption.
+        if let Ok(payload) = read_frame(&mut cursor) {
+            if let Ok(decoded) = Request::decode(&payload) {
+                prop_assert!(
+                    decoded.encode() != framed[FRAME_HEADER_LEN..].to_vec(),
+                    "a corrupted frame must never silently equal the original"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-server robustness
+// ---------------------------------------------------------------------------
+
+/// One shared server for every socket-level fuzz case (binding per case
+/// would dominate the runtime).  Factory-less shared mode over an ObliDB
+/// engine; the fuzz traffic never opens a valid session, and the follow-up
+/// health checks use the shared session.
+fn fuzz_server() -> &'static EdbTcpServer {
+    static SERVER: OnceLock<EdbTcpServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let master = MasterKey::from_bytes([0xF0; 32]);
+        let engine: Arc<dyn SecureOutsourcedDatabase> = Arc::new(ObliDbEngine::new(&master));
+        EdbTcpServer::bind("127.0.0.1:0", EngineProvider::Shared(engine))
+            .expect("fuzz server binds")
+    })
+}
+
+/// Feeds raw bytes to the server and drains its replies.  Every reply must
+/// be a well-formed response frame; anything else (or a handler panic) fails
+/// the test.  Returns when the server closes the connection or stops
+/// replying.
+fn feed_and_drain(bytes: &[u8]) {
+    let server = fuzz_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let _ = stream.write_all(bytes);
+    // Closing our write half guarantees the server sees EOF instead of
+    // waiting out its mid-frame deadline on truncated input.
+    let _ = stream.shutdown(Shutdown::Write);
+
+    loop {
+        match read_frame(&mut stream) {
+            Ok(payload) => {
+                Response::decode(&payload).expect("server only emits well-formed frames");
+            }
+            Err(FrameError::Closed) => break,
+            // A server that closes with unread hostile bytes still in its
+            // receive buffer raises RST rather than a graceful FIN; both are
+            // the "disconnect" arm of the robustness contract.
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::UnexpectedEof
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                break
+            }
+            Err(e) => panic!("server sent a malformed frame: {e}"),
+        }
+    }
+    assert_eq!(server.handler_panics(), 0, "a handler panicked");
+}
+
+/// The server must keep serving valid sessions after hostile traffic.
+fn assert_server_still_healthy() {
+    let server = fuzz_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(&encode_frame(
+            &Request::Hello(SessionRequest::Shared).encode(),
+        ))
+        .unwrap();
+    let payload = read_frame(&mut stream).expect("healthy server answers");
+    assert!(matches!(
+        Response::decode(&payload).unwrap(),
+        Response::EngineInfo { .. }
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn server_survives_random_streams(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        feed_and_drain(&bytes);
+        assert_server_still_healthy();
+    }
+
+    #[test]
+    fn server_survives_truncated_valid_frames(
+        request in arb_request(),
+        cut_seed in any::<u64>(),
+    ) {
+        let framed = encode_frame(&request.encode());
+        let cut = (cut_seed as usize) % framed.len();
+        feed_and_drain(&framed[..cut]);
+        assert_server_still_healthy();
+    }
+
+    #[test]
+    fn server_survives_bit_flipped_frames(
+        request in arb_request(),
+        flip_seed in any::<u64>(),
+    ) {
+        let framed = encode_frame(&request.encode());
+        let bit = (flip_seed as usize) % (framed.len() * 8);
+        let mut corrupted = framed;
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        feed_and_drain(&corrupted);
+        assert_server_still_healthy();
+    }
+
+    #[test]
+    fn server_survives_oversized_length_headers(len in (64u32 << 20)..u32::MAX, junk in any::<u64>()) {
+        let mut bytes = Vec::with_capacity(FRAME_HEADER_LEN + 8);
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&junk.to_le_bytes()); // bogus CRC
+        bytes.extend_from_slice(&junk.to_le_bytes()); // a little body
+        feed_and_drain(&bytes);
+        assert_server_still_healthy();
+    }
+}
+
+#[test]
+fn fuzz_server_drains_without_any_handler_panics() {
+    // A plain smoke assertion that also forces the shared server to exist
+    // even if the proptest functions are filtered out.
+    assert_server_still_healthy();
+    assert_eq!(fuzz_server().handler_panics(), 0);
+}
+
+#[test]
+fn slow_loris_headers_hit_the_deadline_not_the_thread_pool() {
+    // One byte of a frame header, then silence: the connection must be shed
+    // by the per-connection I/O deadline instead of pinning a handler
+    // forever.  Uses a dedicated server with a short deadline so the test
+    // stays fast.
+    let master = MasterKey::from_bytes([0xF1; 32]);
+    let engine: Arc<dyn SecureOutsourcedDatabase> = Arc::new(ObliDbEngine::new(&master));
+    let server = EdbTcpServer::bind_with_options(
+        "127.0.0.1:0",
+        EngineProvider::Shared(engine),
+        dpsync_net::ServeOptions {
+            io_deadline: Duration::from_millis(200),
+            poll_interval: Duration::from_millis(10),
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(&[0x01]).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The server gives up on the stalled frame and closes (optionally after
+    // a courtesy error frame).
+    let mut rest = Vec::new();
+    stream
+        .read_to_end(&mut rest)
+        .expect("server closes the connection");
+    assert_eq!(server.handler_panics(), 0);
+}

@@ -18,6 +18,9 @@
 //!   simulation driver, metrics, and privacy verification.
 //! * [`workloads`] — workload generation: the synthetic NYC-taxi-like growing
 //!   database and the evaluation queries Q1/Q2/Q3.
+//! * [`net`] — the networked service tier: the CRC-framed wire protocol, the
+//!   `EdbTcpServer` listener (and the `dpsync-serve` binary built on it), and
+//!   the `RemoteEdb` client that runs the whole stack over TCP unchanged.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for the
 //! full system inventory.
@@ -28,6 +31,7 @@ pub use dpsync_core as core;
 pub use dpsync_crypto as crypto;
 pub use dpsync_dp as dp;
 pub use dpsync_edb as edb;
+pub use dpsync_net as net;
 pub use dpsync_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
@@ -50,6 +54,7 @@ pub mod prelude {
         schema::{Schema, Value},
         sogdb::SecureOutsourcedDatabase,
     };
+    pub use dpsync_net::{EdbTcpServer, EngineProvider, RemoteEdb};
     pub use dpsync_workloads::{
         queries,
         taxi::{TaxiConfig, TaxiDataset},

@@ -25,14 +25,19 @@ pub use dpsync_edb::engines::EngineKind;
 /// durability and ingest cost.  `Disk` runs each simulation against a
 /// durable segment log in its own per-run scratch directory (under
 /// `DPSYNC_DISK_ROOT` when set, the system temp directory otherwise),
-/// removed when the run finishes.
+/// removed when the run finishes.  `DiskGroup` is the same log with
+/// group-commit sync windows — identical durability guarantees at the
+/// acknowledgment boundary, one `fdatasync` amortized across a window of
+/// concurrent batches instead of one per batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BackendKind {
     /// The in-memory backend (the default).
     #[default]
     Memory,
-    /// The durable encrypted segment-log backend.
+    /// The durable encrypted segment-log backend, one fsync per batch.
     Disk,
+    /// The durable encrypted segment-log backend with group-commit windows.
+    DiskGroup,
 }
 
 impl BackendKind {
@@ -41,6 +46,7 @@ impl BackendKind {
         match self {
             BackendKind::Memory => "memory",
             BackendKind::Disk => "disk",
+            BackendKind::DiskGroup => "disk-group",
         }
     }
 
@@ -49,6 +55,7 @@ impl BackendKind {
         match raw {
             "memory" => Some(BackendKind::Memory),
             "disk" => Some(BackendKind::Disk),
+            "disk-group" => Some(BackendKind::DiskGroup),
             _ => None,
         }
     }
@@ -462,9 +469,22 @@ mod tests {
     fn backend_kind_parses_and_renders() {
         assert_eq!(BackendKind::parse("memory"), Some(BackendKind::Memory));
         assert_eq!(BackendKind::parse("disk"), Some(BackendKind::Disk));
+        assert_eq!(
+            BackendKind::parse("disk-group"),
+            Some(BackendKind::DiskGroup)
+        );
         assert_eq!(BackendKind::parse("tape"), None);
         assert_eq!(BackendKind::Disk.to_string(), "disk");
+        assert_eq!(BackendKind::DiskGroup.to_string(), "disk-group");
         assert_eq!(BackendKind::default(), BackendKind::Memory);
+        // Round trip: every kind's flag spelling parses back to itself.
+        for kind in [
+            BackendKind::Memory,
+            BackendKind::Disk,
+            BackendKind::DiskGroup,
+        ] {
+            assert_eq!(BackendKind::parse(kind.flag_name()), Some(kind));
+        }
     }
 
     #[test]

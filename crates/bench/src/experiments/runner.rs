@@ -16,7 +16,7 @@ use dpsync_core::metrics::SimulationReport;
 use dpsync_core::simulation::{Simulation, SimulationConfig, TableWorkload};
 use dpsync_core::strategy::StrategyKind;
 use dpsync_crypto::MasterKey;
-use dpsync_edb::backend::BackendConfig;
+use dpsync_edb::backend::{BackendConfig, GroupCommitConfig, SegmentLogConfig};
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
 use dpsync_edb::Query;
 use dpsync_net::{BackendRequest, RemoteEdb};
@@ -119,9 +119,13 @@ pub fn build_run_engine(
     match spec.config.transport {
         TransportKind::Inproc => match spec.config.backend {
             BackendKind::Memory => (spec.engine.build(master), None),
-            BackendKind::Disk => {
+            BackendKind::Disk | BackendKind::DiskGroup => {
                 let dir = DiskRunDir::new();
-                let backend = BackendConfig::segment_log(dir.path())
+                let mut config = SegmentLogConfig::new(dir.path());
+                if spec.config.backend == BackendKind::DiskGroup {
+                    config = config.with_group_commit(GroupCommitConfig::default());
+                }
+                let backend = BackendConfig::SegmentLog(config)
                     .build()
                     .expect("scratch directory for a disk run is creatable");
                 let engine = spec
@@ -136,6 +140,7 @@ pub fn build_run_engine(
             let backend = match spec.config.backend {
                 BackendKind::Memory => BackendRequest::Memory,
                 BackendKind::Disk => BackendRequest::Disk,
+                BackendKind::DiskGroup => BackendRequest::DiskGroup,
             };
             let engine = RemoteEdb::connect_engine(addr.as_str(), spec.engine, master, backend)
                 .unwrap_or_else(|e| {
@@ -143,10 +148,10 @@ pub fn build_run_engine(
                         "cannot open a remote session at {addr}: {e}\n\
                          (--transport tcp needs a running server: \
                          `cargo run --release -p dpsync-net --bin dpsync-serve`{})",
-                        if spec.config.backend == BackendKind::Disk {
-                            " with --disk-root DIR"
-                        } else {
+                        if spec.config.backend == BackendKind::Memory {
                             ""
+                        } else {
+                            " with --disk-root DIR"
                         }
                     )
                 });
@@ -315,24 +320,27 @@ mod tests {
     }
 
     #[test]
-    fn disk_backend_reproduces_the_memory_report() {
+    fn disk_backends_reproduce_the_memory_report() {
         // The storage backend must be invisible in every report field: same
-        // seed, same answers, same transcript-derived sizes.
+        // seed, same answers, same transcript-derived sizes — for per-batch
+        // fsync and group commit alike.
         let memory_spec = RunSpec {
             engine: EngineKind::ObliDb,
             strategy: StrategyKind::DpTimer,
             config: smoke_config(),
         };
-        let disk_spec = RunSpec {
-            config: ExperimentConfig {
-                backend: BackendKind::Disk,
-                ..memory_spec.config
-            },
-            ..memory_spec
-        };
         let memory = run_simulation(&memory_spec).normalized();
-        let disk = run_simulation(&disk_spec).normalized();
-        assert_eq!(memory, disk);
+        for backend in [BackendKind::Disk, BackendKind::DiskGroup] {
+            let disk_spec = RunSpec {
+                config: ExperimentConfig {
+                    backend,
+                    ..memory_spec.config
+                },
+                ..memory_spec
+            };
+            let disk = run_simulation(&disk_spec).normalized();
+            assert_eq!(memory, disk, "backend {backend}");
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! everything DP-Sync's guarantees are stated over.
 //!
 //! Definitions 1–4 constrain the server's *observations*, not its storage
-//! medium, so swapping the in-memory backend for the durable segment log
-//! must leave three things byte-identical on a fixed-seed workload:
+//! medium, so swapping the in-memory backend for the durable segment log —
+//! with per-batch fsync or with group commit — must leave three things
+//! byte-identical on a fixed-seed workload:
 //!
 //! 1. every query answer the analyst receives,
 //! 2. the full [`SimulationReport::normalized`] (errors, sizes, sync
@@ -24,7 +25,7 @@ use dpsync_core::strategy::{
 };
 use dpsync_crypto::MasterKey;
 use dpsync_dp::Epsilon;
-use dpsync_edb::backend::{BackendConfig, SegmentLogConfig};
+use dpsync_edb::backend::{BackendConfig, GroupCommitConfig, SegmentLogConfig};
 use dpsync_edb::engines::EngineKind;
 use dpsync_edb::query::paper_queries;
 use dpsync_edb::server::ServerStorage;
@@ -167,6 +168,23 @@ fn memory_and_segment_log_backends_are_byte_identical() {
                 format!("{memory_view:?}"),
                 format!("{disk_view:?}"),
                 "debug rendering must also be byte-identical"
+            );
+
+            // Group commit only reschedules when fdatasync runs; the
+            // transcript the adversary sees must not move by a byte.
+            let group_dir = TempDir::new(&format!("{engine_kind:?}-{strategy:?}-group"));
+            let config =
+                SegmentLogConfig::new(&group_dir.0).with_group_commit(GroupCommitConfig::default());
+            let backend = BackendConfig::SegmentLog(config).build().unwrap();
+            let group_engine = engine_kind.build_with_backend(&master, backend).unwrap();
+            let (group_report, group_view) = run_on(group_engine.as_ref(), strategy, 360, 7);
+            assert_eq!(
+                memory_report, group_report,
+                "report mismatch under group commit for {engine_kind:?}/{strategy:?}"
+            );
+            assert_eq!(
+                memory_view, group_view,
+                "adversary view mismatch under group commit for {engine_kind:?}/{strategy:?}"
             );
         }
     }

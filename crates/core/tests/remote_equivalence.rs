@@ -191,9 +191,9 @@ fn remote_engine_metadata_matches_in_process() {
 #[test]
 fn remote_disk_sessions_match_in_process_memory_runs() {
     // Transport and storage backend compose: a remote engine on the durable
-    // segment log still reproduces the in-process in-memory run bit for bit
-    // (the backend-equivalence suite already pins memory == disk in-process;
-    // this closes the square).
+    // segment log — per-batch fsync or group commit — still reproduces the
+    // in-process in-memory run bit for bit (the backend-equivalence suite
+    // already pins memory == disk in-process; this closes the square).
     let root =
         std::env::temp_dir().join(format!("dpsync-remote-equiv-disk-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
@@ -210,19 +210,19 @@ fn remote_disk_sessions_match_in_process_memory_runs() {
     let local_engine = EngineKind::ObliDb.build(&master);
     let (local_report, local_view) = run_on(local_engine.as_ref(), StrategyKind::DpTimer, 240, 13);
 
-    let remote_engine = RemoteEdb::connect_engine(
-        server.local_addr(),
-        EngineKind::ObliDb,
-        &master,
-        BackendRequest::Disk,
-    )
-    .unwrap();
-    let (remote_report, remote_view) = run_on(&remote_engine, StrategyKind::DpTimer, 240, 13);
+    for backend in [BackendRequest::Disk, BackendRequest::DiskGroup] {
+        let remote_engine =
+            RemoteEdb::connect_engine(server.local_addr(), EngineKind::ObliDb, &master, backend)
+                .unwrap();
+        let (remote_report, remote_view) = run_on(&remote_engine, StrategyKind::DpTimer, 240, 13);
 
-    assert_eq!(local_report, remote_report);
-    assert_eq!(local_view, remote_view);
+        assert_eq!(
+            local_report, remote_report,
+            "report mismatch on {backend:?}"
+        );
+        assert_eq!(local_view, remote_view, "view mismatch on {backend:?}");
+    }
 
-    drop(remote_engine);
     server.shutdown();
     let leftover: Vec<_> = std::fs::read_dir(&root).unwrap().collect();
     assert!(leftover.is_empty(), "disk session cleaned up: {leftover:?}");

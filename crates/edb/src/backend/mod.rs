@@ -16,9 +16,10 @@
 //! * [`MemoryBackend`] — the original in-memory `Vec<Bytes>` store, extracted
 //!   behind the trait with zero behavior change.  The default everywhere.
 //! * [`SegmentLogBackend`] — a durable append-only encrypted segment log
-//!   (fixed-size segment files, CRC-checked headers, batch-fsync on
-//!   `Π_Update` boundaries, torn-tail crash recovery).  See [`segment_log`]
-//!   for the on-disk format.
+//!   (fixed-size segment files, CRC-checked headers, per-batch fsync or
+//!   group-commit sync windows on `Π_Update` boundaries, torn-tail crash
+//!   recovery).  See [`segment_log`] for the on-disk format and the
+//!   group-commit window semantics.
 //!
 //! A SOGDB only ever grows (Definition 1 has no delete protocol), which is
 //! why an append-only log is a *complete* storage engine here, not a
@@ -31,7 +32,9 @@ use std::sync::Arc;
 
 pub mod segment_log;
 
-pub use segment_log::{crc32, SegmentLogBackend, SegmentLogConfig};
+pub use segment_log::{
+    crc32, CommitTicket, GroupCommitConfig, SegmentLogBackend, SegmentLogConfig,
+};
 
 /// Errors surfaced by storage backends.
 ///
@@ -97,6 +100,41 @@ impl std::fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
+/// The durability state of an accepted append.
+///
+/// Backends that persist synchronously (memory, segment log without group
+/// commit) return [`AppendAck::Durable`]; a group-committing segment log
+/// returns [`AppendAck::Pending`] with a [`CommitTicket`] for the window the
+/// batch was staged into.  Either way the `Π_Update` acknowledgment must not
+/// be issued before [`AppendAck::wait`] returns `Ok` — callers that hold a
+/// shard lock should drop it first, so other appenders can stage into the
+/// same sync window while they wait.
+#[derive(Debug)]
+#[must_use = "the batch is not durable until the ack is waited on"]
+pub enum AppendAck {
+    /// The batch is already durable (or the backend is volatile).
+    Durable,
+    /// The batch is written but rides a group-commit window that has not
+    /// synced yet.
+    Pending(CommitTicket),
+}
+
+impl AppendAck {
+    /// Blocks until the batch is durable.  An error means durability was
+    /// never confirmed and the batch must not be acknowledged.
+    pub fn wait(self) -> Result<(), StorageError> {
+        match self {
+            AppendAck::Durable => Ok(()),
+            AppendAck::Pending(ticket) => ticket.wait(),
+        }
+    }
+
+    /// Whether the ack is already durable (no wait required).
+    pub fn is_durable(&self) -> bool {
+        matches!(self, AppendAck::Durable)
+    }
+}
+
 /// One table's ciphertext store, as seen by the server shard that owns it.
 ///
 /// A store is append-only: `Π_Setup` / `Π_Update` batches arrive through
@@ -108,10 +146,12 @@ impl std::error::Error for StorageError {}
 pub trait TableStore: Send + Sync + std::fmt::Debug {
     /// Appends one batch of ciphertexts observed at `time`.
     ///
-    /// Durable backends must not acknowledge the batch until it is persisted
-    /// (the segment log fsyncs before returning); an error means the batch
-    /// must be treated as never stored.
-    fn append_batch(&mut self, time: u64, ciphertexts: &[Bytes]) -> Result<(), StorageError>;
+    /// The returned [`AppendAck`] tells the caller when the batch is safe to
+    /// acknowledge: immediately ([`AppendAck::Durable`]) or only after
+    /// waiting on a group-commit ticket ([`AppendAck::Pending`]).  An error
+    /// means the batch must be treated as never stored.
+    fn append_batch(&mut self, time: u64, ciphertexts: &[Bytes])
+        -> Result<AppendAck, StorageError>;
 
     /// Number of ciphertexts stored.
     fn ciphertext_count(&self) -> u64;
@@ -221,14 +261,18 @@ pub struct MemoryTableStore {
 }
 
 impl TableStore for MemoryTableStore {
-    fn append_batch(&mut self, time: u64, ciphertexts: &[Bytes]) -> Result<(), StorageError> {
+    fn append_batch(
+        &mut self,
+        time: u64,
+        ciphertexts: &[Bytes],
+    ) -> Result<AppendAck, StorageError> {
         self.bytes += ciphertexts.iter().map(|c| c.len() as u64).sum::<u64>();
         self.ciphertexts.extend_from_slice(ciphertexts);
         self.updates.push(UpdateEvent {
             time,
             volume: ciphertexts.len() as u64,
         });
-        Ok(())
+        Ok(AppendAck::Durable)
     }
 
     fn ciphertext_count(&self) -> u64 {
@@ -265,9 +309,15 @@ mod tests {
         assert_eq!(backend.name(), "memory");
         assert!(backend.existing_tables().unwrap().is_empty());
         let mut store = backend.open_table("t").unwrap();
-        store.append_batch(0, &[ct(1, 10), ct(2, 20)]).unwrap();
-        store.append_batch(5, &[ct(3, 30)]).unwrap();
-        store.append_batch(9, &[]).unwrap();
+        for (time, batch) in [
+            (0u64, vec![ct(1, 10), ct(2, 20)]),
+            (5, vec![ct(3, 30)]),
+            (9, vec![]),
+        ] {
+            let ack = store.append_batch(time, &batch).unwrap();
+            assert!(ack.is_durable(), "memory acks are immediate");
+            ack.wait().unwrap();
+        }
         assert_eq!(store.ciphertext_count(), 3);
         assert_eq!(store.ciphertext_bytes(), 60);
         assert_eq!(

@@ -43,15 +43,50 @@
 //! # Durability and crash recovery
 //!
 //! [`append_batch`](SegmentLogTable::append_batch) writes the frame and then
-//! `fdatasync`s the segment before returning (unless
-//! [`SegmentLogConfig::fsync`] is disabled for tests/benchmarks), so the
-//! `Π_Update` protocol boundary is also a durability boundary.  On open, the
-//! log replays every segment in order to rebuild the table's ciphertext
-//! counts and its slice of the Definition-2 update pattern.  A torn tail —
-//! a partial or CRC-failing frame at the end of the *last* segment, i.e. a
-//! crash mid-write of a batch that was never acknowledged — is truncated
-//! away; the same damage anywhere else is not a crash artifact and surfaces
-//! as [`StorageError::Corrupt`].
+//! makes it durable before the `Π_Update` protocol acknowledges — either
+//! immediately (`fdatasync` per batch, the default) or through the
+//! group-commit window described below.  Directory entries are covered too:
+//! creating a table directory or a segment file is followed by an fsync of
+//! the *containing directory* (gated by [`SegmentLogConfig::fsync`] like the
+//! data syncs), so an acknowledged batch can never vanish because the file
+//! holding it was itself still volatile.  On open, the log replays every
+//! segment in order to rebuild the table's ciphertext counts and its slice
+//! of the Definition-2 update pattern.  A torn tail — a partial or
+//! CRC-failing frame at the end of the *last* segment, i.e. a crash
+//! mid-write of a batch that was never acknowledged — is truncated away; the
+//! same damage anywhere else is not a crash artifact and surfaces as
+//! [`StorageError::Corrupt`].  A last segment that is missing entirely
+//! (crash between rollover and the first acknowledged frame in it) is
+//! likewise tolerated: nothing acknowledged lived there.
+//!
+//! # Group commit
+//!
+//! With [`SegmentLogConfig::group_commit`] set, appends return a pending
+//! [`CommitTicket`] instead of writing and syncing inline: concurrent
+//! appenders stage their frame *bytes* into a shared *window* and one
+//! elected leader writes each dirty file's frames in a single `write_all`
+//! and issues a single `fdatasync` per dirty file for the whole window (see
+//! [`GroupCommitter`] for why staging bytes, rather than letting appenders
+//! write and only sharing the sync, is what makes the window fill).  A
+//! window closes
+//! when it reaches [`GroupCommitConfig::max_window_batches`] /
+//! [`GroupCommitConfig::max_window_bytes`], when no new batch has been
+//! staged for [`GroupCommitConfig::idle_grace`] (the quiet-period close
+//! that collects a concurrent burst into one window), or unconditionally
+//! once [`GroupCommitConfig::max_window_wait`] has elapsed since its first
+//! batch.  [`CommitTicket::wait`] blocks until the window containing the
+//! batch has synced, so callers still acknowledge only durable batches —
+//! the protocol boundary is unchanged, only the cost is amortized.
+//!
+//! Crash recovery is unchanged as well: frames reach each segment file in
+//! acknowledgment order, so a recovered table is always the acknowledged
+//! prefix of its transcript plus possibly a few *complete but never
+//! acknowledged* trailing frames (a window that was written but not yet
+//! synced when the process died — exactly as an in-flight `Π_Update` may or
+//! may not have reached the server).  If a window sync fails, the committer
+//! poisons itself: every in-flight and subsequent append errors, so no
+//! acknowledgment is ever issued past a sync the kernel did not confirm
+//! (fsync failure semantics are sticky).
 //!
 //! # Why durability cannot affect the leakage profile
 //!
@@ -63,12 +98,14 @@
 //! pre-crash view (pinned by the crash-recovery suite in
 //! `crates/edb/tests/segment_log_recovery.rs`).
 
-use super::{StorageBackend, StorageError, TableStore};
+use super::{AppendAck, StorageBackend, StorageError, TableStore};
 use crate::leakage::UpdateEvent;
 use bytes::Bytes;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Magic bytes opening every segment file.
 const SEGMENT_MAGIC: [u8; 8] = *b"DPSLOG01";
@@ -91,10 +128,14 @@ pub struct SegmentLogConfig {
     pub dir: PathBuf,
     /// Capacity at which a segment is sealed and the next one started.
     pub segment_bytes: u64,
-    /// Whether to `fdatasync` after every appended batch (the `Π_Update`
-    /// durability boundary).  Disable only for tests and micro-benchmarks
-    /// that measure the framing path in isolation.
+    /// Whether to sync at all (data *and* directory entries).  Disable only
+    /// for tests and micro-benchmarks that measure the framing path in
+    /// isolation.
     pub fsync: bool,
+    /// Group-commit window bounds; `None` (the default) issues one
+    /// `fdatasync` per appended batch.  See the
+    /// [module documentation](self#group-commit).
+    pub group_commit: Option<GroupCommitConfig>,
 }
 
 impl SegmentLogConfig {
@@ -109,6 +150,7 @@ impl SegmentLogConfig {
             dir: dir.into(),
             segment_bytes: Self::DEFAULT_SEGMENT_BYTES,
             fsync: true,
+            group_commit: None,
         }
     }
 
@@ -123,6 +165,323 @@ impl SegmentLogConfig {
     pub fn with_fsync(mut self, fsync: bool) -> Self {
         self.fsync = fsync;
         self
+    }
+
+    /// Enables group commit with the given window bounds.
+    pub fn with_group_commit(mut self, group: GroupCommitConfig) -> Self {
+        self.group_commit = Some(group);
+        self
+    }
+}
+
+/// Bounds of one group-commit window (see the
+/// [module documentation](self#group-commit)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Close the window once this many batches are staged.
+    pub max_window_batches: u64,
+    /// Close the window once this many frame bytes are staged.
+    pub max_window_bytes: u64,
+    /// Close the window this long after its first batch regardless of size
+    /// or quiet periods — the hard cap on added acknowledgment latency.
+    pub max_window_wait: Duration,
+    /// Close the window once no new batch has been staged for this long.
+    ///
+    /// This quiet-period close is what fills the window: concurrent
+    /// appenders land within microseconds of each other (they were all
+    /// released by the previous window's sync), so a short grace collects
+    /// the whole burst, while a lone appender pays only this much extra
+    /// latency on top of its own fsync.  Closing the instant a leader is
+    /// elected instead (a zero grace) splinters a burst across several
+    /// windows — each paying a full fsync — because the first appender to
+    /// wait wins leadership before the rest have staged.
+    ///
+    /// The grace must also cover the *inter-arrival* gap of the stream
+    /// feeding the log: batches funneled through an engine's shard lock
+    /// reach the committer spaced by the engine's per-batch CPU cost
+    /// (tens of microseconds), and a grace shorter than that gap closes a
+    /// window between every two arrivals — one fsync per batch again, with
+    /// extra ceremony.  The default is therefore comfortably above typical
+    /// per-batch processing cost yet well below the cost of the fsync it
+    /// amortizes.
+    pub idle_grace: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        Self {
+            max_window_batches: 64,
+            max_window_bytes: 8 * 1024 * 1024,
+            max_window_wait: Duration::from_millis(1),
+            idle_grace: Duration::from_micros(100),
+        }
+    }
+}
+
+/// One file's staged-but-unwritten frames in the open window.
+#[derive(Debug)]
+struct StagedFile {
+    /// Append handle; kept alive across segment rollovers.
+    file: Arc<File>,
+    /// Path for error reporting.
+    path: PathBuf,
+    /// File length before the window's first staged frame — where a failed
+    /// window write is rolled back to.
+    rollback_len: u64,
+    /// The window's frames for this file, concatenated in append order.
+    buf: Vec<u8>,
+}
+
+/// Shared state of one [`GroupCommitter`], behind its mutex.
+#[derive(Debug)]
+struct CommitState {
+    /// Next sequence number to assign (the first submit gets 1).
+    next_seq: u64,
+    /// Highest sequence number known durable.
+    synced_seq: u64,
+    /// Batches staged in the currently open window.
+    pending_batches: u64,
+    /// Frame bytes staged in the currently open window.
+    pending_bytes: u64,
+    /// Per-file staged frames of the currently open window.
+    staged: Vec<StagedFile>,
+    /// When the open window received its first batch.
+    window_open: Option<Instant>,
+    /// Whether a leader is currently waiting out or syncing a window.
+    leader: bool,
+    /// Sticky failure: set on the first write/sync error, never cleared.
+    /// Once a window fails, no later acknowledgment can be trusted, so
+    /// every in-flight and subsequent append errors with this value.
+    failed: Option<StorageError>,
+}
+
+/// The group-commit coordinator shared by every table of one backend.
+///
+/// Appenders `submit_frame` frame *bytes* under their shard lock and then
+/// `wait_durable` *outside* it;
+/// the first waiter to find no active leader becomes the leader, closes the
+/// window per [`GroupCommitConfig`], writes each dirty file's staged frames
+/// in one `write_all`, and issues one `fdatasync` per dirty file for every
+/// batch staged so far.
+///
+/// Staging bytes (instead of having each appender write its own frame) is
+/// what makes the zero-wait pipeline actually amortize: an appender's write
+/// to a file the leader is `fdatasync`ing would block on the inode lock
+/// until the sync finishes, so direct writes both fragment the next window
+/// (stragglers miss its zero-wait close) and re-dirty the file under the
+/// running sync.  A staged submit is a memcpy under the committer mutex —
+/// it never touches the file, so a full next window forms while the
+/// leader's sync is in flight.
+pub struct GroupCommitter {
+    config: GroupCommitConfig,
+    state: Mutex<CommitState>,
+    wakeup: Condvar,
+}
+
+impl std::fmt::Debug for GroupCommitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupCommitter")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GroupCommitter {
+    fn new(config: GroupCommitConfig) -> Self {
+        Self {
+            config,
+            state: Mutex::new(CommitState {
+                next_seq: 1,
+                synced_seq: 0,
+                pending_batches: 0,
+                pending_bytes: 0,
+                staged: Vec::new(),
+                window_open: None,
+                leader: false,
+                failed: None,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CommitState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Stages a frame's bytes for the next sync window and returns its
+    /// sequence number.  Called with the appender's shard lock held — so
+    /// per-file staging order equals append order — and the frame has NOT
+    /// been written yet: the window leader writes it.  `file_len` is the
+    /// file's length before this frame (the rollback point if the window's
+    /// write fails).  The file handle is remembered so the leader can write
+    /// and sync it even after the table rolls to a new segment.
+    fn submit_frame(
+        &self,
+        file: &Arc<File>,
+        path: &Path,
+        file_len: u64,
+        frame: &[u8],
+    ) -> Result<u64, StorageError> {
+        let mut state = self.lock();
+        if let Some(failed) = &state.failed {
+            return Err(failed.clone());
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.pending_batches += 1;
+        state.pending_bytes += frame.len() as u64;
+        if state.window_open.is_none() {
+            state.window_open = Some(Instant::now());
+        }
+        match state.staged.iter_mut().find(|s| Arc::ptr_eq(&s.file, file)) {
+            Some(staged) => staged.buf.extend_from_slice(frame),
+            None => state.staged.push(StagedFile {
+                file: Arc::clone(file),
+                path: path.to_path_buf(),
+                rollback_len: file_len,
+                buf: frame.to_vec(),
+            }),
+        }
+        // Wake a leader that is waiting out the window clock when the size
+        // bounds close the window early.
+        if state.pending_batches >= self.config.max_window_batches
+            || state.pending_bytes >= self.config.max_window_bytes
+        {
+            self.wakeup.notify_all();
+        }
+        Ok(seq)
+    }
+
+    /// Blocks until the batch with sequence `seq` is durable (or the
+    /// committer failed).  Electing the leader, waiting out the window and
+    /// syncing all happen in here — there is no background thread.
+    fn wait_durable(&self, seq: u64) -> Result<(), StorageError> {
+        let mut state = self.lock();
+        loop {
+            if let Some(failed) = &state.failed {
+                return Err(failed.clone());
+            }
+            if state.synced_seq >= seq {
+                return Ok(());
+            }
+            if state.leader {
+                // A leader is on it; wait to be woken by its completion.
+                state = self.wakeup.wait(state).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+
+            // Become the leader: wait out the window, then close it.  The
+            // window closes on the first of: size bounds, the hard
+            // `max_window_wait` deadline, or a quiet period — one
+            // `idle_grace` elapsing without a new submit.
+            state.leader = true;
+            loop {
+                let opened = state
+                    .window_open
+                    .expect("an unsynced submit implies an open window");
+                let deadline = opened + self.config.max_window_wait;
+                let now = Instant::now();
+                let size_closed = state.pending_batches >= self.config.max_window_batches
+                    || state.pending_bytes >= self.config.max_window_bytes;
+                if size_closed || now >= deadline {
+                    break;
+                }
+                let before = state.next_seq;
+                let grace = self.config.idle_grace.min(deadline - now);
+                // A sleeping wait, deliberately: the leader must yield the
+                // CPU so pending appenders actually get to run and stage
+                // (on a single-core box a busy-wait here starves the very
+                // burst the grace exists to collect).  The wait overshoot
+                // from timer slack only extends the collection window.
+                let (guard, timeout) = self
+                    .wakeup
+                    .wait_timeout(state, grace)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
+                if timeout.timed_out() && state.next_seq == before {
+                    break;
+                }
+            }
+
+            // Close the window: everything submitted so far rides this sync.
+            let target = state.next_seq - 1;
+            let staged = std::mem::take(&mut state.staged);
+            state.pending_batches = 0;
+            state.pending_bytes = 0;
+            state.window_open = None;
+            drop(state);
+
+            // One write per dirty file, then one fdatasync per dirty file.
+            // Writing everything before the first sync also lets the
+            // journal batch the commits: the first sync carries every
+            // file's data, the rest find little left to flush.
+            let mut outcome = Ok(());
+            for staged in &staged {
+                if let Err(e) = (&*staged.file).write_all(&staged.buf) {
+                    // A torn window write: roll this file back to its
+                    // pre-window length.  Earlier files hold only complete
+                    // (never-acknowledged) frames — recovery tolerates
+                    // those — and later files were not touched.  If even
+                    // the rollback fails, the sticky failure below keeps
+                    // every later append out, so the torn frame is never
+                    // buried past truncate-at-first-bad-frame recovery.
+                    let _ = staged
+                        .file
+                        .set_len(staged.rollback_len)
+                        .and_then(|()| staged.file.sync_data());
+                    outcome = Err(StorageError::io(&staged.path, &e));
+                    break;
+                }
+            }
+            if outcome.is_ok() {
+                for staged in &staged {
+                    if let Err(e) = staged.file.sync_data() {
+                        outcome = Err(StorageError::io(&staged.path, &e));
+                        break;
+                    }
+                }
+            }
+            state = self.lock();
+            state.leader = false;
+            match outcome {
+                Ok(()) => state.synced_seq = state.synced_seq.max(target),
+                Err(e) => state.failed = Some(e),
+            }
+            self.wakeup.notify_all();
+            // Loop: our own seq is <= target, so this resolves now unless
+            // the sync failed (then the sticky error is returned above).
+        }
+    }
+
+    /// Makes every frame submitted so far durable.  Readers that go to the
+    /// on-disk files (scans) call this first so staged-but-unwritten
+    /// windows are flushed out ahead of them.
+    fn flush(&self) -> Result<(), StorageError> {
+        let latest = self.lock().next_seq - 1;
+        if latest == 0 {
+            return Ok(());
+        }
+        self.wait_durable(latest)
+    }
+}
+
+/// A claim check for a batch staged under group commit: the append has been
+/// written but not yet synced.  [`wait`](Self::wait) blocks until the
+/// batch's window is durable; the `Π_Update` acknowledgment must not be
+/// issued before then.
+#[derive(Debug)]
+#[must_use = "the batch is not durable until the ticket is waited on"]
+pub struct CommitTicket {
+    committer: Arc<GroupCommitter>,
+    seq: u64,
+}
+
+impl CommitTicket {
+    /// Blocks until the batch is durable (possibly becoming the window's
+    /// sync leader).  An error means durability was never confirmed and the
+    /// batch must not be acknowledged.
+    pub fn wait(self) -> Result<(), StorageError> {
+        self.committer.wait_durable(self.seq)
     }
 }
 
@@ -230,6 +589,9 @@ fn parse_segment_index(name: &str) -> Option<u64> {
 #[derive(Debug)]
 pub struct SegmentLogBackend {
     config: SegmentLogConfig,
+    /// Shared sync coordinator when group commit is enabled; one window
+    /// covers batches from *all* tables of this backend.
+    committer: Option<Arc<GroupCommitter>>,
 }
 
 impl SegmentLogBackend {
@@ -238,7 +600,11 @@ impl SegmentLogBackend {
     /// per table in [`StorageBackend::open_table`].
     pub fn open(config: SegmentLogConfig) -> Result<Self, StorageError> {
         std::fs::create_dir_all(&config.dir).map_err(|e| StorageError::io(&config.dir, &e))?;
-        Ok(Self { config })
+        let committer = config
+            .group_commit
+            .clone()
+            .map(|group| Arc::new(GroupCommitter::new(group)));
+        Ok(Self { config, committer })
     }
 
     /// The backend configuration.
@@ -256,6 +622,7 @@ impl StorageBackend for SegmentLogBackend {
         Ok(Box::new(SegmentLogTable::open(
             self.config.dir.join(encode_table_name(table)),
             self.config.clone(),
+            self.committer.clone(),
         )?))
     }
 
@@ -296,12 +663,20 @@ struct BatchLocation {
 pub struct SegmentLogTable {
     dir: PathBuf,
     config: SegmentLogConfig,
+    /// Shared group-commit coordinator (when enabled on the backend).
+    committer: Option<Arc<GroupCommitter>>,
     /// Index of the segment currently open for appends.
     current_segment: u64,
-    /// Open append handle for the current segment.
-    writer: File,
+    /// Open append handle for the current segment.  Shared (`Arc`) because
+    /// the group committer keeps a handle to every dirty file across
+    /// segment rollovers.
+    writer: Arc<File>,
     /// Size in bytes of the current segment.
     current_size: u64,
+    /// Set when a failed append could not be rolled back: the file may hold
+    /// a torn frame that later appends would bury past recovery's
+    /// truncate-at-first-bad-frame horizon, so all further appends refuse.
+    poisoned: bool,
     /// In-memory index rebuilt at open: where each batch's payload lives.
     batches: Vec<BatchLocation>,
     updates: Vec<UpdateEvent>,
@@ -311,8 +686,17 @@ pub struct SegmentLogTable {
 
 impl SegmentLogTable {
     /// Opens (recovering) or creates the table directory.
-    fn open(dir: PathBuf, config: SegmentLogConfig) -> Result<Self, StorageError> {
+    fn open(
+        dir: PathBuf,
+        config: SegmentLogConfig,
+        committer: Option<Arc<GroupCommitter>>,
+    ) -> Result<Self, StorageError> {
         std::fs::create_dir_all(&dir).map_err(|e| StorageError::io(&dir, &e))?;
+        if config.fsync {
+            // The table directory itself is a directory entry of the root:
+            // make it durable before any frame in it can be acknowledged.
+            fsync_dir(&config.dir)?;
+        }
 
         let mut segments: Vec<u64> = std::fs::read_dir(&dir)
             .map_err(|e| StorageError::io(&dir, &e))?
@@ -323,6 +707,26 @@ impl SegmentLogTable {
             })
             .collect();
         segments.sort_unstable();
+
+        // Segment indexes must be contiguous from zero.  A missing *last*
+        // segment never shows up here (nothing acknowledged lived in it — see
+        // the module docs), but a hole below the last segment means durable,
+        // possibly acknowledged frames vanished: directory fsync ordering
+        // guarantees every earlier segment's entry was durable before a later
+        // segment was created, so a gap is tampering or disk loss, never a
+        // crash artifact.
+        for (expect, &index) in segments.iter().enumerate() {
+            if index != expect as u64 {
+                return Err(StorageError::Corrupt {
+                    path: dir.display().to_string(),
+                    offset: 0,
+                    message: format!(
+                        "segment {} is missing below the last segment (found seg-{index:06})",
+                        segment_file_name(expect as u64)
+                    ),
+                });
+            }
+        }
 
         let mut replay = SegmentReplay::default();
         for (i, &index) in segments.iter().enumerate() {
@@ -351,9 +755,11 @@ impl SegmentLogTable {
         Ok(Self {
             dir,
             config,
+            committer,
             current_segment,
-            writer,
+            writer: Arc::new(writer),
             current_size,
+            poisoned: false,
             batches: replay.batches,
             updates: replay.updates,
             ciphertext_count: replay.ciphertext_count,
@@ -365,18 +771,30 @@ impl SegmentLogTable {
         self.dir.join(segment_file_name(index))
     }
 
-    /// Rolls over to segment `index`, replacing the append handle.
+    /// Rolls over to segment `index`, replacing the append handle.  The old
+    /// handle may still carry staged group-commit writes; the committer
+    /// holds its own `Arc` to it, so dropping ours here is safe.
     fn start_segment(&mut self, index: u64) -> Result<(), StorageError> {
         let (writer, segment, size) = create_segment(&self.dir, index, self.config.fsync)?;
-        self.writer = writer;
+        self.writer = Arc::new(writer);
         self.current_segment = segment;
         self.current_size = size;
         Ok(())
     }
 }
 
+/// Fsyncs a directory so its entries (new files, new subdirectories) are
+/// durable — syncing a file's *data* alone does not persist the directory
+/// entry naming it.
+fn fsync_dir(dir: &Path) -> Result<(), StorageError> {
+    let handle = File::open(dir).map_err(|e| StorageError::io(dir, &e))?;
+    handle.sync_all().map_err(|e| StorageError::io(dir, &e))
+}
+
 /// Creates segment `index` with a fresh CRC-stamped header and returns the
-/// open append handle plus `(index, size)` bookkeeping.
+/// open append handle plus `(index, size)` bookkeeping.  With `fsync`, the
+/// containing directory is synced too: the file must durably *exist* before
+/// any frame in it is acknowledged.
 fn create_segment(dir: &Path, index: u64, fsync: bool) -> Result<(File, u64, u64), StorageError> {
     let path = dir.join(segment_file_name(index));
     let mut header = [0u8; SEGMENT_HEADER_LEN];
@@ -395,6 +813,7 @@ fn create_segment(dir: &Path, index: u64, fsync: bool) -> Result<(File, u64, u64
         .map_err(|e| StorageError::io(&path, &e))?;
     if fsync {
         file.sync_data().map_err(|e| StorageError::io(&path, &e))?;
+        fsync_dir(dir)?;
     }
     Ok((file, index, SEGMENT_HEADER_LEN as u64))
 }
@@ -553,8 +972,41 @@ impl SegmentReplay {
     }
 }
 
+impl SegmentLogTable {
+    /// Rolls a failed append's partial write back off the file, so recovery
+    /// never has to look past a buried torn frame.  If the rollback itself
+    /// fails the table is poisoned: a torn frame may now sit *under* later
+    /// appends, where truncate-at-first-bad-frame recovery would silently
+    /// drop everything after it — refusing further appends keeps every
+    /// acknowledged batch recoverable.
+    fn restore_or_poison(&mut self) {
+        let restore = self.writer.set_len(self.current_size).and_then(|()| {
+            if self.config.fsync {
+                self.writer.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        if restore.is_err() {
+            self.poisoned = true;
+        }
+    }
+}
+
 impl TableStore for SegmentLogTable {
-    fn append_batch(&mut self, time: u64, ciphertexts: &[Bytes]) -> Result<(), StorageError> {
+    fn append_batch(
+        &mut self,
+        time: u64,
+        ciphertexts: &[Bytes],
+    ) -> Result<AppendAck, StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Backend {
+                message: format!(
+                    "segment log table at `{}` refuses appends after an unrecoverable write failure",
+                    self.dir.display()
+                ),
+            });
+        }
         // Roll to a fresh segment once the current one is at capacity; a
         // frame never spans segments.
         if self.current_size >= self.config.segment_bytes
@@ -592,16 +1044,37 @@ impl TableStore for SegmentLogTable {
         frame.extend_from_slice(&payload_crc.to_le_bytes());
 
         let path = self.segment_path(self.current_segment);
-        self.writer
-            .write_all(&frame)
-            .map_err(|e| StorageError::io(&path, &e))?;
-        if self.config.fsync {
-            // The Π_Update durability boundary: the batch is acknowledged
-            // only once it is on stable storage.
-            self.writer
-                .sync_data()
-                .map_err(|e| StorageError::io(&path, &e))?;
-        }
+        // The Π_Update durability boundary: the batch is acknowledged only
+        // once it is on stable storage — immediately here, or by the group
+        // committer once the ticket below is waited on.
+        let ack = match &self.committer {
+            // Group commit: the frame is staged and the window leader
+            // writes it, so this appender never touches the file (a busy
+            // leader's fdatasync would block a direct write on the inode
+            // lock) and a failed submit leaves the file untouched.
+            Some(committer) if self.config.fsync => {
+                let seq = committer.submit_frame(&self.writer, &path, self.current_size, &frame)?;
+                AppendAck::Pending(CommitTicket {
+                    committer: Arc::clone(committer),
+                    seq,
+                })
+            }
+            _ => {
+                if let Err(e) = (&*self.writer).write_all(&frame) {
+                    // The file may now hold a torn frame; roll it back (or
+                    // poison the table) before surfacing the failure.
+                    self.restore_or_poison();
+                    return Err(StorageError::io(&path, &e));
+                }
+                if self.config.fsync {
+                    if let Err(e) = self.writer.sync_data() {
+                        self.restore_or_poison();
+                        return Err(StorageError::io(&path, &e));
+                    }
+                }
+                AppendAck::Durable
+            }
+        };
 
         self.batches.push(BatchLocation {
             segment: self.current_segment,
@@ -616,7 +1089,7 @@ impl TableStore for SegmentLogTable {
         self.ciphertext_count += ciphertexts.len() as u64;
         self.ciphertext_bytes += ciphertexts.iter().map(|c| c.len() as u64).sum::<u64>();
         self.current_size += frame.len() as u64;
-        Ok(())
+        Ok(ack)
     }
 
     fn ciphertext_count(&self) -> u64 {
@@ -632,6 +1105,11 @@ impl TableStore for SegmentLogTable {
     }
 
     fn scan(&self, visit: &mut dyn FnMut(&[u8])) -> Result<(), StorageError> {
+        // Under group commit a just-appended frame may still be staged with
+        // the committer; flush so the files are caught up with the index.
+        if let Some(committer) = &self.committer {
+            committer.flush()?;
+        }
         // Read back from disk, one segment at a time, in append order.
         let mut open_segment: Option<(u64, File)> = None;
         let mut payload = Vec::new();
@@ -732,9 +1210,17 @@ mod tests {
         {
             let backend = backend(&dir);
             let mut store = backend.open_table("yellow").unwrap();
-            store.append_batch(0, &[ct(1, 95), ct(2, 95)]).unwrap();
-            store.append_batch(30, &[ct(3, 95)]).unwrap();
-            store.append_batch(31, &[]).unwrap();
+            store
+                .append_batch(0, &[ct(1, 95), ct(2, 95)])
+                .unwrap()
+                .wait()
+                .unwrap();
+            store
+                .append_batch(30, &[ct(3, 95)])
+                .unwrap()
+                .wait()
+                .unwrap();
+            store.append_batch(31, &[]).unwrap().wait().unwrap();
             assert_eq!(collect(store.as_ref()).len(), 3);
         }
         let backend = backend(&dir);
@@ -770,7 +1256,11 @@ mod tests {
         {
             let mut store = backend.open_table("t").unwrap();
             for time in 0..20 {
-                store.append_batch(time, &[ct(time as u8, 64)]).unwrap();
+                store
+                    .append_batch(time, &[ct(time as u8, 64)])
+                    .unwrap()
+                    .wait()
+                    .unwrap();
             }
         }
         let segments = std::fs::read_dir(dir.0.join("t")).unwrap().count();
@@ -787,7 +1277,11 @@ mod tests {
         }
         // Appends continue in the last segment after recovery.
         let mut store = reopened.open_table("t").unwrap();
-        store.append_batch(99, &[ct(0xAA, 64)]).unwrap();
+        store
+            .append_batch(99, &[ct(0xAA, 64)])
+            .unwrap()
+            .wait()
+            .unwrap();
         assert_eq!(store.ciphertext_count(), 21);
     }
 
@@ -806,8 +1300,8 @@ mod tests {
         {
             let backend = backend(&dir);
             let mut store = backend.open_table("t").unwrap();
-            store.append_batch(1, &[ct(1, 95)]).unwrap();
-            store.append_batch(2, &[ct(2, 95)]).unwrap();
+            store.append_batch(1, &[ct(1, 95)]).unwrap().wait().unwrap();
+            store.append_batch(2, &[ct(2, 95)]).unwrap().wait().unwrap();
         }
         let seg = last_segment_path(&dir, "t");
         let clean_len = std::fs::metadata(&seg).unwrap().len();
@@ -852,7 +1346,11 @@ mod tests {
             let backend = SegmentLogBackend::open(config.clone()).unwrap();
             let mut store = backend.open_table("t").unwrap();
             for time in 0..6 {
-                store.append_batch(time, &[ct(7, 64)]).unwrap();
+                store
+                    .append_batch(time, &[ct(7, 64)])
+                    .unwrap()
+                    .wait()
+                    .unwrap();
             }
         }
         let mut segs: Vec<PathBuf> = std::fs::read_dir(dir.0.join("t"))
@@ -883,8 +1381,8 @@ mod tests {
         {
             let backend = SegmentLogBackend::open(config.clone()).unwrap();
             let mut store = backend.open_table("t").unwrap();
-            store.append_batch(1, &[ct(1, 64)]).unwrap();
-            store.append_batch(2, &[ct(2, 64)]).unwrap();
+            store.append_batch(1, &[ct(1, 64)]).unwrap().wait().unwrap();
+            store.append_batch(2, &[ct(2, 64)]).unwrap().wait().unwrap();
         }
         // Simulate a crash during creation of the next segment: a partial
         // header only.
@@ -909,7 +1407,7 @@ mod tests {
         let records: Vec<Bytes> = (0u8..5)
             .map(|i| Bytes::from(vec![i; 10 + i as usize]))
             .collect();
-        store.append_batch(3, &records).unwrap();
+        store.append_batch(3, &records).unwrap().wait().unwrap();
         let read = collect(store.as_ref());
         assert_eq!(read.len(), 5);
         for (i, r) in read.iter().enumerate() {
@@ -929,7 +1427,7 @@ mod tests {
         std::fs::create_dir(dir.0.join("a%2f")).unwrap(); // lowercase hex
         std::fs::create_dir(dir.0.join("a b")).unwrap(); // unescaped space
         let mut store = backend.open_table("real").unwrap();
-        store.append_batch(0, &[ct(1, 8)]).unwrap();
+        store.append_batch(0, &[ct(1, 8)]).unwrap().wait().unwrap();
         assert_eq!(backend.existing_tables().unwrap(), vec!["real"]);
     }
 
@@ -949,12 +1447,110 @@ mod tests {
         let backend = SegmentLogBackend::open(config.clone()).unwrap();
         {
             let mut store = backend.open_table("t").unwrap();
-            store.append_batch(0, &vec![ct(9, 95); 4]).unwrap();
+            store
+                .append_batch(0, &vec![ct(9, 95); 4])
+                .unwrap()
+                .wait()
+                .unwrap();
         }
         let store = SegmentLogBackend::open(config)
             .unwrap()
             .open_table("t")
             .unwrap();
         assert_eq!(store.ciphertext_count(), 4);
+    }
+
+    #[test]
+    fn group_commit_appends_round_trip_and_recover() {
+        let dir = TempDir::new("group");
+        let config = SegmentLogConfig::new(&dir.0).with_group_commit(GroupCommitConfig::default());
+        {
+            let backend = SegmentLogBackend::open(config.clone()).unwrap();
+            let mut store = backend.open_table("t").unwrap();
+            for time in 0..8 {
+                let ack = store.append_batch(time, &[ct(time as u8, 95)]).unwrap();
+                assert!(!ack.is_durable(), "group commit must defer the ack");
+                ack.wait().unwrap();
+            }
+        }
+        // A per-batch-fsync reopen sees exactly the acknowledged transcript.
+        let backend = backend(&dir);
+        let store = backend.open_table("t").unwrap();
+        assert_eq!(store.ciphertext_count(), 8);
+        assert_eq!(store.updates().len(), 8);
+        let records = collect(store.as_ref());
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r[0], i as u8, "scan order must be append order");
+        }
+    }
+
+    #[test]
+    fn group_commit_size_bound_closes_a_window_the_clock_never_would() {
+        const APPENDERS: u64 = 4;
+        let dir = TempDir::new("groupsize");
+        // The wait and grace bounds alone would park the leader for an hour;
+        // only the batch bound — reached exactly when every appender has
+        // staged — can close the window.
+        let config = SegmentLogConfig::new(&dir.0).with_group_commit(GroupCommitConfig {
+            max_window_batches: APPENDERS,
+            max_window_bytes: u64::MAX,
+            max_window_wait: Duration::from_secs(3600),
+            idle_grace: Duration::from_secs(3600),
+        });
+        let backend = SegmentLogBackend::open(config.clone()).unwrap();
+        std::thread::scope(|scope| {
+            for i in 0..APPENDERS {
+                let backend = &backend;
+                scope.spawn(move || {
+                    let mut store = backend.open_table(&format!("t{i}")).unwrap();
+                    let ack = store.append_batch(i, &[ct(i as u8, 95)]).unwrap();
+                    ack.wait().unwrap();
+                });
+            }
+        });
+        // Every table recovered in full: the shared window synced them all.
+        let reopened = SegmentLogBackend::open(config).unwrap();
+        for i in 0..APPENDERS {
+            let store = reopened.open_table(&format!("t{i}")).unwrap();
+            assert_eq!(store.ciphertext_count(), 1, "table t{i}");
+        }
+    }
+
+    #[test]
+    fn missing_last_segment_is_tolerated_but_a_gap_is_corruption() {
+        let dir = TempDir::new("missingseg");
+        // A tiny capacity puts every batch in its own segment.
+        let config = SegmentLogConfig::new(&dir.0).with_segment_bytes(64);
+        {
+            let backend = SegmentLogBackend::open(config.clone()).unwrap();
+            let mut store = backend.open_table("t").unwrap();
+            for time in 0..4 {
+                store
+                    .append_batch(time, &[ct(time as u8, 64)])
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+            }
+        }
+        assert_eq!(std::fs::read_dir(dir.0.join("t")).unwrap().count(), 4);
+
+        // Crash between rollover and the first acknowledged frame of the new
+        // segment: the last segment vanishes, nothing acknowledged did.
+        std::fs::remove_file(dir.0.join("t").join(segment_file_name(3))).unwrap();
+        let backend = SegmentLogBackend::open(config.clone()).unwrap();
+        let mut store = backend.open_table("t").unwrap();
+        assert_eq!(store.ciphertext_count(), 3);
+        // Appends continue (re-creating the missing index).
+        store.append_batch(9, &[ct(9, 64)]).unwrap().wait().unwrap();
+        drop(store);
+
+        // A hole *below* the last segment is durable data gone missing.
+        std::fs::remove_file(dir.0.join("t").join(segment_file_name(1))).unwrap();
+        let backend = SegmentLogBackend::open(config).unwrap();
+        let err = backend.open_table("t").unwrap_err();
+        assert!(
+            matches!(err, StorageError::Corrupt { .. }),
+            "a segment-index gap must surface as corruption: {err}"
+        );
     }
 }

@@ -43,7 +43,7 @@
 //! already exist on a durable backend's medium, rebuilding the pre-crash
 //! transcript before any new protocol runs.
 
-use crate::backend::{MemoryBackend, StorageBackend, StorageError, TableStore};
+use crate::backend::{AppendAck, MemoryBackend, StorageBackend, StorageError, TableStore};
 use crate::leakage::{UpdateEvent, UpdatePattern};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -68,9 +68,12 @@ impl TableShard {
 
     /// Appends a batch of ciphertexts at `time` and records the observation.
     ///
-    /// Durable backends persist the batch before returning; an error means
-    /// the batch was not stored and no observation was recorded.
-    pub fn ingest(&mut self, time: u64, ciphertexts: &[Bytes]) -> Result<(), StorageError> {
+    /// The returned [`AppendAck`] says when the batch may be acknowledged:
+    /// callers must wait on it *after* releasing this shard's lock, so that
+    /// a group-committing backend can stage appends from other protocol
+    /// runs into the same sync window.  An error means the batch was not
+    /// stored and no observation was recorded.
+    pub fn ingest(&mut self, time: u64, ciphertexts: &[Bytes]) -> Result<AppendAck, StorageError> {
         self.store.append_batch(time, ciphertexts)
     }
 
@@ -173,19 +176,26 @@ impl ServerStorage {
         self.shards.read().get(table).map(Arc::clone)
     }
 
-    /// Appends ciphertexts to a table and records the update observation.
+    /// Appends ciphertexts to a table and records the update observation,
+    /// returning only once the batch is **durable** on the backend.
     ///
-    /// Only `table`'s shard is write-locked; owners of other tables proceed
-    /// concurrently.  Backend I/O failures surface as [`StorageError`] (the
-    /// engines wrap them into [`crate::EdbError::Storage`]); on error nothing
-    /// was stored and no observation was recorded.
+    /// Only `table`'s shard is write-locked, and only for the append itself:
+    /// a group-committing backend's durability wait happens *after* the
+    /// guard is dropped, so concurrent `Π_Update` runs — same table or not —
+    /// stage into one shared sync window instead of serializing one fsync
+    /// each.  Backend I/O failures surface as [`StorageError`] (the engines
+    /// wrap them into [`crate::EdbError::Storage`]); on error the batch was
+    /// never acknowledged (under group commit a failed *sync* poisons the
+    /// backend, which then refuses all further appends — see
+    /// [`crate::backend::segment_log`]).
     pub fn ingest(
         &self,
         table: &str,
         time: u64,
         ciphertexts: &[Bytes],
     ) -> Result<(), StorageError> {
-        self.shard(table)?.write().ingest(time, ciphertexts)
+        let ack = self.shard(table)?.write().ingest(time, ciphertexts)?;
+        ack.wait()
     }
 
     /// Records a query observation.

@@ -22,10 +22,15 @@
 //!
 //! The process runs until killed.  Disk-session scratch directories are
 //! removed when their connection ends; killing the process *mid-session*
-//! skips that cleanup (signals run no destructors), so anything left under
-//! `--disk-root` after a hard kill is safe to delete.
+//! skips that cleanup (signals run no destructors).  Whatever a hard kill
+//! leaves behind is swept at the next startup: the server owns its
+//! `--disk-root` exclusively, so any `dpsync-session-*` directory found
+//! there at boot is a stale leftover and is removed before listening.
 
-use dpsync_net::{EdbTcpServer, EngineFactory, EngineProvider, ServeOptions, DEFAULT_SERVE_ADDR};
+use dpsync_net::{
+    sweep_stale_session_dirs, EdbTcpServer, EngineFactory, EngineProvider, ServeOptions,
+    DEFAULT_SERVE_ADDR,
+};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -77,6 +82,15 @@ fn main() {
                 root.display()
             );
             std::process::exit(1);
+        }
+        // Reclaim scratch directories a SIGKILLed predecessor left behind.
+        let swept = sweep_stale_session_dirs(root);
+        if swept > 0 {
+            eprintln!(
+                "dpsync-serve: swept {swept} stale session director{} under {}",
+                if swept == 1 { "y" } else { "ies" },
+                root.display()
+            );
         }
     }
 

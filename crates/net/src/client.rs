@@ -21,7 +21,7 @@
 //! recoverable condition for the harness, and silently returning zeroed
 //! stats would corrupt experiment results invisibly.
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{read_frame, FrameError, FrameWriter};
 use crate::wire::{BackendRequest, EntropyDraw, Request, Response, SessionRequest};
 use dpsync_crypto::{EncryptedRecord, MasterKey};
 use dpsync_edb::cost::CostModel;
@@ -60,11 +60,20 @@ pub fn client_timeout() -> Option<Duration> {
 /// A remote secure outsourced database reached over TCP.
 #[derive(Debug)]
 pub struct RemoteEdb {
-    stream: Mutex<TcpStream>,
+    /// The connection plus its reusable outbound frame buffer; they travel
+    /// under one lock because a request and its entropy replies must not
+    /// interleave with another caller's frames.
+    conn: Mutex<Connection>,
     peer: String,
     name: &'static str,
     profile: LeakageProfile,
     cost: CostModel,
+}
+
+#[derive(Debug)]
+struct Connection {
+    stream: TcpStream,
+    writer: FrameWriter,
 }
 
 fn transport_error(peer: &str, message: impl std::fmt::Display) -> EdbError {
@@ -133,7 +142,10 @@ impl RemoteEdb {
             .map_err(|e| transport_error(&peer, e))?;
 
         let mut client = Self {
-            stream: Mutex::new(stream),
+            conn: Mutex::new(Connection {
+                stream,
+                writer: FrameWriter::new(),
+            }),
             peer,
             name: "remote",
             profile: LeakageProfile {
@@ -189,10 +201,13 @@ impl RemoteEdb {
         request: Request,
         mut rng: Option<&mut dyn RngCore>,
     ) -> Result<Response, EdbError> {
-        let mut stream = self.stream.lock();
-        write_frame(&mut *stream, &request.encode()).map_err(|e| self.io_failed(e))?;
+        let mut conn = self.conn.lock();
+        let conn = &mut *conn;
+        conn.writer
+            .write_frame(&mut conn.stream, &request.encode())
+            .map_err(|e| self.io_failed(e))?;
         loop {
-            let payload = match read_frame(&mut *stream) {
+            let payload = match read_frame(&mut conn.stream) {
                 Ok(payload) => payload,
                 Err(FrameError::Closed) => {
                     return Err(self.io_failed("server closed the connection"))
@@ -221,7 +236,8 @@ impl RemoteEdb {
                     buf
                 }
             };
-            write_frame(&mut *stream, &Request::EntropyReply(bytes).encode())
+            conn.writer
+                .write_frame(&mut conn.stream, &Request::EntropyReply(bytes).encode())
                 .map_err(|e| self.io_failed(e))?;
         }
     }

@@ -39,5 +39,9 @@ pub mod server;
 pub mod wire;
 
 pub use client::RemoteEdb;
-pub use server::{EdbTcpServer, EngineFactory, EngineProvider, ServeOptions, DEFAULT_SERVE_ADDR};
+pub use frame::FrameWriter;
+pub use server::{
+    sweep_stale_session_dirs, EdbTcpServer, EngineFactory, EngineProvider, ServeOptions,
+    DEFAULT_SERVE_ADDR,
+};
 pub use wire::{BackendRequest, Request, Response, SessionRequest, WireError};

@@ -30,16 +30,17 @@
 //! * [`EdbTcpServer::shutdown`] stops accepting, wakes idle handlers and
 //!   joins every thread before returning.
 
-use crate::frame::{write_frame, FrameError, FRAME_HEADER_LEN};
+use crate::frame::{FrameError, FrameWriter, FRAME_HEADER_LEN};
 use crate::wire::{BackendRequest, EntropyDraw, Request, Response, SessionRequest};
 use dpsync_crypto::MasterKey;
+use dpsync_edb::backend::{GroupCommitConfig, SegmentLogConfig};
 use dpsync_edb::engines::EngineKind;
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
 use dpsync_edb::BackendConfig;
 use rand::RngCore;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -74,10 +75,47 @@ impl Default for ServeOptions {
 /// Builds per-connection engines for factory-mode servers.
 #[derive(Debug, Clone, Default)]
 pub struct EngineFactory {
-    /// Root directory for [`BackendRequest::Disk`] sessions; each session
-    /// gets its own subdirectory, removed when the connection ends.  `None`
-    /// rejects disk sessions.
+    /// Root directory for [`BackendRequest::Disk`] and
+    /// [`BackendRequest::DiskGroup`] sessions; each session gets its own
+    /// subdirectory, removed when the connection ends.  `None` rejects disk
+    /// sessions.
     pub disk_root: Option<PathBuf>,
+}
+
+/// Prefix of every per-session scratch directory under the disk root.
+const SESSION_DIR_PREFIX: &str = "dpsync-session-";
+
+/// Removes stale per-session scratch directories under `root`.
+///
+/// Session directories are normally removed when their connection ends (the
+/// `SessionDir` drop guard survives even handler panics), but nothing
+/// in-process survives SIGKILL: a killed `dpsync-serve` leaves its
+/// `dpsync-session-*` directories — and their segment logs — on disk
+/// forever.  A fresh server owns the root exclusively, so it sweeps every
+/// leftover matching the session naming scheme at startup.
+///
+/// Returns the number of directories removed.  A missing root is fine
+/// (nothing to sweep); individual removal failures are skipped so one
+/// undeletable entry cannot block startup.
+pub fn sweep_stale_session_dirs(root: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with(SESSION_DIR_PREFIX) {
+            continue;
+        }
+        if !entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+            continue;
+        }
+        if std::fs::remove_dir_all(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 /// A per-session scratch directory, removed on drop — even when the handler
@@ -105,17 +143,22 @@ impl EngineFactory {
         let master = MasterKey::from_bytes(master_key);
         match backend {
             BackendRequest::Memory => Ok((kind.build(&master), None)),
-            BackendRequest::Disk => {
+            BackendRequest::Disk | BackendRequest::DiskGroup => {
                 let Some(root) = &self.disk_root else {
                     return Err("server was started without a disk root".to_string());
                 };
                 let dir = root.join(format!(
-                    "dpsync-session-{}-{}",
+                    "{}{}-{}",
+                    SESSION_DIR_PREFIX,
                     std::process::id(),
                     SESSION_COUNTER.fetch_add(1, Ordering::Relaxed)
                 ));
                 let guard = SessionDir(dir.clone());
-                let backend = BackendConfig::segment_log(&dir)
+                let mut config = SegmentLogConfig::new(&dir);
+                if backend == BackendRequest::DiskGroup {
+                    config = config.with_group_commit(GroupCommitConfig::default());
+                }
+                let backend = BackendConfig::SegmentLog(config)
                     .build()
                     .map_err(|e| format!("cannot open session segment log: {e}"))?;
                 let engine = kind
@@ -363,6 +406,7 @@ fn read_frame_deadline(
 /// normally) and the handler drops the connection without sending a result.
 struct EntropyProxy<'a> {
     stream: &'a TcpStream,
+    writer: &'a mut FrameWriter,
     shutdown: &'a AtomicBool,
     deadline: Duration,
     failed: bool,
@@ -374,7 +418,11 @@ impl EntropyProxy<'_> {
             return None;
         }
         let mut write_half = self.stream;
-        if write_frame(&mut write_half, &Response::EntropyRequest(draw).encode()).is_err() {
+        if self
+            .writer
+            .write_frame(&mut write_half, &Response::EntropyRequest(draw).encode())
+            .is_err()
+        {
             self.failed = true;
             return None;
         }
@@ -483,6 +531,10 @@ fn handle_connection(
     let _ = stream.set_read_timeout(Some(options.poll_interval));
     let _ = stream.set_write_timeout(Some(options.io_deadline));
 
+    // One outbound buffer per connection: every response frame is encoded
+    // into it and sent with a single `write_all`, with no per-frame
+    // allocation in steady state.
+    let mut writer = FrameWriter::new();
     let mut session: Option<Session> = None;
     loop {
         let mut read_half = &stream;
@@ -493,7 +545,7 @@ fn handle_connection(
                 // The stream offset can no longer be trusted: one courtesy
                 // error frame, then disconnect.
                 let mut write_half = &stream;
-                let _ = write_frame(
+                let _ = writer.write_frame(
                     &mut write_half,
                     &Response::Protocol(format!("bad frame: {e}")).encode(),
                 );
@@ -506,7 +558,13 @@ fn handle_connection(
             Err(e) => {
                 // The frame itself was sound (length + CRC), so the stream is
                 // still synchronized: report and keep serving.
-                if respond(&stream, Response::Protocol(format!("bad message: {e}"))).is_err() {
+                if respond(
+                    &stream,
+                    &mut writer,
+                    Response::Protocol(format!("bad message: {e}")),
+                )
+                .is_err()
+                {
                     return;
                 }
                 continue;
@@ -551,6 +609,7 @@ fn handle_connection(
             (Some(session), Request::Query(query)) => {
                 let mut proxy = EntropyProxy {
                     stream: &stream,
+                    writer: &mut writer,
                     shutdown,
                     deadline: options.io_deadline,
                     failed: false,
@@ -577,20 +636,21 @@ fn handle_connection(
             }
         };
 
-        if respond(&stream, response).is_err() {
+        if respond(&stream, &mut writer, response).is_err() {
             return;
         }
     }
 }
 
-fn respond(stream: &TcpStream, response: Response) -> io::Result<()> {
+fn respond(stream: &TcpStream, writer: &mut FrameWriter, response: Response) -> io::Result<()> {
     let mut write_half = stream;
-    write_frame(&mut write_half, &response.encode())
+    writer.write_frame(&mut write_half, &response.encode())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::write_frame;
     use dpsync_edb::engines::ObliDbEngine;
     use std::io::Write;
 
@@ -681,5 +741,96 @@ mod tests {
             Response::Protocol(message) => assert!(message.contains("disk root")),
             other => panic!("expected protocol error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn group_commit_disk_sessions_build_and_clean_up() {
+        let root =
+            std::env::temp_dir().join(format!("dpsync-net-group-session-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        let server = EdbTcpServer::bind(
+            "127.0.0.1:0",
+            EngineProvider::Factory(EngineFactory {
+                disk_root: Some(root.clone()),
+            }),
+        )
+        .unwrap();
+        {
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            write_frame(
+                &mut stream,
+                &Request::Hello(SessionRequest::NewEngine {
+                    engine: EngineKind::ObliDb,
+                    master_key: [7u8; 32],
+                    backend: BackendRequest::DiskGroup,
+                })
+                .encode(),
+            )
+            .unwrap();
+            let payload = crate::frame::read_frame(&mut stream).unwrap();
+            assert!(matches!(
+                Response::decode(&payload).unwrap(),
+                Response::EngineInfo { .. }
+            ));
+            // The session directory exists while the connection is alive.
+            assert_eq!(
+                std::fs::read_dir(&root)
+                    .unwrap()
+                    .flatten()
+                    .filter(|e| e
+                        .file_name()
+                        .to_string_lossy()
+                        .starts_with(SESSION_DIR_PREFIX))
+                    .count(),
+                1
+            );
+        }
+        // Connection closed: the drop guard removes the directory.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let leftovers = std::fs::read_dir(&root).unwrap().flatten().count();
+            if leftovers == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "session dir never cleaned up");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        drop(server);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stale_session_dirs_are_swept_and_foreign_entries_kept() {
+        let root = std::env::temp_dir().join(format!("dpsync-net-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+
+        // Two stale session directories (as a SIGKILLed server leaves them),
+        // with nested content.
+        for stale in ["dpsync-session-999-0", "dpsync-session-999-1"] {
+            let dir = root.join(stale).join("table");
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("seg-000000.dpl"), b"leftover").unwrap();
+        }
+        // Entries that must survive: a foreign directory and a plain file
+        // whose name matches the prefix.
+        std::fs::create_dir_all(root.join("keep-me")).unwrap();
+        std::fs::write(root.join("dpsync-session-not-a-dir"), b"file").unwrap();
+
+        assert_eq!(sweep_stale_session_dirs(&root), 2);
+        let mut names: Vec<String> = std::fs::read_dir(&root)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["dpsync-session-not-a-dir", "keep-me"]);
+
+        // Sweeping a missing root is a quiet no-op.
+        assert_eq!(sweep_stale_session_dirs(&root.join("missing")), 0);
+
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

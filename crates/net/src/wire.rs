@@ -98,6 +98,10 @@ pub enum BackendRequest {
     /// under the server's configured disk root (an error if the server was
     /// started without one).
     Disk,
+    /// [`BackendRequest::Disk`] with group commit enabled (default window
+    /// bounds): concurrent `Π_Update` acknowledgments coalesce into shared
+    /// fsync windows.  Same durability contract, amortized cost.
+    DiskGroup,
 }
 
 /// An asynchronous randomness draw the server requests mid-`Π_Query`.
@@ -1004,6 +1008,7 @@ impl Request {
                         out.push(match backend {
                             BackendRequest::Memory => 0,
                             BackendRequest::Disk => 1,
+                            BackendRequest::DiskGroup => 2,
                         });
                     }
                 }
@@ -1063,6 +1068,7 @@ impl Request {
                     let backend = match c.u8()? {
                         0 => BackendRequest::Memory,
                         1 => BackendRequest::Disk,
+                        2 => BackendRequest::DiskGroup,
                         _ => return Err(WireError::Invalid("unknown backend tag")),
                     };
                     SessionRequest::NewEngine {
@@ -1217,11 +1223,17 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         round_trip_request(Request::Hello(SessionRequest::Shared));
-        round_trip_request(Request::Hello(SessionRequest::NewEngine {
-            engine: EngineKind::CryptEpsilon,
-            master_key: [3u8; 32],
-            backend: BackendRequest::Disk,
-        }));
+        for backend in [
+            BackendRequest::Memory,
+            BackendRequest::Disk,
+            BackendRequest::DiskGroup,
+        ] {
+            round_trip_request(Request::Hello(SessionRequest::NewEngine {
+                engine: EngineKind::CryptEpsilon,
+                master_key: [3u8; 32],
+                backend,
+            }));
+        }
         round_trip_request(Request::Setup {
             table: "yellow".into(),
             schema: Schema::from_pairs(&[

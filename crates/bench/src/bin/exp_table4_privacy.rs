@@ -20,7 +20,8 @@ fn main() {
     if verification.timer.passes && verification.ant.passes {
         println!(
             "\nBoth DP strategies stay within the e^epsilon bound (Theorems 10 and 11); \
-             worst-case headroom {:.2}x under the statistically corrected per-bucket bound.",
+             worst-case headroom {:.2}x under the statistically corrected bound \
+             across point buckets and tail events.",
             verification
                 .timer
                 .headroom()

@@ -6,7 +6,9 @@
 //! DP-Sync's cost — record encryption/decryption, the DP sampling primitives,
 //! engine `Π_Update` ingest (against the in-memory store and the durable
 //! segment log, both with per-batch fsync and with concurrent appenders
-//! amortized through group-commit sync windows), query execution, and a
+//! amortized through group-commit sync windows), the same ingest through
+//! the reactor service tier (multiplexed sessions over real loopback
+//! sockets), query execution, and a
 //! small end-to-end sync — and renders the medians into a versioned
 //! [`BenchReport`].  The `exp_bench`
 //! binary writes the report as `BENCH_<label>.json`, and its `compare`
@@ -784,6 +786,83 @@ fn bench_pi_update_ingest_disk_group(scale: &SuiteScale, seed: u64) -> BenchResu
     )
 }
 
+/// Socket fan-in for the reactor ingest benchmark: a scaled-down `exp_c10k`
+/// shape (real TCP connections, multiplexed sessions, the full frame/wire
+/// codec and worker pool) small enough to run per sample.
+const REACTOR_CONNECTIONS: usize = 8;
+
+/// Logical owner sessions per connection for the reactor ingest benchmark.
+const REACTOR_SESSIONS_PER_CONN: usize = 4;
+
+fn bench_reactor_ingest(scale: &SuiteScale, seed: u64) -> BenchResult {
+    use dpsync_net::{EdbTcpServer, EngineProvider, MuxConnection, MuxSession};
+    use std::sync::Arc;
+
+    let master = MasterKey::from_bytes([0xD5; 32]);
+    let sessions_total = REACTOR_CONNECTIONS * REACTOR_SESSIONS_PER_CONN;
+    // The same pre-encrypted Π_Update workload as the in-process ingest
+    // benches, dealt round-robin across the sessions so the comparison
+    // `pi_update_ingest` → `reactor_ingest` isolates the service tier's
+    // cost: framing, CRC, readiness scheduling and worker-pool handoff.
+    let batches = ingest_batches(scale, seed, &master);
+    let records: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let mut per_session: Vec<Vec<(u64, Vec<dpsync_crypto::EncryptedRecord>)>> =
+        (0..sessions_total).map(|_| Vec::new()).collect();
+    for (i, batch) in batches.iter().enumerate() {
+        per_session[i % sessions_total].push((i as u64 + 1, batch.clone()));
+    }
+    run_bench("reactor_ingest", scale.samples, records, || {
+        // Fresh server, connections and tables per sample, outside the
+        // timed region; the timed region is pure multiplexed ingest.
+        let engine: Arc<dyn SecureOutsourcedDatabase> = Arc::new(ObliDbEngine::new(&master));
+        let server =
+            EdbTcpServer::bind("127.0.0.1:0", EngineProvider::Shared(engine)).expect("binds");
+        let conns: Vec<MuxConnection> = (0..REACTOR_CONNECTIONS)
+            .map(|_| MuxConnection::connect(server.local_addr()).expect("connects"))
+            .collect();
+        let sessions: Vec<Vec<MuxSession>> = conns
+            .iter()
+            .map(|conn| {
+                (0..REACTOR_SESSIONS_PER_CONN)
+                    .map(|_| conn.open_shared().expect("session opens"))
+                    .collect()
+            })
+            .collect();
+        for (c, conn_sessions) in sessions.iter().enumerate() {
+            for (m, session) in conn_sessions.iter().enumerate() {
+                session
+                    .setup(
+                        &format!("bench_{}", c * REACTOR_SESSIONS_PER_CONN + m),
+                        taxi_like_schema(),
+                        Vec::new(),
+                    )
+                    .expect("fresh table");
+            }
+        }
+        let per_session = &per_session;
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for (c, conn_sessions) in sessions.iter().enumerate() {
+                scope.spawn(move || {
+                    for (m, session) in conn_sessions.iter().enumerate() {
+                        let index = c * REACTOR_SESSIONS_PER_CONN + m;
+                        let table = format!("bench_{index}");
+                        for (time, batch) in &per_session[index] {
+                            session
+                                .update(&table, *time, batch.clone())
+                                .expect("framed ingest succeeds");
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+        black_box(server.handler_panics());
+        assert_eq!(server.handler_panics(), 0);
+        elapsed
+    })
+}
+
 fn query_engine(scale: &SuiteScale, seed: u64) -> ObliDbEngine {
     let master = MasterKey::from_bytes([0xC4; 32]);
     let mut cryptor = RecordCryptor::new(&master);
@@ -858,6 +937,7 @@ pub fn run_suite(config: &SuiteConfig) -> BenchReport {
         bench_pi_update_ingest(&scale, seed),
         bench_pi_update_ingest_disk(&scale, seed),
         bench_pi_update_ingest_disk_group(&scale, seed),
+        bench_reactor_ingest(&scale, seed),
         bench_query(
             "query_q1_count",
             &scale,
@@ -1027,6 +1107,7 @@ mod tests {
             "pi_update_ingest",
             "pi_update_ingest_disk",
             "pi_update_ingest_disk_group",
+            "reactor_ingest",
             "query_q1_count",
             "query_q2_group_by",
             "e2e_sync",

@@ -107,13 +107,21 @@ pub struct DpTestResult {
     pub bound: f64,
     /// Number of buckets that were compared.
     pub buckets_compared: usize,
+    /// Largest observed probability ratio across well-populated *tail*
+    /// events (`{X ≥ v}` and `{X ≤ v}`).  Tail counts accumulate, so their
+    /// estimates carry far less sampling slack than point buckets — this is
+    /// the tight half of the verdict.
+    pub max_tail_ratio: f64,
+    /// Number of tail events that were compared.
+    pub tail_events_compared: usize,
     /// Number of trials per database.
     pub trials: u32,
-    /// The worst bucket's `ratio / (bound · tolerance)`: the test passes
-    /// while this stays ≤ 1, so `1 / worst_margin` is the multiplicative
-    /// headroom the mechanism has before the verdict would flip.
+    /// The worst compared event's `ratio / (bound · tolerance)`, taken over
+    /// point buckets *and* tail events: the test passes while this stays
+    /// ≤ 1, so `1 / worst_margin` is the multiplicative headroom the
+    /// mechanism has before the verdict would flip.
     pub worst_margin: f64,
-    /// Whether every compared bucket's ratio stays within its
+    /// Whether every compared event's ratio stays within its
     /// statistically-corrected bound.
     pub passes: bool,
 }
@@ -138,13 +146,13 @@ impl DpTestResult {
 /// neighboring arrival streams.
 ///
 /// `run` is called `trials` times per stream with independent RNGs and must
-/// return the statistic value for that run.  A bucket is compared only when
-/// it reaches `min_bucket_count` in *each* histogram; a bucket heavy on one
-/// side but below threshold on the other is skipped, so strictly one-sided
-/// violations (mass where the neighbor has none) are outside this test's
-/// reach — the `passes == false` verdict on zero comparable buckets (as in
-/// the deterministic-SUR regression test) is the safety net for the fully
-/// disjoint case.
+/// return the statistic value for that run.  A point bucket is compared only
+/// when it reaches `min_bucket_count` in *each* histogram; a bucket heavy on
+/// one side but below threshold on the other is skipped there, so strictly
+/// one-sided point violations are caught only through the tail events below
+/// (and the `passes == false` verdict on zero comparable buckets, as in the
+/// deterministic-SUR regression test, remains the safety net for the fully
+/// disjoint case).
 ///
 /// # Acceptance bound
 ///
@@ -160,6 +168,21 @@ impl DpTestResult {
 /// `z = 4` and the bucket sizes used here (thousands of counts), a correct
 /// mechanism passes with clear headroom and a broken one (ratio > e^ε by any
 /// constant factor) still fails once `σ̂` shrinks below the violation.
+///
+/// # Tail events
+///
+/// Point buckets in a noise distribution's tail hold few trials, so their
+/// `σ̂` — and therefore their slack — is large: a far-tail bucket can show an
+/// observed ratio well above `e^ε` and still pass inside its tolerance.  The
+/// test therefore also compares every one-sided *tail* event `{X ≥ v}` and
+/// `{X ≤ v}` (Definition 5 quantifies over all events, so the same `e^ε`
+/// bound applies).  Tail counts accumulate toward the full trial count,
+/// shrinking `σ̂` by an order of magnitude exactly where point buckets are
+/// weakest; `sqrt(1/a + 1/b)` over-states a binomial tail's standard error
+/// (it omits the negative `-2/n` finite-population terms), so the tolerance
+/// stays conservative.  Tail events also restore sensitivity to one-sided
+/// violations: outlier mass on one side joins every enclosing tail and
+/// inflates its ratio even when its own point bucket is skipped.
 pub fn empirical_odds_ratio(
     epsilon: Epsilon,
     trials: u32,
@@ -179,6 +202,19 @@ pub fn empirical_odds_ratio(
     }
 
     let bound = epsilon.value().exp();
+    // The symmetric observed ratio and its corrected margin for an event with
+    // counts `a` and `b`; `None` when either side is too thin to compare.
+    let compare = |a: u32, b: u32| -> Option<(f64, f64)> {
+        if a >= min_bucket_count && b >= min_bucket_count {
+            let ratio = f64::from(a) / f64::from(b);
+            let ratio = ratio.max(1.0 / ratio);
+            let tolerance = (z * (1.0 / f64::from(a) + 1.0 / f64::from(b)).sqrt()).exp();
+            Some((ratio, ratio / (bound * tolerance)))
+        } else {
+            None
+        }
+    };
+
     let mut max_ratio: f64 = 1.0;
     let mut worst_margin: f64 = 0.0;
     let mut buckets_compared = 0usize;
@@ -187,16 +223,40 @@ pub fn empirical_odds_ratio(
         .chain(histogram_b.keys())
         .copied()
         .collect();
-    for key in keys {
-        let a = histogram_a.get(&key).copied().unwrap_or(0);
-        let b = histogram_b.get(&key).copied().unwrap_or(0);
-        if a >= min_bucket_count && b >= min_bucket_count {
-            let ratio = f64::from(a) / f64::from(b);
-            let ratio = ratio.max(1.0 / ratio);
+    let counts: Vec<(u32, u32)> = keys
+        .iter()
+        .map(|key| {
+            (
+                histogram_a.get(key).copied().unwrap_or(0),
+                histogram_b.get(key).copied().unwrap_or(0),
+            )
+        })
+        .collect();
+    for &(a, b) in &counts {
+        if let Some((ratio, margin)) = compare(a, b) {
             max_ratio = max_ratio.max(ratio);
-            let tolerance = (z * (1.0 / f64::from(a) + 1.0 / f64::from(b)).sqrt()).exp();
-            worst_margin = worst_margin.max(ratio / (bound * tolerance));
+            worst_margin = worst_margin.max(margin);
             buckets_compared += 1;
+        }
+    }
+
+    // Tail events {X ≤ v} (running prefix) and {X ≥ v} (running suffix) over
+    // the same value grid.
+    let mut max_tail_ratio: f64 = 1.0;
+    let mut tail_events_compared = 0usize;
+    let total: (u32, u32) = counts
+        .iter()
+        .fold((0, 0), |acc, &(a, b)| (acc.0 + a, acc.1 + b));
+    let mut below = (0u32, 0u32);
+    for &(a, b) in &counts {
+        below = (below.0 + a, below.1 + b);
+        let above = (total.0 - below.0 + a, total.1 - below.1 + b);
+        for (ta, tb) in [below, above] {
+            if let Some((ratio, margin)) = compare(ta, tb) {
+                max_tail_ratio = max_tail_ratio.max(ratio);
+                worst_margin = worst_margin.max(margin);
+                tail_events_compared += 1;
+            }
         }
     }
 
@@ -204,6 +264,8 @@ pub fn empirical_odds_ratio(
         max_ratio,
         bound,
         buckets_compared,
+        max_tail_ratio,
+        tail_events_compared,
         trials,
         worst_margin,
         passes: buckets_compared > 0 && worst_margin <= 1.0,
@@ -257,6 +319,7 @@ pub fn default_flush() -> CacheFlush {
 mod tests {
     use super::*;
     use crate::strategy::{AboveNoisyThresholdStrategy, DpTimerStrategy, SynchronizeUponReceipt};
+    use rand::RngCore;
 
     fn eps(v: f64) -> Epsilon {
         Epsilon::new_unchecked(v)
@@ -357,6 +420,38 @@ mod tests {
         // so either nothing is comparable or the ratio blows up; both mean
         // the mechanism offers no ε-DP guarantee.
         assert!(!result.passes);
+    }
+
+    #[test]
+    fn tail_events_catch_one_sided_outlier_mass() {
+        // A broken mechanism that behaves like a noisy count on one stream
+        // but dumps a quarter of its neighbor-stream mass on a huge outlier
+        // value.  Every outlier *point* bucket is skipped (the other side
+        // holds zero trials there), so point buckets alone would pass — the
+        // upper-tail events must flag the violation.
+        let epsilon = eps(1.0);
+        let result = empirical_odds_ratio(epsilon, 4_000, 20, DEFAULT_ODDS_Z, 23, {
+            |use_neighbor, rng| {
+                let base = crate::perturb::perturbed_count(50, epsilon, rng).fetch_size();
+                if use_neighbor && rng.next_u64() % 4 == 0 {
+                    10_000
+                } else {
+                    base
+                }
+            }
+        });
+        assert!(result.buckets_compared > 0);
+        assert!(
+            result.max_ratio < result.bound,
+            "the point buckets alone should look clean (ratio {})",
+            result.max_ratio
+        );
+        assert!(
+            result.max_tail_ratio > result.bound,
+            "the tails must expose the outlier mass (tail ratio {})",
+            result.max_tail_ratio
+        );
+        assert!(!result.passes, "the one-sided violation must fail the test");
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use dpsync_core::owner::Owner;
 use dpsync_core::strategy::{
-    AboveNoisyThresholdStrategy, CacheFlush, StrategyKind, SyncStrategy, SynchronizeEveryTime,
-    SynchronizeUponReceipt,
+    AboveNoisyThresholdStrategy, CacheFlush, DpTimerStrategy, StrategyKind, SyncStrategy,
+    SynchronizeEveryTime, SynchronizeUponReceipt,
 };
 use dpsync_core::timeline::Timestamp;
 use dpsync_crypto::MasterKey;
@@ -23,7 +23,7 @@ use dpsync_edb::query::paper_queries;
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
 use dpsync_edb::view::AdversaryView;
 use dpsync_edb::{DataType, Query, QueryAnswer, Row, Schema, Value};
-use dpsync_net::{EdbTcpServer, EngineProvider, RemoteEdb};
+use dpsync_net::{EdbTcpServer, EngineProvider, MuxConnection, RemoteEdb};
 use std::sync::{Arc, Barrier};
 use std::thread;
 
@@ -195,6 +195,146 @@ fn concurrent_remote_clients_reproduce_the_reference_transcript() {
         assert!(!reference_answers.is_empty());
         assert_eq!(server.handler_panics(), 0);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor-mode suite: hundreds of owner sessions multiplexed over a handful
+// of sockets.
+// ---------------------------------------------------------------------------
+
+/// Sockets the multiplexed suite fans in over.
+const MUX_SOCKETS: usize = 8;
+/// Logical owner sessions (each owning its own table) across those sockets.
+const MUX_SESSIONS: usize = 256;
+/// Ticks the multiplexed suite runs.
+const MUX_HORIZON: u64 = 24;
+
+fn mux_table(index: usize) -> String {
+    format!("mux_{index:03}")
+}
+
+/// Strategies cycle SET → DP-Timer → DP-ANT across the session index, so
+/// every strategy's sync schedule interleaves on every socket.
+fn mux_strategy(index: usize) -> Box<dyn SyncStrategy> {
+    match index % 3 {
+        0 => Box::new(SynchronizeEveryTime::new()),
+        1 => Box::new(DpTimerStrategy::with_flush(
+            Epsilon::new_unchecked(0.8),
+            4,
+            Some(CacheFlush::new(100, 5)),
+        )),
+        _ => Box::new(AboveNoisyThresholdStrategy::with_flush(
+            Epsilon::new_unchecked(0.5),
+            6,
+            Some(CacheFlush::new(100, 5)),
+        )),
+    }
+}
+
+fn mux_owner(index: usize, master: &MasterKey) -> (Owner, DpRng) {
+    let table = mux_table(index);
+    let owner = Owner::new(&table, schema(), master, mux_strategy(index));
+    // The DP noise stream is a pure function of the session index, so the
+    // reference and multiplexed runs draw identical noise regardless of
+    // which thread or socket hosts the owner.
+    let rng = DpRng::seed_from_u64(97).derive(&format!("mux-owner/{table}"));
+    (owner, rng)
+}
+
+fn mux_arrivals(index: usize, t: u64) -> Vec<Row> {
+    let stride = (index as u64 % 5) + 1;
+    if t.is_multiple_of(stride) {
+        vec![row(t, index as i64)]
+    } else {
+        vec![]
+    }
+}
+
+/// The single-threaded in-process reference for the multiplexed suite.
+fn mux_sequential_run(master: &MasterKey, engine: &dyn SecureOutsourcedDatabase) -> AdversaryView {
+    let mut owners: Vec<(Owner, DpRng)> = (0..MUX_SESSIONS)
+        .map(|index| mux_owner(index, master))
+        .collect();
+    for (index, (owner, rng)) in owners.iter_mut().enumerate() {
+        owner
+            .setup(vec![row(0, index as i64)], engine, rng)
+            .unwrap();
+    }
+    for t in 1..=MUX_HORIZON {
+        for (index, (owner, rng)) in owners.iter_mut().enumerate() {
+            owner
+                .tick(Timestamp(t), &mux_arrivals(index, t), engine, rng)
+                .unwrap();
+        }
+    }
+    engine.adversary_view()
+}
+
+/// 256 owner sessions over 8 sockets against the reactor server: one driver
+/// thread per socket, each multiplexing 32 sessions, barrier-synchronized
+/// per tick so no upload crosses a tick boundary.  The server's canonical
+/// merged transcript must equal the single-threaded reference — neither
+/// readiness scheduling, worker-pool interleaving nor session multiplexing
+/// may be visible in the Definition-2 view.
+#[test]
+fn multiplexed_reactor_sessions_reproduce_the_reference_transcript() {
+    let master = MasterKey::from_bytes([13u8; 32]);
+
+    let reference_engine = ObliDbEngine::new(&master);
+    let reference_view = mux_sequential_run(&master, &reference_engine);
+
+    let shared: Arc<ObliDbEngine> = Arc::new(ObliDbEngine::new(&master));
+    let server = EdbTcpServer::bind(
+        "127.0.0.1:0",
+        EngineProvider::Shared(Arc::clone(&shared) as Arc<dyn SecureOutsourcedDatabase>),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let per_socket = MUX_SESSIONS / MUX_SOCKETS;
+    let barrier = Arc::new(Barrier::new(MUX_SOCKETS));
+    thread::scope(|scope| {
+        for socket in 0..MUX_SOCKETS {
+            let barrier = Arc::clone(&barrier);
+            let master = &master;
+            scope.spawn(move || {
+                let conn = MuxConnection::connect(addr).expect("driver connects");
+                let mut sessions: Vec<_> = (0..per_socket)
+                    .map(|k| {
+                        let index = socket * per_socket + k;
+                        let (owner, rng) = mux_owner(index, master);
+                        (index, owner, rng, conn.open_shared().expect("session"))
+                    })
+                    .collect();
+                for (index, owner, rng, session) in sessions.iter_mut() {
+                    owner
+                        .setup(vec![row(0, *index as i64)], session, rng)
+                        .unwrap();
+                }
+                barrier.wait(); // all setups done before tick 1
+                for t in 1..=MUX_HORIZON {
+                    barrier.wait();
+                    for (index, owner, rng, session) in sessions.iter_mut() {
+                        owner
+                            .tick(Timestamp(t), &mux_arrivals(*index, t), session, rng)
+                            .unwrap();
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+
+    let remote_view = shared.adversary_view();
+    assert_eq!(
+        reference_view, remote_view,
+        "merged multiplexed transcript diverged from the single-threaded reference"
+    );
+    // The run exercised genuine cross-strategy interleaving.
+    assert!(remote_view.update_pattern().len() > MUX_SESSIONS);
+    assert_eq!(server.handler_panics(), 0);
+    // 256 sessions really did share 8 sockets.
+    assert_eq!(server.stats().peak_connections(), MUX_SOCKETS);
 }
 
 #[test]

@@ -33,7 +33,7 @@ use std::sync::Arc;
 pub mod segment_log;
 
 pub use segment_log::{
-    crc32, CommitTicket, GroupCommitConfig, SegmentLogBackend, SegmentLogConfig,
+    crc32, CommitTicket, Crc32, GroupCommitConfig, SegmentLogBackend, SegmentLogConfig,
 };
 
 /// Errors surfaced by storage backends.

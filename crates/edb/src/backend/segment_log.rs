@@ -485,37 +485,69 @@ impl CommitTicket {
     }
 }
 
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC32 (IEEE 802.3 polynomial, reflected), table-driven.
+///
+/// `Crc32::new().update(a).update(b).finish()` equals
+/// [`crc32`]`(a ++ b)` — the wire protocol in `dpsync-net` uses this to
+/// checksum a frame's session-id bytes together with its payload without
+/// concatenating them.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Crc32 { state: u32::MAX }
+    }
+
+    /// Feeds more bytes; chainable.
+    #[must_use]
+    pub fn update(mut self, data: &[u8]) -> Self {
+        for &byte in data {
+            self.state =
+                (self.state >> 8) ^ CRC32_TABLE[((self.state ^ byte as u32) & 0xFF) as usize];
+        }
+        self
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
 /// CRC32 (IEEE 802.3 polynomial, reflected), table-driven.
 ///
 /// Public because the wire protocol in `dpsync-net` frames its messages with
 /// the same checksum the segment log uses for its on-disk frames — one CRC
 /// implementation, one set of test vectors.
 pub fn crc32(data: &[u8]) -> u32 {
-    const fn table() -> [u32; 256] {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut crc = i as u32;
-            let mut bit = 0;
-            while bit < 8 {
-                crc = if crc & 1 != 0 {
-                    (crc >> 1) ^ 0xEDB8_8320
-                } else {
-                    crc >> 1
-                };
-                bit += 1;
-            }
-            table[i] = crc;
-            i += 1;
-        }
-        table
-    }
-    const TABLE: [u32; 256] = table();
-    let mut crc = u32::MAX;
-    for &byte in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
-    }
-    !crc
+    Crc32::new().update(data).finish()
 }
 
 /// Percent-encodes a table name into a filesystem-safe directory name.
@@ -1185,6 +1217,17 @@ mod tests {
         // IEEE CRC-32 check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_crc32_matches_one_shot_over_any_split() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let expected = crc32(data);
+        for split in 0..=data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(Crc32::new().update(a).update(b).finish(), expected);
+        }
+        assert_eq!(Crc32::new().finish(), 0);
     }
 
     #[test]

@@ -1,16 +1,16 @@
 //! `dpsync-serve` — the outsourced DP-Sync server as a standalone process.
 //!
-//! Runs an [`dpsync_net::EdbTcpServer`] in factory mode: every connection
-//! opens its own session and asks for the engine it wants (`ObliDB` or
-//! `Crypt-ε`, in-memory or durable segment-log storage), so independent
-//! experiment runs — e.g. the ten `strategy × engine` simulations of
-//! `exp_table5 --transport tcp` — share one server process without colliding
-//! on table names.
+//! Runs an [`dpsync_net::EdbTcpServer`] in factory mode: every session
+//! (plain connections carry one; multiplexed connections carry many) asks
+//! for the engine it wants (`ObliDB` or `Crypt-ε`, in-memory or durable
+//! segment-log storage), so independent experiment runs — e.g. the ten
+//! `strategy × engine` simulations of `exp_table5 --transport tcp` — share
+//! one server process without colliding on table names.
 //!
 //! Usage:
 //!
 //! ```text
-//! dpsync-serve [--addr 127.0.0.1:7450] [--disk-root DIR] [--io-deadline-secs N]
+//! dpsync-serve [--addr 127.0.0.1:7450] [--disk-root DIR] [--io-deadline-secs N] [--workers N]
 //! ```
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7450`, the address the
@@ -18,7 +18,9 @@
 //! * `--disk-root` — enables disk-backed sessions: each gets a scratch
 //!   subdirectory under `DIR`, removed when the session ends.  Without it,
 //!   disk session requests are rejected.
-//! * `--io-deadline-secs` — per-connection I/O deadline (default 10).
+//! * `--io-deadline-secs` — per-connection progress deadline (default 10).
+//! * `--workers` — engine worker threads behind the reactor (default 0 =
+//!   available parallelism).
 //!
 //! The process runs until killed.  Disk-session scratch directories are
 //! removed when their connection ends; killing the process *mid-session*
@@ -61,9 +63,15 @@ fn main() {
                     i += 1;
                 }
             }
+            "--workers" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    options.workers = v;
+                    i += 1;
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: dpsync-serve [--addr {DEFAULT_SERVE_ADDR}] [--disk-root DIR] [--io-deadline-secs 10]"
+                    "usage: dpsync-serve [--addr {DEFAULT_SERVE_ADDR}] [--disk-root DIR] [--io-deadline-secs 10] [--workers 0]"
                 );
                 return;
             }

@@ -76,7 +76,7 @@ struct Connection {
     writer: FrameWriter,
 }
 
-fn transport_error(peer: &str, message: impl std::fmt::Display) -> EdbError {
+pub(crate) fn transport_error(peer: &str, message: impl std::fmt::Display) -> EdbError {
     EdbError::Storage(StorageError::Io {
         path: format!("tcp://{peer}"),
         message: message.to_string(),
@@ -86,7 +86,7 @@ fn transport_error(peer: &str, message: impl std::fmt::Display) -> EdbError {
 /// Maps the server-announced engine name onto the `&'static str` the trait
 /// requires.  Unknown names collapse onto `"remote"` rather than leaking a
 /// string per connection.
-fn intern_name(name: &str) -> &'static str {
+pub(crate) fn intern_name(name: &str) -> &'static str {
     match name {
         "oblidb" => "oblidb",
         "crypt-epsilon" => "crypt-epsilon",

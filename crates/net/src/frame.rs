@@ -1,25 +1,35 @@
-//! Length-prefixed, CRC-framed transport framing.
+//! Length-prefixed, CRC-framed, session-multiplexed transport framing.
 //!
 //! Every wire message travels in one frame:
 //!
 //! ```text
-//! ┌──────────────┬──────────────┬─────────────────────┐
-//! │ len: u32 LE  │ crc: u32 LE  │ payload (len bytes) │
-//! └──────────────┴──────────────┴─────────────────────┘
+//! ┌──────────────┬──────────────────┬──────────────┬─────────────────────┐
+//! │ len: u32 LE  │ session: u32 LE  │ crc: u32 LE  │ payload (len bytes) │
+//! └──────────────┴──────────────────┴──────────────┴─────────────────────┘
 //! ```
 //!
-//! `crc` is the IEEE CRC-32 of the payload — the same checksum (and the same
-//! implementation, [`dpsync_edb::backend::crc32`]) the durable segment log
-//! uses for its on-disk frames.  `len` is capped at [`MAX_FRAME_LEN`]; a
-//! larger length is rejected *before* any allocation, so a hostile header
-//! cannot drive the peer out of memory.
+//! `session` routes the frame to one of many logical owner sessions
+//! multiplexed over a single socket (a gateway fanning in thousands of
+//! owners needs far fewer file descriptors than owners).  Plain
+//! point-to-point connections use session [`SESSION_DEFAULT`] everywhere;
+//! the session-less helpers ([`encode_frame`], [`read_frame`],
+//! [`FrameWriter::queue`]) pin it for them.
+//!
+//! `crc` is the IEEE CRC-32 of the session-id bytes followed by the payload
+//! — the same checksum (and the same implementation,
+//! [`dpsync_edb::backend::crc32`]) the durable segment log uses for its
+//! on-disk frames.  Covering the session bytes means a bit flip in the
+//! routing field is caught instead of silently delivering a response to the
+//! wrong owner.  `len` is capped at [`MAX_FRAME_LEN`]; a larger length is
+//! rejected *before* any allocation, so a hostile header cannot drive the
+//! peer out of memory.
 //!
 //! Framing errors are not recoverable: after a bad length or a CRC mismatch
 //! the stream offset can no longer be trusted, so both peers treat a framing
 //! error as fatal for the connection (the server sends one final
 //! protocol-error frame as a courtesy, then disconnects).
 
-use dpsync_edb::backend::crc32;
+use dpsync_edb::backend::Crc32;
 use std::io::{self, Read, Write};
 
 /// Maximum frame payload length (64 MiB).
@@ -29,8 +39,12 @@ use std::io::{self, Read, Write};
 /// length can never look like a plausible allocation.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
-/// Length of the fixed frame header (length + CRC).
-pub const FRAME_HEADER_LEN: usize = 8;
+/// Length of the fixed frame header (length + session id + CRC).
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// The session id used by plain point-to-point connections (one logical
+/// session per socket, e.g. [`crate::RemoteEdb`]).
+pub const SESSION_DEFAULT: u32 = 0;
 
 /// A framing failure.
 #[derive(Debug)]
@@ -41,11 +55,11 @@ pub enum FrameError {
     Closed,
     /// The header announced a payload longer than [`MAX_FRAME_LEN`].
     TooLarge(u64),
-    /// The payload did not match the header's CRC.
+    /// The payload (with its session id) did not match the header's CRC.
     CrcMismatch {
         /// CRC the header carried.
         expected: u32,
-        /// CRC of the payload actually received.
+        /// CRC of the session id + payload actually received.
         actual: u32,
     },
 }
@@ -86,7 +100,7 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Encodes one frame (header + payload) onto the end of `out`.
+/// Encodes one frame addressed to `session` onto the end of `out`.
 ///
 /// This is the allocation-free core of the outbound path: callers that send
 /// many frames keep one buffer and reuse its capacity (see [`FrameWriter`]).
@@ -94,30 +108,52 @@ impl From<io::Error> for FrameError {
 /// # Panics
 /// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — outbound messages are
 /// produced by this crate's own encoders and never legitimately get there.
-pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
+pub fn encode_frame_mux_into(session: u32, payload: &[u8], out: &mut Vec<u8>) {
     assert!(
         payload.len() <= MAX_FRAME_LEN,
         "outbound frame of {} bytes exceeds MAX_FRAME_LEN",
         payload.len()
     );
+    let session_bytes = session.to_le_bytes();
+    let crc = Crc32::new().update(&session_bytes).update(payload).finish();
     out.reserve(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&session_bytes);
+    out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(payload);
 }
 
-/// Encodes one frame (header + payload) into a fresh buffer.
+/// Encodes one [`SESSION_DEFAULT`] frame onto the end of `out`.
 ///
 /// # Panics
-/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (see [`encode_frame_into`]).
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (see
+/// [`encode_frame_mux_into`]).
+pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    encode_frame_mux_into(SESSION_DEFAULT, payload, out);
+}
+
+/// Encodes one [`SESSION_DEFAULT`] frame into a fresh buffer.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (see
+/// [`encode_frame_mux_into`]).
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    encode_frame_mux(SESSION_DEFAULT, payload)
+}
+
+/// Encodes one frame addressed to `session` into a fresh buffer.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (see
+/// [`encode_frame_mux_into`]).
+pub fn encode_frame_mux(session: u32, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-    encode_frame_into(payload, &mut out);
+    encode_frame_mux_into(session, payload, &mut out);
     out
 }
 
-/// Writes one frame (a single `write_all`, so frames from concurrent writers
-/// to different sockets never interleave partially).
+/// Writes one [`SESSION_DEFAULT`] frame (a single `write_all`, so frames
+/// from concurrent writers to different sockets never interleave partially).
 ///
 /// Allocates a fresh buffer per call; steady-state senders should hold a
 /// [`FrameWriter`] instead.
@@ -144,12 +180,22 @@ impl FrameWriter {
         Self::default()
     }
 
-    /// Stages one frame without writing it.
+    /// Stages one [`SESSION_DEFAULT`] frame without writing it.
     ///
     /// # Panics
-    /// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (see [`encode_frame_into`]).
+    /// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (see
+    /// [`encode_frame_mux_into`]).
     pub fn queue(&mut self, payload: &[u8]) {
-        encode_frame_into(payload, &mut self.buf);
+        self.queue_mux(SESSION_DEFAULT, payload);
+    }
+
+    /// Stages one frame addressed to `session` without writing it.
+    ///
+    /// # Panics
+    /// Panics if `payload` exceeds [`MAX_FRAME_LEN`] (see
+    /// [`encode_frame_mux_into`]).
+    pub fn queue_mux(&mut self, session: u32, payload: &[u8]) {
+        encode_frame_mux_into(session, payload, &mut self.buf);
     }
 
     /// Bytes currently staged.
@@ -169,8 +215,8 @@ impl FrameWriter {
         result
     }
 
-    /// Queues one frame and flushes immediately: the allocation-free
-    /// equivalent of [`write_frame`].
+    /// Queues one [`SESSION_DEFAULT`] frame and flushes immediately: the
+    /// allocation-free equivalent of [`write_frame`].
     pub fn write_frame(&mut self, w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         self.queue(payload);
         self.flush(w)
@@ -179,8 +225,8 @@ impl FrameWriter {
 
 /// Validates a header + payload pair that was read elsewhere.
 pub fn check_frame(header: [u8; FRAME_HEADER_LEN], payload: &[u8]) -> Result<(), FrameError> {
-    let expected = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    let actual = crc32(payload);
+    let expected = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let actual = Crc32::new().update(&header[4..8]).update(payload).finish();
     if expected != actual {
         return Err(FrameError::CrcMismatch { expected, actual });
     }
@@ -196,11 +242,19 @@ pub fn payload_len(header: [u8; FRAME_HEADER_LEN]) -> Result<usize, FrameError> 
     Ok(len as usize)
 }
 
-/// Reads exactly one frame from a blocking reader.
+/// Parses a frame header, returning the session id the frame is addressed
+/// to.  Only trustworthy after [`check_frame`] has accepted the payload (the
+/// CRC covers these bytes).
+pub fn frame_session(header: [u8; FRAME_HEADER_LEN]) -> u32 {
+    u32::from_le_bytes(header[4..8].try_into().unwrap())
+}
+
+/// Reads exactly one frame from a blocking reader, returning its session id
+/// and payload.
 ///
 /// Returns [`FrameError::Closed`] on a clean EOF *between* frames (the peer
 /// hung up) and [`FrameError::Io`] on an EOF mid-frame (the peer died).
-pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+pub fn read_frame_mux(r: &mut impl Read) -> Result<(u32, Vec<u8>), FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     let mut filled = 0;
     while filled < 1 {
@@ -216,7 +270,16 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     check_frame(header, &payload)?;
-    Ok(payload)
+    Ok((frame_session(header), payload))
+}
+
+/// Reads exactly one frame from a blocking reader, discarding the session id
+/// (point-to-point connections only ever see [`SESSION_DEFAULT`]).
+///
+/// Returns [`FrameError::Closed`] on a clean EOF *between* frames (the peer
+/// hung up) and [`FrameError::Io`] on an EOF mid-frame (the peer died).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    read_frame_mux(r).map(|(_, payload)| payload)
 }
 
 #[cfg(test)]
@@ -233,19 +296,47 @@ mod tests {
     }
 
     #[test]
+    fn mux_frames_round_trip_with_their_session_ids() {
+        for session in [0u32, 1, 7, 0xDEAD_BEEF, u32::MAX] {
+            let payload = session.to_be_bytes();
+            let framed = encode_frame_mux(session, &payload);
+            let mut cursor = io::Cursor::new(framed);
+            let (got_session, got_payload) = read_frame_mux(&mut cursor).unwrap();
+            assert_eq!(got_session, session);
+            assert_eq!(got_payload, payload);
+        }
+    }
+
+    #[test]
+    fn default_session_wrappers_agree_with_the_mux_encoders() {
+        let payload = b"one logical session";
+        assert_eq!(
+            encode_frame(payload),
+            encode_frame_mux(SESSION_DEFAULT, payload)
+        );
+        let mut writer = FrameWriter::new();
+        writer.queue(payload);
+        let mut via_queue = Vec::new();
+        writer.flush(&mut via_queue).unwrap();
+        assert_eq!(via_queue, encode_frame(payload));
+    }
+
+    #[test]
     fn bit_flips_are_caught_by_the_crc() {
-        let framed = encode_frame(b"hello, server");
+        let framed = encode_frame_mux(0x0102_0304, b"hello, server");
         for bit in 0..(framed.len() * 8) {
             // Flips inside the length prefix change the length instead; only
-            // exercise CRC and payload bytes here (length flips are covered
-            // by `oversized_lengths_are_rejected` and truncation handling).
+            // exercise session, CRC and payload bytes here (length flips are
+            // covered by `oversized_lengths_are_rejected` and truncation
+            // handling).  Session-id flips MUST be caught: a silently
+            // rerouted response would deliver one owner's data to another.
             if bit / 8 < 4 {
                 continue;
             }
             let mut corrupted = framed.clone();
             corrupted[bit / 8] ^= 1 << (bit % 8);
             let mut cursor = io::Cursor::new(corrupted);
-            match read_frame(&mut cursor) {
+            match read_frame_mux(&mut cursor) {
                 Err(FrameError::CrcMismatch { .. }) => {}
                 other => panic!("bit {bit}: expected CRC mismatch, got {other:?}"),
             }
@@ -272,8 +363,10 @@ mod tests {
     #[test]
     fn eof_mid_frame_is_an_io_error() {
         let framed = encode_frame(b"cut short");
-        let mut cursor = io::Cursor::new(framed[..6].to_vec());
-        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+        for cut in [3, 6, 10, FRAME_HEADER_LEN + 2] {
+            let mut cursor = io::Cursor::new(framed[..cut].to_vec());
+            assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+        }
     }
 
     /// A writer that records how many `write` calls it served, to prove the
@@ -298,8 +391,8 @@ mod tests {
     fn frame_writer_coalesces_queued_frames_into_one_write() {
         let payloads: [&[u8]; 3] = [b"alpha", b"", &[0x5Au8; 777]];
         let mut writer = FrameWriter::new();
-        for payload in payloads {
-            writer.queue(payload);
+        for (i, payload) in payloads.iter().enumerate() {
+            writer.queue_mux(i as u32, payload);
         }
         assert!(writer.queued_bytes() > 0);
 
@@ -312,8 +405,10 @@ mod tests {
         assert_eq!(writer.queued_bytes(), 0);
 
         let mut cursor = io::Cursor::new(sink.bytes);
-        for payload in payloads {
-            assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        for (i, payload) in payloads.iter().enumerate() {
+            let (session, got) = read_frame_mux(&mut cursor).unwrap();
+            assert_eq!(session, i as u32);
+            assert_eq!(got, *payload);
         }
         assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
 

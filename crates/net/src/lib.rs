@@ -8,10 +8,11 @@
 //!   Π_Query messages plus an error frame that round-trips [`dpsync_edb::EdbError`]
 //!   (including the `Storage` variant's source chain as text), carried in
 //!   [`frame`]'s length-prefixed, CRC-checked frames.
-//! * [`server`] — [`EdbTcpServer`], a threaded `std::net` listener that
-//!   wraps any engine (one shared instance, or a per-connection factory as
-//!   run by the `dpsync-serve` binary), with graceful shutdown and
-//!   per-connection I/O deadlines.
+//! * [`server`] — [`EdbTcpServer`], an epoll readiness reactor (built on
+//!   the vendored `mio` crate) that wraps any engine (one shared instance,
+//!   or a per-session factory as run by the `dpsync-serve` binary) behind
+//!   session-multiplexed frames, with bounded per-connection queues,
+//!   progress deadlines and graceful shutdown.
 //! * [`client`] — [`RemoteEdb`], a [`dpsync_edb::SecureOutsourcedDatabase`]
 //!   implementation that speaks the protocol over a socket, so every layer
 //!   above (owner runtime, analyst, simulation drivers, experiment harness)
@@ -35,13 +36,17 @@
 
 pub mod client;
 pub mod frame;
+pub mod mux;
+mod reactor;
 pub mod server;
 pub mod wire;
 
 pub use client::RemoteEdb;
 pub use frame::FrameWriter;
+pub use mux::{MuxConnection, MuxSession};
+pub use reactor::{MAX_PENDING_REQUESTS, MAX_SESSIONS_PER_CONN, OUTBOUND_PAUSE_BYTES};
 pub use server::{
     sweep_stale_session_dirs, EdbTcpServer, EngineFactory, EngineProvider, ServeOptions,
-    DEFAULT_SERVE_ADDR,
+    ServerStats, DEFAULT_SERVE_ADDR,
 };
 pub use wire::{BackendRequest, Request, Response, SessionRequest, WireError};

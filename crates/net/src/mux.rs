@@ -1,0 +1,615 @@
+//! [`MuxConnection`]: many logical owner sessions over one socket.
+//!
+//! The frame header carries a session id, and the reactor server keeps
+//! per-session state — so one TCP connection can host any number of
+//! independent [`SecureOutsourcedDatabase`] sessions.  This is how the
+//! C10k experiment models thousands of owners without thousands of client
+//! threads: a handful of sockets, each multiplexing hundreds of sessions.
+//!
+//! * [`MuxConnection::connect`] dials the server and spawns one reader
+//!   thread that demultiplexes inbound frames by session id.
+//! * [`MuxConnection::open`] performs the hello handshake on a fresh
+//!   session id and returns a [`MuxSession`] — a full
+//!   [`SecureOutsourcedDatabase`] that drops in anywhere [`crate::RemoteEdb`]
+//!   does.
+//!
+//! Each session serializes its own request/response exchanges (the wire
+//! protocol has one outstanding request per session), but different
+//! sessions on the same socket proceed concurrently: their frames
+//! interleave on the wire and the server runs them in parallel on its
+//! worker pool.  Error mapping follows [`crate::client`]: transport
+//! failures become [`EdbError::Storage`] /
+//! [`dpsync_edb::StorageError::Io`] with the peer address as the path.
+
+use crate::client::{client_timeout, intern_name, transport_error};
+use crate::frame::{encode_frame_mux_into, read_frame_mux, FrameError, MAX_FRAME_LEN};
+use crate::wire::{BackendRequest, EntropyDraw, Request, Response, SessionRequest};
+use dpsync_crypto::{EncryptedRecord, MasterKey};
+use dpsync_edb::cost::CostModel;
+use dpsync_edb::engines::EngineKind;
+use dpsync_edb::leakage::LeakageProfile;
+use dpsync_edb::sogdb::{QueryOutcome, SecureOutsourcedDatabase, TableStats};
+use dpsync_edb::{AdversaryView, EdbError, Query, Schema};
+use parking_lot::Mutex;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{mpsc, Arc, Weak};
+use std::time::Duration;
+
+/// State shared between the connection handle, its sessions and the reader
+/// thread.
+struct MuxShared {
+    writer: Mutex<WriteState>,
+    /// Inbound routing: session id → channel to whoever waits on it.
+    routes: Mutex<HashMap<u32, mpsc::Sender<Vec<u8>>>>,
+    /// Why the connection died, set once by the reader thread.
+    dead: Mutex<Option<String>>,
+    peer: String,
+    next_session: AtomicU32,
+    /// Per-exchange wait bound (`None` waits forever).
+    timeout: Option<Duration>,
+}
+
+struct WriteState {
+    stream: TcpStream,
+    /// Reusable frame-encoding buffer; frames are written atomically under
+    /// the writer lock so concurrent sessions never interleave mid-frame.
+    buf: Vec<u8>,
+}
+
+impl MuxShared {
+    fn transport_error(&self, message: impl std::fmt::Display) -> EdbError {
+        transport_error(&self.peer, message)
+    }
+
+    /// The death reason if the reader thread has given up, as an error.
+    fn death(&self) -> EdbError {
+        let reason = self
+            .dead
+            .lock()
+            .clone()
+            .unwrap_or_else(|| "connection closed".to_string());
+        self.transport_error(reason)
+    }
+
+    fn send_frame(&self, session: u32, payload: &[u8]) -> Result<(), EdbError> {
+        let mut writer = self.writer.lock();
+        let writer = &mut *writer;
+        writer.buf.clear();
+        encode_frame_mux_into(session, payload, &mut writer.buf);
+        writer
+            .stream
+            .write_all(&writer.buf)
+            .map_err(|e| self.transport_error(e))
+    }
+}
+
+impl Drop for MuxShared {
+    fn drop(&mut self) {
+        // Unblock the reader thread; it exits on the resulting EOF/error.
+        // The reader holds only a `Weak` to this state (an `Arc` would keep
+        // it alive past the last user handle, so this `Drop` — and with it
+        // the shutdown that unblocks the reader — could never run, leaking
+        // the thread and the socket for the life of the process).
+        let _ = self.writer.get_mut().stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Demultiplexes inbound frames to their sessions until the stream dies,
+/// then fails every waiter with the reason.  Exits as soon as the last
+/// user handle is gone: the `MuxShared` drop shuts the socket down, which
+/// fails the blocking read.
+fn reader_loop(mut stream: TcpStream, shared: Weak<MuxShared>) {
+    let reason = loop {
+        match read_frame_mux(&mut stream) {
+            Ok((session, payload)) => {
+                let Some(shared) = shared.upgrade() else {
+                    return; // every connection and session handle is gone
+                };
+                // An unroutable frame (session already dropped, or a
+                // courtesy error on the default session) has no waiter;
+                // dropping it is the only sound option.
+                let routes = shared.routes.lock();
+                if let Some(tx) = routes.get(&session) {
+                    let _ = tx.send(payload);
+                }
+            }
+            Err(FrameError::Closed) => break "server closed the connection".to_string(),
+            Err(e) => break e.to_string(),
+        }
+    };
+    let Some(shared) = shared.upgrade() else {
+        return; // shut down by the last handle's drop: nobody is waiting
+    };
+    *shared.dead.lock() = Some(reason);
+    // Dropping every sender wakes blocked receivers with `Disconnected`.
+    shared.routes.lock().clear();
+}
+
+/// One TCP connection hosting many logical sessions.
+///
+/// Dropping the connection handle does *not* tear the socket down — the
+/// socket lives until the last [`MuxSession`] is gone, so the handle can be
+/// discarded once every session is open.  Once the last session *and* the
+/// handle are dropped, the socket is shut down and the reader thread
+/// exits.
+pub struct MuxConnection {
+    shared: Arc<MuxShared>,
+}
+
+impl MuxConnection {
+    /// Dials a server with the [`client_timeout`] exchange timeout.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<Self, EdbError> {
+        Self::connect_with_timeout(addr, client_timeout())
+    }
+
+    /// As [`MuxConnection::connect`] with an explicit per-exchange wait
+    /// bound (`None` waits indefinitely).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs + std::fmt::Debug,
+        timeout: Option<Duration>,
+    ) -> Result<Self, EdbError> {
+        let peer_label = format!("{addr:?}").trim_matches('"').to_string();
+        let stream = TcpStream::connect(&addr).map_err(|e| transport_error(&peer_label, e))?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or(peer_label);
+        stream
+            .set_nodelay(true)
+            .map_err(|e| transport_error(&peer, e))?;
+        let read_half = stream.try_clone().map_err(|e| transport_error(&peer, e))?;
+        let shared = Arc::new(MuxShared {
+            writer: Mutex::new(WriteState {
+                stream,
+                buf: Vec::new(),
+            }),
+            routes: Mutex::new(HashMap::new()),
+            dead: Mutex::new(None),
+            peer,
+            next_session: AtomicU32::new(1),
+            timeout,
+        });
+        let reader_shared = Arc::downgrade(&shared);
+        std::thread::Builder::new()
+            .name("dpsync-net-mux-reader".into())
+            .spawn(move || reader_loop(read_half, reader_shared))
+            .map_err(|e| shared.transport_error(e))?;
+        Ok(Self { shared })
+    }
+
+    /// The peer address this connection is bound to.
+    pub fn peer(&self) -> &str {
+        &self.shared.peer
+    }
+
+    /// Opens a fresh logical session: allocates a session id, performs the
+    /// hello handshake and returns the session as a full SOGDB.
+    pub fn open(&self, hello: SessionRequest) -> Result<MuxSession, EdbError> {
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.shared.routes.lock().insert(id, tx);
+        let mut session = MuxSession {
+            shared: Arc::clone(&self.shared),
+            id,
+            exchange: Mutex::new(rx),
+            name: "remote",
+            profile: LeakageProfile {
+                class: dpsync_edb::LeakageClass::L2RevealAccessPattern,
+                update_leaks_beyond_pattern: true,
+                native_dummy_support: false,
+            },
+            cost: CostModel::oblidb(),
+        };
+        match session.call(Request::Hello(hello), None)? {
+            Response::EngineInfo {
+                name,
+                profile,
+                cost,
+            } => {
+                session.name = intern_name(&name);
+                session.profile = profile;
+                session.cost = cost;
+                Ok(session)
+            }
+            Response::Protocol(message) => Err(self
+                .shared
+                .transport_error(format!("server rejected the session: {message}"))),
+            other => Err(self
+                .shared
+                .transport_error(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Opens a session on a shared-mode server's engine.
+    pub fn open_shared(&self) -> Result<MuxSession, EdbError> {
+        self.open(SessionRequest::Shared)
+    }
+
+    /// Opens a session asking a factory-mode server for a fresh engine.
+    pub fn open_engine(
+        &self,
+        engine: EngineKind,
+        master: &MasterKey,
+        backend: BackendRequest,
+    ) -> Result<MuxSession, EdbError> {
+        self.open(SessionRequest::NewEngine {
+            engine,
+            master_key: *master.bytes(),
+            backend,
+        })
+    }
+}
+
+/// One logical owner session on a [`MuxConnection`].
+///
+/// A full [`SecureOutsourcedDatabase`]: drops in anywhere
+/// [`crate::RemoteEdb`] does, while sharing its socket with every other
+/// session on the connection.
+pub struct MuxSession {
+    shared: Arc<MuxShared>,
+    id: u32,
+    /// The inbound frame channel, locked across a whole request/response
+    /// exchange so concurrent callers serialize per session (the wire
+    /// protocol has one outstanding request per session by construction).
+    exchange: Mutex<mpsc::Receiver<Vec<u8>>>,
+    name: &'static str,
+    profile: LeakageProfile,
+    cost: CostModel,
+}
+
+impl Drop for MuxSession {
+    fn drop(&mut self) {
+        self.shared.routes.lock().remove(&self.id);
+    }
+}
+
+impl MuxSession {
+    /// The session id carried in this session's frames.
+    pub fn session_id(&self) -> u32 {
+        self.id
+    }
+
+    fn recv(&self, rx: &mpsc::Receiver<Vec<u8>>) -> Result<Vec<u8>, EdbError> {
+        match self.shared.timeout {
+            Some(timeout) => rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => self
+                    .shared
+                    .transport_error("timed out waiting for the server"),
+                mpsc::RecvTimeoutError::Disconnected => self.shared.death(),
+            }),
+            None => rx.recv().map_err(|_| self.shared.death()),
+        }
+    }
+
+    /// Sends one request and reads its response, answering any interleaved
+    /// entropy requests from `rng` (only `Π_Query` produces them).
+    fn call(
+        &self,
+        request: Request,
+        mut rng: Option<&mut dyn RngCore>,
+    ) -> Result<Response, EdbError> {
+        let rx = self.exchange.lock();
+        self.shared.send_frame(self.id, &request.encode())?;
+        loop {
+            let payload = self.recv(&rx)?;
+            let response =
+                Response::decode(&payload).map_err(|e| self.shared.transport_error(e))?;
+            let Response::EntropyRequest(draw) = response else {
+                return Ok(response);
+            };
+            let Some(rng) = rng.as_deref_mut() else {
+                return Err(self
+                    .shared
+                    .transport_error("server requested entropy outside a query"));
+            };
+            let bytes = match draw {
+                EntropyDraw::U32 => rng.next_u32().to_le_bytes().to_vec(),
+                EntropyDraw::U64 => rng.next_u64().to_le_bytes().to_vec(),
+                EntropyDraw::Fill(n) => {
+                    // Cap defensively so a compromised server cannot demand
+                    // unbounded memory.
+                    if n as usize > MAX_FRAME_LEN / 2 {
+                        return Err(self.shared.transport_error("oversized entropy request"));
+                    }
+                    let mut buf = vec![0u8; n as usize];
+                    rng.fill_bytes(&mut buf);
+                    buf
+                }
+            };
+            self.shared
+                .send_frame(self.id, &Request::EntropyReply(bytes).encode())?;
+        }
+    }
+
+    fn io_failed(&self, message: impl std::fmt::Display) -> EdbError {
+        self.shared.transport_error(message)
+    }
+
+    fn unexpected(&self, response: Response) -> EdbError {
+        self.io_failed(format!("unexpected response: {response:?}"))
+    }
+
+    fn expect_ok(&self, response: Response) -> Result<(), EdbError> {
+        match response {
+            Response::Ok => Ok(()),
+            Response::Edb(e) => Err(e),
+            Response::Protocol(message) => Err(self.io_failed(message)),
+            other => Err(self.unexpected(other)),
+        }
+    }
+}
+
+impl SecureOutsourcedDatabase for MuxSession {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn leakage_profile(&self) -> LeakageProfile {
+        self.profile.clone()
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn setup(
+        &self,
+        table: &str,
+        schema: Schema,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError> {
+        let response = self.call(
+            Request::Setup {
+                table: table.to_string(),
+                schema,
+                records,
+            },
+            None,
+        )?;
+        self.expect_ok(response)
+    }
+
+    fn update(
+        &self,
+        table: &str,
+        time: u64,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<(), EdbError> {
+        let response = self.call(
+            Request::Update {
+                table: table.to_string(),
+                time,
+                records,
+            },
+            None,
+        )?;
+        self.expect_ok(response)
+    }
+
+    fn query(&self, query: &Query, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+        match self.call(Request::Query(query.clone()), Some(rng))? {
+            Response::Outcome(outcome) => Ok(outcome),
+            Response::Edb(e) => Err(e),
+            Response::Protocol(message) => Err(self.io_failed(message)),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    fn supports(&self, query: &Query) -> bool {
+        match self.call(Request::Supports(query.clone()), None) {
+            Ok(Response::Supported(supported)) => supported,
+            Ok(other) => panic!(
+                "mux session {} at {}: unexpected response to supports: {other:?}",
+                self.id, self.shared.peer
+            ),
+            Err(e) => panic!(
+                "mux session {} at {}: supports failed: {e}",
+                self.id, self.shared.peer
+            ),
+        }
+    }
+
+    fn table_stats(&self, table: &str) -> TableStats {
+        match self.call(Request::TableStats(table.to_string()), None) {
+            Ok(Response::Stats(stats)) => stats,
+            Ok(other) => panic!(
+                "mux session {} at {}: unexpected response to table_stats: {other:?}",
+                self.id, self.shared.peer
+            ),
+            Err(e) => panic!(
+                "mux session {} at {}: table_stats failed: {e}",
+                self.id, self.shared.peer
+            ),
+        }
+    }
+
+    fn adversary_view(&self) -> AdversaryView {
+        match self.call(Request::AdversaryView, None) {
+            Ok(Response::View(view)) => view,
+            Ok(other) => panic!(
+                "mux session {} at {}: unexpected response to adversary_view: {other:?}",
+                self.id, self.shared.peer
+            ),
+            Err(e) => panic!(
+                "mux session {} at {}: adversary_view failed: {e}",
+                self.id, self.shared.peer
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{EdbTcpServer, EngineFactory, EngineProvider};
+    use dpsync_crypto::RecordCryptor;
+    use dpsync_edb::engines::base::encrypt_batch;
+    use dpsync_edb::schema::DataType;
+    use dpsync_edb::{Row, Value};
+
+    fn records(master: &MasterKey, n: usize) -> Vec<EncryptedRecord> {
+        let mut cryptor = RecordCryptor::new(master);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row::new(vec![Value::Int(i as i64)]))
+            .collect();
+        encrypt_batch(&mut cryptor, &rows, 0)
+    }
+
+    #[test]
+    fn many_isolated_sessions_share_one_socket() {
+        let server = EdbTcpServer::bind(
+            "127.0.0.1:0",
+            EngineProvider::Factory(EngineFactory::default()),
+        )
+        .unwrap();
+        let conn = MuxConnection::connect(server.local_addr()).unwrap();
+
+        // Eight independent engines behind one socket; every session owns a
+        // table with the *same name*, which only works if sessions are
+        // actually isolated.
+        let masters: Vec<MasterKey> = (0..8u8).map(|i| MasterKey::from_bytes([i; 32])).collect();
+        let sessions: Vec<MuxSession> = masters
+            .iter()
+            .map(|m| {
+                conn.open_engine(EngineKind::ObliDb, m, BackendRequest::Memory)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(sessions.len(), 8);
+        for (i, s) in sessions.iter().enumerate() {
+            assert_eq!(s.session_id(), i as u32 + 1);
+            s.setup(
+                "t",
+                dpsync_edb::Schema::from_pairs(&[("a", DataType::Int)]),
+                records(&masters[i], 2),
+            )
+            .unwrap();
+        }
+
+        // Concurrent updates from one thread per session interleave on the
+        // shared socket without crosstalk.
+        std::thread::scope(|scope| {
+            for (i, s) in sessions.iter().enumerate() {
+                let master = &masters[i];
+                scope.spawn(move || {
+                    for t in 1..=5u64 {
+                        s.update("t", t, records(master, 1)).unwrap();
+                    }
+                });
+            }
+        });
+        for s in &sessions {
+            let view = s.adversary_view();
+            // The initial batch at t=0 plus the five timed updates.
+            assert_eq!(view.update_events().len(), 6);
+            let stats = s.table_stats("t");
+            assert_eq!(stats.ciphertext_count, 7);
+        }
+        assert_eq!(server.handler_panics(), 0);
+    }
+
+    /// Regression: the reader thread must hold only a weak reference to the
+    /// shared state.  With a strong one, dropping every user handle never
+    /// ran `MuxShared::drop`, so the socket was never shut down, the reader
+    /// never unblocked, and one thread + fd leaked per dialed connection —
+    /// observable here as the server never seeing the connection close.
+    #[test]
+    fn dropping_the_last_handle_tears_the_connection_down() {
+        let server = EdbTcpServer::bind(
+            "127.0.0.1:0",
+            EngineProvider::Factory(EngineFactory::default()),
+        )
+        .unwrap();
+        let conn = MuxConnection::connect(server.local_addr()).unwrap();
+        let master = MasterKey::from_bytes([5u8; 32]);
+        let session = conn
+            .open_engine(EngineKind::ObliDb, &master, BackendRequest::Memory)
+            .unwrap();
+        assert_eq!(server.stats().current_connections(), 1);
+
+        drop(conn);
+        drop(session);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.stats().current_connections() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dropping every handle left the connection (and its reader thread) alive"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+
+    /// One connection cannot accumulate unbounded session state: Hellos on
+    /// fresh session ids past the cap are rejected without allocating,
+    /// existing sessions keep working, and other connections are unaffected.
+    #[test]
+    fn sessions_per_connection_are_capped() {
+        use crate::reactor::MAX_SESSIONS_PER_CONN;
+        use dpsync_edb::engines::ObliDbEngine;
+        use dpsync_edb::Query;
+
+        let master = MasterKey::from_bytes([6u8; 32]);
+        let engine: Arc<ObliDbEngine> = Arc::new(ObliDbEngine::new(&master));
+        let server = EdbTcpServer::bind(
+            "127.0.0.1:0",
+            EngineProvider::Shared(engine as Arc<dyn SecureOutsourcedDatabase>),
+        )
+        .unwrap();
+        let conn = MuxConnection::connect(server.local_addr()).unwrap();
+
+        let sessions: Vec<MuxSession> = (0..MAX_SESSIONS_PER_CONN)
+            .map(|_| conn.open_shared().unwrap())
+            .collect();
+        let err = match conn.open_shared() {
+            Ok(_) => panic!("opened a session past the cap"),
+            Err(e) => e,
+        };
+        assert!(
+            format!("{err}").contains("session limit"),
+            "expected a session-limit rejection, got: {err}"
+        );
+
+        // The rejection is per-Hello, not a connection fault: every
+        // existing session still serves requests...
+        let probe = Query::Count {
+            table: "t".to_string(),
+            predicate: None,
+        };
+        assert!(sessions.first().unwrap().supports(&probe));
+        assert!(sessions.last().unwrap().supports(&probe));
+        // ...and the cap is per-connection, not global.
+        let other = MuxConnection::connect(server.local_addr()).unwrap();
+        assert!(other.open_shared().unwrap().supports(&probe));
+        assert_eq!(server.handler_panics(), 0);
+    }
+
+    #[test]
+    fn a_dead_server_fails_every_session_with_the_reason() {
+        let mut server = EdbTcpServer::bind(
+            "127.0.0.1:0",
+            EngineProvider::Factory(EngineFactory::default()),
+        )
+        .unwrap();
+        let conn = MuxConnection::connect(server.local_addr()).unwrap();
+        let master = MasterKey::from_bytes([9u8; 32]);
+        let session = conn
+            .open_engine(EngineKind::ObliDb, &master, BackendRequest::Memory)
+            .unwrap();
+        server.shutdown();
+        let err = session
+            .setup(
+                "t",
+                dpsync_edb::Schema::from_pairs(&[("a", DataType::Int)]),
+                Vec::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EdbError::Storage(dpsync_edb::StorageError::Io { .. })
+        ));
+    }
+}

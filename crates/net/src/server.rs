@@ -1,17 +1,19 @@
 //! The TCP service tier: [`EdbTcpServer`] runs any engine behind a socket.
 //!
-//! The server is deliberately boring `std::net` machinery — an accept loop on
-//! a non-blocking listener plus one handler thread per connection (the same
-//! scoped-worker discipline as the `dpsync-bench` pool: plain threads, an
-//! atomic for coordination, no async runtime in the vendored dependency
-//! set).  What it serves is the full SOGDB protocol suite over the
-//! [`crate::wire`] codec:
+//! The server is an epoll readiness reactor (`crate::reactor` — built
+//! on the vendored `mio` crate, the only place `unsafe` FFI lives): one
+//! event-loop thread owns every socket, runs per-connection read/write state
+//! machines over the [`crate::frame`] codec, and hands decoded requests to a
+//! small worker pool.  Frames carry a session id, so one socket can
+//! multiplex many logical owner sessions; thousands of mostly-idle
+//! connections cost file descriptors, not threads.  What it serves is the
+//! full SOGDB protocol suite over the [`crate::wire`] codec:
 //!
-//! * **Shared mode** — every connection talks to one engine instance
+//! * **Shared mode** — every session talks to one engine instance
 //!   ([`EngineProvider::Shared`]).  Many concurrent clients land on the
 //!   existing sharded [`dpsync_edb::server::ServerStorage`], one owner per
 //!   table, exactly like in-process concurrent owners.
-//! * **Factory mode** — each connection gets a fresh engine built from its
+//! * **Factory mode** — each session gets a fresh engine built from its
 //!   `Hello` frame ([`EngineProvider::Factory`]); this is what `dpsync-serve`
 //!   runs, so independent experiment runs can share one server process
 //!   without colliding on table names.
@@ -22,29 +24,29 @@
 //!   connection closes (the stream offset can no longer be trusted);
 //! * a malformed *message* in a well-formed frame gets a protocol-error
 //!   frame and the connection continues;
-//! * handler panics are caught per connection and counted
+//! * handler panics are caught per request and counted
 //!   ([`EdbTcpServer::handler_panics`]) — one hostile client can never take
 //!   the process down;
-//! * every read and write carries a deadline ([`ServeOptions::io_deadline`]),
-//!   so a stalled peer cannot pin a handler thread forever;
-//! * [`EdbTcpServer::shutdown`] stops accepting, wakes idle handlers and
+//! * a connection that stalls mid-frame, stops draining its responses, or
+//!   owes an entropy reply is reaped after [`ServeOptions::io_deadline`];
+//!   a connection that simply stops *reading* is paused by backpressure
+//!   long before it can grow server memory (see
+//!   [`ServerStats::peak_outbound_bytes`]);
+//! * [`EdbTcpServer::shutdown`] stops accepting, wakes the reactor and
 //!   joins every thread before returning.
 
-use crate::frame::{FrameError, FrameWriter, FRAME_HEADER_LEN};
-use crate::wire::{BackendRequest, EntropyDraw, Request, Response, SessionRequest};
+use crate::wire::{BackendRequest, Response, SessionRequest};
 use dpsync_crypto::MasterKey;
 use dpsync_edb::backend::{GroupCommitConfig, SegmentLogConfig};
 use dpsync_edb::engines::EngineKind;
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
 use dpsync_edb::BackendConfig;
-use rand::RngCore;
-use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The default `dpsync-serve` listen address.
 ///
@@ -53,14 +55,19 @@ use std::time::{Duration, Instant};
 /// depends on both sides reading this one constant.
 pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7450";
 
-/// Timing knobs for the server's I/O loops.
+/// Timing and sizing knobs for the server's event loop.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeOptions {
-    /// How long a peer may stall mid-frame (or mid-entropy-exchange) before
-    /// the connection is dropped.
+    /// How long a peer may stall mid-frame (or mid-entropy-exchange, or
+    /// with undrained responses) before the connection is dropped.  Idling
+    /// cleanly *between* frames never trips the deadline.
     pub io_deadline: Duration,
-    /// How often idle loops re-check the shutdown flag.
+    /// The reactor's epoll timeout: the upper bound on how long shutdown
+    /// and deadline reaping can lag behind their triggering event.
     pub poll_interval: Duration,
+    /// Size of the worker pool draining decoded requests into the engines.
+    /// `0` picks a small default from the machine's parallelism.
+    pub workers: usize,
 }
 
 impl Default for ServeOptions {
@@ -68,16 +75,17 @@ impl Default for ServeOptions {
         Self {
             io_deadline: Duration::from_secs(10),
             poll_interval: Duration::from_millis(25),
+            workers: 0,
         }
     }
 }
 
-/// Builds per-connection engines for factory-mode servers.
+/// Builds per-session engines for factory-mode servers.
 #[derive(Debug, Clone, Default)]
 pub struct EngineFactory {
     /// Root directory for [`BackendRequest::Disk`] and
     /// [`BackendRequest::DiskGroup`] sessions; each session gets its own
-    /// subdirectory, removed when the connection ends.  `None` rejects disk
+    /// subdirectory, removed when the session ends.  `None` rejects disk
     /// sessions.
     pub disk_root: Option<PathBuf>,
 }
@@ -87,7 +95,7 @@ const SESSION_DIR_PREFIX: &str = "dpsync-session-";
 
 /// Removes stale per-session scratch directories under `root`.
 ///
-/// Session directories are normally removed when their connection ends (the
+/// Session directories are normally removed when their session ends (the
 /// `SessionDir` drop guard survives even handler panics), but nothing
 /// in-process survives SIGKILL: a killed `dpsync-serve` leaves its
 /// `dpsync-session-*` directories — and their segment logs — on disk
@@ -118,7 +126,7 @@ pub fn sweep_stale_session_dirs(root: &Path) -> usize {
     removed
 }
 
-/// A per-session scratch directory, removed on drop — even when the handler
+/// A per-session scratch directory, removed on drop — even when the worker
 /// unwinds, so a panicking session never leaks its segment logs.
 #[derive(Debug)]
 struct SessionDir(PathBuf);
@@ -170,12 +178,65 @@ impl EngineFactory {
     }
 }
 
-/// Where connections get their engine from.
+/// Where sessions get their engine from.
 pub enum EngineProvider {
-    /// One engine, shared by every connection.
+    /// One engine, shared by every session.
     Shared(Arc<dyn SecureOutsourcedDatabase>),
-    /// A fresh engine per connection, built from the client's `Hello`.
+    /// A fresh engine per session, built from the client's `Hello`.
     Factory(EngineFactory),
+}
+
+/// Load counters the reactor maintains while serving; read them through
+/// [`EdbTcpServer::stats`].
+///
+/// The backpressure suite leans on these: `peak_outbound_bytes` proves a
+/// stalled reader's queued responses stay bounded, and
+/// `reaped_connections` proves the deadline actually shed it.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    current_connections: AtomicUsize,
+    peak_connections: AtomicUsize,
+    peak_outbound_bytes: AtomicUsize,
+    reaped_connections: AtomicUsize,
+}
+
+impl ServerStats {
+    pub(crate) fn note_connections(&self, now: usize) {
+        self.current_connections.store(now, Ordering::Relaxed);
+        self.peak_connections.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_outbound(&self, bytes: usize) {
+        self.peak_outbound_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_reaped(&self) {
+        self.reaped_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections open right now.  A client that goes away — including a
+    /// dropped [`crate::MuxConnection`] and all of its sessions — must
+    /// bring this back down once the reactor sees the close.
+    pub fn current_connections(&self) -> usize {
+        self.current_connections.load(Ordering::Relaxed)
+    }
+
+    /// Most connections ever open at once.
+    pub fn peak_connections(&self) -> usize {
+        self.peak_connections.load(Ordering::Relaxed)
+    }
+
+    /// Largest per-connection outbound backlog ever observed, in bytes.
+    /// Bounded by the reactor's backpressure pause threshold plus one
+    /// response frame.
+    pub fn peak_outbound_bytes(&self) -> usize {
+        self.peak_outbound_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped by the progress deadline.
+    pub fn reaped_connections(&self) -> usize {
+        self.reaped_connections.load(Ordering::Relaxed)
+    }
 }
 
 /// A running TCP server; dropping it shuts it down and joins every thread.
@@ -183,8 +244,9 @@ pub enum EngineProvider {
 pub struct EdbTcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<crate::reactor::ReactorHandle>,
     panics: Arc<AtomicUsize>,
+    stats: Arc<ServerStats>,
 }
 
 impl EdbTcpServer {
@@ -201,25 +263,24 @@ impl EdbTcpServer {
         options: ServeOptions,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let panics = Arc::new(AtomicUsize::new(0));
-        let provider = Arc::new(provider);
-
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_panics = Arc::clone(&panics);
-        let accept_thread = std::thread::Builder::new()
-            .name("dpsync-net-accept".into())
-            .spawn(move || {
-                accept_loop(listener, provider, options, accept_shutdown, accept_panics)
-            })?;
-
+        let stats = Arc::new(ServerStats::default());
+        let reactor = crate::reactor::spawn(
+            listener,
+            Arc::new(provider),
+            options,
+            Arc::clone(&shutdown),
+            Arc::clone(&panics),
+            Arc::clone(&stats),
+        )?;
         Ok(Self {
             addr,
             shutdown,
-            accept_thread: Some(accept_thread),
+            reactor: Some(reactor),
             panics,
+            stats,
         })
     }
 
@@ -228,18 +289,25 @@ impl EdbTcpServer {
         self.addr
     }
 
-    /// Number of connection handlers that panicked since startup.  The fuzz
+    /// Number of request handlers that panicked since startup.  The fuzz
     /// suite asserts this stays zero under arbitrary input.
     pub fn handler_panics(&self) -> usize {
         self.panics.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, disconnects idle handlers and joins every thread.
+    /// The reactor's load counters (peak connections, peak outbound
+    /// backlog, reaped connections).
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting, disconnects every session and joins every thread.
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.waker.wake();
+            let _ = handle.thread.join();
         }
     }
 }
@@ -250,224 +318,17 @@ impl Drop for EdbTcpServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    provider: Arc<EngineProvider>,
-    options: ServeOptions,
-    shutdown: Arc<AtomicBool>,
-    panics: Arc<AtomicUsize>,
-) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let provider = Arc::clone(&provider);
-                let shutdown = Arc::clone(&shutdown);
-                let panics = Arc::clone(&panics);
-                let handle = std::thread::Builder::new()
-                    .name("dpsync-net-conn".into())
-                    .spawn(move || {
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            handle_connection(stream, &provider, options, &shutdown)
-                        }));
-                        if result.is_err() {
-                            panics.fetch_add(1, Ordering::SeqCst);
-                        }
-                    });
-                match handle {
-                    Ok(handle) => handlers.push(handle),
-                    Err(_) => { /* spawn failure: drop the connection */ }
-                }
-                // Opportunistically reap finished handlers so a long-lived
-                // server does not accumulate join handles.
-                handlers.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                std::thread::sleep(options.poll_interval);
-            }
-            Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                std::thread::sleep(options.poll_interval);
-            }
-        }
-    }
-    for handle in handlers {
-        let _ = handle.join();
-    }
-}
-
-/// Outcome of a deadline-aware exact read.
-enum ReadStatus {
-    /// The buffer was filled.
-    Done,
-    /// The peer closed the connection before the first byte (only when
-    /// `allow_idle`).
-    Eof,
-    /// The server is shutting down.
-    Shutdown,
-}
-
-/// Reads exactly `buf.len()` bytes from a stream whose read timeout is the
-/// poll interval.
-///
-/// With `allow_idle`, the call waits indefinitely for the *first* byte
-/// (checking the shutdown flag at every poll); once a byte arrives — or when
-/// `allow_idle` is false — the peer must keep making progress within
-/// `deadline` or the read fails with `TimedOut`.
-fn read_exact_deadline(
-    stream: &mut &TcpStream,
-    buf: &mut [u8],
-    allow_idle: bool,
-    shutdown: &AtomicBool,
-    deadline: Duration,
-) -> io::Result<ReadStatus> {
-    let mut filled = 0;
-    let mut last_progress = Instant::now();
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 && allow_idle {
-                    Ok(ReadStatus::Eof)
-                } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "peer closed mid-frame",
-                    ))
-                };
-            }
-            Ok(n) => {
-                filled += n;
-                last_progress = Instant::now();
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(ReadStatus::Shutdown);
-                }
-                let idling = filled == 0 && allow_idle;
-                if !idling && last_progress.elapsed() > deadline {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "peer stalled past the I/O deadline",
-                    ));
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(ReadStatus::Done)
-}
-
-/// Reads one frame with the server's deadline semantics.  `Ok(None)` means
-/// the connection should end quietly (clean EOF or shutdown).
-fn read_frame_deadline(
-    stream: &mut &TcpStream,
-    allow_idle: bool,
-    shutdown: &AtomicBool,
-    deadline: Duration,
-) -> Result<Option<Vec<u8>>, FrameError> {
-    let mut header = [0u8; FRAME_HEADER_LEN];
-    match read_exact_deadline(stream, &mut header[..1], allow_idle, shutdown, deadline)? {
-        ReadStatus::Done => {}
-        ReadStatus::Eof | ReadStatus::Shutdown => return Ok(None),
-    }
-    match read_exact_deadline(stream, &mut header[1..], false, shutdown, deadline)? {
-        ReadStatus::Done => {}
-        ReadStatus::Eof | ReadStatus::Shutdown => return Ok(None),
-    }
-    let len = crate::frame::payload_len(header)?;
-    let mut payload = vec![0u8; len];
-    match read_exact_deadline(stream, &mut payload, false, shutdown, deadline)? {
-        ReadStatus::Done => {}
-        ReadStatus::Eof | ReadStatus::Shutdown => return Ok(None),
-    }
-    crate::frame::check_frame(header, &payload)?;
-    Ok(Some(payload))
-}
-
-/// The server side of the entropy sub-protocol: a [`RngCore`] whose draws
-/// round-trip to the client, one request frame per draw.
-///
-/// `Π_Query` takes its randomness from the caller — over the wire the caller
-/// is on the other end of the socket, so each `next_u32` / `next_u64` /
-/// `fill_bytes` becomes an [`Response::EntropyRequest`].  Draws map 1:1 onto
-/// the client RNG's methods, which is what keeps a fixed-seed client RNG
-/// stream byte-identical between transports.
-///
-/// `RngCore` has no error channel, so a transport failure mid-draw parks the
-/// proxy in a failed state (zeros are returned to let the engine unwind
-/// normally) and the handler drops the connection without sending a result.
-struct EntropyProxy<'a> {
-    stream: &'a TcpStream,
-    writer: &'a mut FrameWriter,
-    shutdown: &'a AtomicBool,
-    deadline: Duration,
-    failed: bool,
-}
-
-impl EntropyProxy<'_> {
-    fn exchange(&mut self, draw: EntropyDraw, expected_len: usize) -> Option<Vec<u8>> {
-        if self.failed {
-            return None;
-        }
-        let mut write_half = self.stream;
-        if self
-            .writer
-            .write_frame(&mut write_half, &Response::EntropyRequest(draw).encode())
-            .is_err()
-        {
-            self.failed = true;
-            return None;
-        }
-        let mut read_half = self.stream;
-        let frame = match read_frame_deadline(&mut read_half, false, self.shutdown, self.deadline) {
-            Ok(Some(frame)) => frame,
-            _ => {
-                self.failed = true;
-                return None;
-            }
-        };
-        match Request::decode(&frame) {
-            Ok(Request::EntropyReply(bytes)) if bytes.len() == expected_len => Some(bytes),
-            _ => {
-                self.failed = true;
-                None
-            }
-        }
-    }
-}
-
-impl RngCore for EntropyProxy<'_> {
-    fn next_u32(&mut self) -> u32 {
-        self.exchange(EntropyDraw::U32, 4)
-            .map_or(0, |b| u32::from_le_bytes(b.try_into().unwrap()))
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.exchange(EntropyDraw::U64, 8)
-            .map_or(0, |b| u64::from_le_bytes(b.try_into().unwrap()))
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        match self.exchange(EntropyDraw::Fill(dest.len() as u32), dest.len()) {
-            Some(bytes) => dest.copy_from_slice(&bytes),
-            None => dest.fill(0),
-        }
-    }
-}
-
-/// The per-connection engine binding (and, for disk sessions, the scratch
+/// The per-session engine binding (and, for disk sessions, the scratch
 /// directory that must outlive it).
-struct Session {
+pub(crate) struct Session {
     engine: EngineHandle,
     _dir: Option<SessionDir>,
+}
+
+impl Session {
+    pub(crate) fn engine(&self) -> &dyn SecureOutsourcedDatabase {
+        self.engine.engine()
+    }
 }
 
 enum EngineHandle {
@@ -484,7 +345,7 @@ impl EngineHandle {
     }
 }
 
-fn engine_info(engine: &dyn SecureOutsourcedDatabase) -> Response {
+pub(crate) fn engine_info(engine: &dyn SecureOutsourcedDatabase) -> Response {
     Response::EngineInfo {
         name: engine.name().to_string(),
         profile: engine.leakage_profile(),
@@ -492,7 +353,10 @@ fn engine_info(engine: &dyn SecureOutsourcedDatabase) -> Response {
     }
 }
 
-fn open_session(provider: &EngineProvider, hello: SessionRequest) -> Result<Session, String> {
+pub(crate) fn open_session(
+    provider: &EngineProvider,
+    hello: SessionRequest,
+) -> Result<Session, String> {
     match (provider, hello) {
         (EngineProvider::Shared(engine), SessionRequest::Shared) => Ok(Session {
             engine: EngineHandle::Shared(Arc::clone(engine)),
@@ -521,138 +385,15 @@ fn open_session(provider: &EngineProvider, hello: SessionRequest) -> Result<Sess
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    provider: &EngineProvider,
-    options: ServeOptions,
-    shutdown: &AtomicBool,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(options.poll_interval));
-    let _ = stream.set_write_timeout(Some(options.io_deadline));
-
-    // One outbound buffer per connection: every response frame is encoded
-    // into it and sent with a single `write_all`, with no per-frame
-    // allocation in steady state.
-    let mut writer = FrameWriter::new();
-    let mut session: Option<Session> = None;
-    loop {
-        let mut read_half = &stream;
-        let frame = match read_frame_deadline(&mut read_half, true, shutdown, options.io_deadline) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return, // clean EOF or shutdown
-            Err(e) => {
-                // The stream offset can no longer be trusted: one courtesy
-                // error frame, then disconnect.
-                let mut write_half = &stream;
-                let _ = writer.write_frame(
-                    &mut write_half,
-                    &Response::Protocol(format!("bad frame: {e}")).encode(),
-                );
-                return;
-            }
-        };
-
-        let request = match Request::decode(&frame) {
-            Ok(request) => request,
-            Err(e) => {
-                // The frame itself was sound (length + CRC), so the stream is
-                // still synchronized: report and keep serving.
-                if respond(
-                    &stream,
-                    &mut writer,
-                    Response::Protocol(format!("bad message: {e}")),
-                )
-                .is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-        };
-
-        let response = match (&mut session, request) {
-            (_, Request::Hello(hello)) => match open_session(provider, hello) {
-                Ok(new_session) => {
-                    let info = engine_info(new_session.engine.engine());
-                    session = Some(new_session);
-                    info
-                }
-                Err(message) => Response::Protocol(message),
-            },
-            (None, _) => Response::Protocol("the first message must be a hello".to_string()),
-            (Some(_), Request::EntropyReply(_)) => {
-                Response::Protocol("entropy reply outside a query".to_string())
-            }
-            (
-                Some(session),
-                Request::Setup {
-                    table,
-                    schema,
-                    records,
-                },
-            ) => match session.engine.engine().setup(&table, schema, records) {
-                Ok(()) => Response::Ok,
-                Err(e) => Response::Edb(e),
-            },
-            (
-                Some(session),
-                Request::Update {
-                    table,
-                    time,
-                    records,
-                },
-            ) => match session.engine.engine().update(&table, time, records) {
-                Ok(()) => Response::Ok,
-                Err(e) => Response::Edb(e),
-            },
-            (Some(session), Request::Query(query)) => {
-                let mut proxy = EntropyProxy {
-                    stream: &stream,
-                    writer: &mut writer,
-                    shutdown,
-                    deadline: options.io_deadline,
-                    failed: false,
-                };
-                let result = session.engine.engine().query(&query, &mut proxy);
-                if proxy.failed {
-                    // The client vanished mid-query; the result was computed
-                    // from a dead RNG stream and must not be released.
-                    return;
-                }
-                match result {
-                    Ok(outcome) => Response::Outcome(outcome),
-                    Err(e) => Response::Edb(e),
-                }
-            }
-            (Some(session), Request::Supports(query)) => {
-                Response::Supported(session.engine.engine().supports(&query))
-            }
-            (Some(session), Request::TableStats(table)) => {
-                Response::Stats(session.engine.engine().table_stats(&table))
-            }
-            (Some(session), Request::AdversaryView) => {
-                Response::View(session.engine.engine().adversary_view())
-            }
-        };
-
-        if respond(&stream, &mut writer, response).is_err() {
-            return;
-        }
-    }
-}
-
-fn respond(stream: &TcpStream, writer: &mut FrameWriter, response: Response) -> io::Result<()> {
-    let mut write_half = stream;
-    writer.write_frame(&mut write_half, &response.encode())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::write_frame;
+    use crate::frame::{write_frame, FRAME_HEADER_LEN};
+    use crate::wire::Request;
     use dpsync_edb::engines::ObliDbEngine;
-    use std::io::Write;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
 
     fn shared_server() -> EdbTcpServer {
         let master = MasterKey::from_bytes([1u8; 32]);

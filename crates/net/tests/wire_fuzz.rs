@@ -22,7 +22,9 @@ use dpsync_edb::query::{Predicate, Query};
 use dpsync_edb::schema::{ColumnDef, DataType, Value};
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
 use dpsync_edb::Schema;
-use dpsync_net::frame::{encode_frame, read_frame, FrameError, FRAME_HEADER_LEN};
+use dpsync_net::frame::{
+    encode_frame, encode_frame_mux, read_frame, read_frame_mux, FrameError, FRAME_HEADER_LEN,
+};
 use dpsync_net::wire::SessionRequest;
 use dpsync_net::{EdbTcpServer, EngineProvider, Request, Response};
 use proptest::prelude::*;
@@ -398,6 +400,180 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multiplexed framing robustness
+// ---------------------------------------------------------------------------
+
+/// Feeds a pre-encoded multiplexed byte stream to the server and drains the
+/// replies with the session-aware reader.  Every reply frame — whatever
+/// session it lands on — must decode as a well-formed [`Response`]; a
+/// handler panic fails the test.
+fn feed_and_drain_mux(bytes: &[u8]) {
+    let server = fuzz_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(Shutdown::Write);
+
+    loop {
+        match read_frame_mux(&mut stream) {
+            Ok((_session, payload)) => {
+                Response::decode(&payload).expect("server only emits well-formed frames");
+            }
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::UnexpectedEof
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                break
+            }
+            Err(e) => panic!("server sent a malformed frame: {e}"),
+        }
+    }
+    assert_eq!(server.handler_panics(), 0, "a handler panicked");
+}
+
+/// The post-fuzz health check through the multiplexed client: the server
+/// must still open fresh sessions over a fresh socket.
+fn assert_server_still_healthy_mux() {
+    let server = fuzz_server();
+    let conn = dpsync_net::MuxConnection::connect(server.local_addr()).expect("mux connects");
+    let session = conn.open_shared().expect("session opens after fuzzing");
+    assert!(session.session_id() > 0);
+}
+
+/// A deterministic interleaving of per-session frame streams: each session
+/// sends its hello first (so its later frames are semantically valid), but
+/// frames from different sessions shuffle arbitrarily on the wire, driven
+/// by `order_seed`.
+fn interleave_sessions(per_session: Vec<Vec<Request>>, order_seed: u64) -> Vec<u8> {
+    let mut queues: Vec<std::collections::VecDeque<Request>> = per_session
+        .into_iter()
+        .map(|mut requests| {
+            requests.insert(0, Request::Hello(SessionRequest::Shared));
+            requests.into_iter().collect()
+        })
+        .collect();
+    let mut bytes = Vec::new();
+    let mut state = order_seed | 1;
+    loop {
+        let live: Vec<usize> = (0..queues.len())
+            .filter(|&i| !queues[i].is_empty())
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let pick = live[(state as usize) % live.len()];
+        let request = queues[pick].pop_front().unwrap();
+        // Session ids on the wire are 1-based; 0 is the default session.
+        bytes.extend_from_slice(&encode_frame_mux(pick as u32 + 1, &request.encode()));
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn server_survives_interleaved_session_streams(
+        per_session in prop::collection::vec(
+            prop::collection::vec(arb_request(), 0..4),
+            1..5,
+        ),
+        order_seed in any::<u64>(),
+    ) {
+        feed_and_drain_mux(&interleave_sessions(per_session, order_seed));
+        assert_server_still_healthy_mux();
+    }
+
+    #[test]
+    fn server_survives_random_session_ids_on_valid_frames(
+        frames in prop::collection::vec((any::<u32>(), arb_request()), 0..8),
+    ) {
+        // No hello-first discipline at all: arbitrary session ids (including
+        // the reserved default session 0 and wild 32-bit ids) carrying valid
+        // payloads in arbitrary order.
+        let mut bytes = Vec::new();
+        for (session, request) in &frames {
+            bytes.extend_from_slice(&encode_frame_mux(*session, &request.encode()));
+        }
+        feed_and_drain_mux(&bytes);
+        assert_server_still_healthy_mux();
+    }
+
+    #[test]
+    fn server_survives_truncated_mux_frames(
+        session in any::<u32>(),
+        request in arb_request(),
+        cut_seed in any::<u64>(),
+    ) {
+        let framed = encode_frame_mux(session, &request.encode());
+        let cut = (cut_seed as usize) % framed.len();
+        feed_and_drain_mux(&framed[..cut]);
+        assert_server_still_healthy_mux();
+    }
+
+    #[test]
+    fn server_survives_bit_flipped_mux_frames(
+        session in any::<u32>(),
+        request in arb_request(),
+        flip_seed in any::<u64>(),
+    ) {
+        let framed = encode_frame_mux(session, &request.encode());
+        let bit = (flip_seed as usize) % (framed.len() * 8);
+        let mut corrupted = framed;
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        feed_and_drain_mux(&corrupted);
+        assert_server_still_healthy_mux();
+    }
+}
+
+#[test]
+fn mux_framing_error_gets_a_courtesy_error_then_disconnect() {
+    // A garbage header after a healthy multiplexed exchange: the courtesy
+    // error arrives on the *default* session (the stream offset is lost, so
+    // no session id can be trusted), then the connection closes.
+    let server = fuzz_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(&encode_frame_mux(
+            7,
+            &Request::Hello(SessionRequest::Shared).encode(),
+        ))
+        .unwrap();
+    let (session, payload) = read_frame_mux(&mut stream).expect("hello answered");
+    assert_eq!(session, 7);
+    assert!(matches!(
+        Response::decode(&payload).unwrap(),
+        Response::EngineInfo { .. }
+    ));
+
+    stream.write_all(&[0xFF; FRAME_HEADER_LEN]).unwrap();
+    let (session, payload) = read_frame_mux(&mut stream).expect("courtesy error");
+    assert_eq!(session, dpsync_net::frame::SESSION_DEFAULT);
+    match Response::decode(&payload).unwrap() {
+        Response::Protocol(message) => assert!(message.contains("bad frame")),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("server closes");
+    assert!(rest.is_empty());
+    assert_eq!(server.handler_panics(), 0);
+}
+
 #[test]
 fn fuzz_server_drains_without_any_handler_panics() {
     // A plain smoke assertion that also forces the shared server to exist
@@ -420,6 +596,7 @@ fn slow_loris_headers_hit_the_deadline_not_the_thread_pool() {
         dpsync_net::ServeOptions {
             io_deadline: Duration::from_millis(200),
             poll_interval: Duration::from_millis(10),
+            ..Default::default()
         },
     )
     .unwrap();

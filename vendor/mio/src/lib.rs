@@ -1,0 +1,541 @@
+//! Offline vendored stand-in for [`mio`](https://docs.rs/mio): a minimal
+//! readiness reactor over Linux `epoll`.
+//!
+//! The workspace builds without crates.io access, so this crate provides the
+//! small slice of mio's surface the DP-Sync service tier needs — [`Poll`],
+//! [`Registry`], [`Events`], [`Token`], [`Interest`], [`Waker`] and
+//! nonblocking [`net::TcpListener`] / [`net::TcpStream`] wrappers — backed by
+//! raw `epoll_create1` / `epoll_ctl` / `epoll_wait` / `eventfd` syscalls
+//! (libc is already linked by `std`; the FFI declarations below are the only
+//! unsafe code in the workspace, and every downstream crate keeps
+//! `#![forbid(unsafe_code)]`).
+//!
+//! Two deliberate simplifications against upstream mio:
+//!
+//! * registrations are **level-triggered** (no `EPOLLET` except for the
+//!   [`Waker`]'s eventfd): a socket with unread input or writable space keeps
+//!   reporting ready, so callers manage *interest* (register for `WRITABLE`
+//!   only while output is pending) instead of edge re-arming — simpler to
+//!   reason about and immune to lost-wakeup bugs;
+//! * [`Source`] is any `AsRawFd` type rather than a trait with registration
+//!   callbacks — the epoll registration itself is identical.
+//!
+//! Swap the `[workspace.dependencies]` path entry for the registry version to
+//! go back upstream (the reactor in `dpsync-net` confines itself to the
+//! shared API subset modulo the two points above).
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub mod net;
+
+// ---------------------------------------------------------------------------
+// FFI: the five syscalls the reactor needs.  libc is linked by std.
+// ---------------------------------------------------------------------------
+
+/// `struct epoll_event`; packed on x86-64 (the kernel ABI requires it there).
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// `struct epoll_event` for non-x86-64 targets (naturally aligned).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+// ---------------------------------------------------------------------------
+// Tokens and interests
+// ---------------------------------------------------------------------------
+
+/// An opaque per-registration identifier, echoed back in every [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interests a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests.
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether read readiness is included.
+    pub const fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Whether write readiness is included.
+    pub const fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+
+    fn to_epoll(self) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if self.is_readable() {
+            bits |= EPOLLIN;
+        }
+        if self.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the ready registration was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Whether the registration is ready for reading (includes peer hangup,
+    /// which surfaces as a zero-byte read).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0
+    }
+
+    /// Whether the registration is ready for writing.
+    pub fn is_writable(&self) -> bool {
+        self.bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// Whether the peer closed its write half (or the whole connection).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Whether the registration is in an error state.
+    pub fn is_error(&self) -> bool {
+        self.bits & EPOLLERR != 0
+    }
+}
+
+/// A reusable buffer of readiness [`Event`]s filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    capacity: usize,
+    list: Vec<Event>,
+}
+
+impl Events {
+    /// An event buffer that receives at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            capacity: capacity.max(1),
+            list: Vec::with_capacity(capacity.max(1)),
+        }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.list.iter()
+    }
+
+    /// Whether the last poll returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poll and Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct EpollFd(RawFd);
+
+impl Drop for EpollFd {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = close(self.0);
+        }
+    }
+}
+
+/// Handle used to (de)register event sources; clones share one epoll
+/// instance, so a [`Waker`] can outlive the borrow of its [`Poll`].
+#[derive(Debug, Clone)]
+pub struct Registry {
+    epfd: Arc<EpollFd>,
+}
+
+impl Registry {
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token.0 as u64,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd.0, op, fd, &mut event) };
+        if rc < 0 {
+            Err(last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Registers an event source (level-triggered).
+    pub fn register<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.raw_fd(), interests.to_epoll(), token)
+    }
+
+    /// Changes the interests (and/or token) of an existing registration.
+    pub fn reregister<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.raw_fd(), interests.to_epoll(), token)
+    }
+
+    /// Removes a registration.  Dropping a source closes its descriptor and
+    /// removes it implicitly; explicit deregistration exists for sources
+    /// whose token is being retired while the descriptor lives on.
+    pub fn deregister<S: Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.raw_fd(), 0, Token(0))
+    }
+}
+
+/// The reactor core: wraps one epoll instance.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a new epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(last_os_error());
+        }
+        Ok(Poll {
+            registry: Registry {
+                epfd: Arc::new(EpollFd(fd)),
+            },
+        })
+    }
+
+    /// The registry handle for this poll instance.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready, the timeout
+    /// elapses (`None` waits indefinitely) or a [`Waker`] fires.  `EINTR`
+    /// retries internally.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.list.clear();
+        // Round a sub-millisecond timeout *up* so a short deadline cannot
+        // degenerate into a busy loop.
+        let millis: c_int = match timeout {
+            None => -1,
+            Some(t) => {
+                let ms = t.as_millis();
+                let ms = if ms == 0 && !t.is_zero() { 1 } else { ms };
+                ms.min(c_int::MAX as u128) as c_int
+            }
+        };
+        let mut raw = vec![EpollEvent { events: 0, data: 0 }; events.capacity];
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.registry.epfd.0,
+                    raw.as_mut_ptr(),
+                    raw.len() as c_int,
+                    millis,
+                )
+            };
+            if n >= 0 {
+                for item in raw.iter().take(n as usize) {
+                    events.list.push(Event {
+                        token: Token(item.data as usize),
+                        bits: item.events,
+                    });
+                }
+                return Ok(());
+            }
+            let err = last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source
+// ---------------------------------------------------------------------------
+
+/// Anything that can be registered with a [`Registry`].  Blanket-implemented
+/// for every `AsRawFd` type; the descriptor must be nonblocking for the
+/// readiness contract to make sense.
+pub trait Source {
+    /// The raw descriptor to register.
+    fn raw_fd(&self) -> RawFd;
+}
+
+impl<T: AsRawFd> Source for T {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waker
+// ---------------------------------------------------------------------------
+
+/// Wakes a [`Poll`] from another thread.
+///
+/// Backed by an `eventfd` registered edge-triggered: each [`Waker::wake`]
+/// increments the counter, which re-arms the edge, so the next `epoll_wait`
+/// returns an event carrying the waker's token.  The counter is never
+/// drained — it would take 2⁶⁴−1 wakes to saturate, far beyond any
+/// process lifetime here.
+#[derive(Debug)]
+pub struct Waker {
+    fd: EpollFd,
+}
+
+impl Waker {
+    /// Creates a waker and registers it with `registry` under `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(last_os_error());
+        }
+        let waker = Waker { fd: EpollFd(fd) };
+        registry.ctl(EPOLL_CTL_ADD, fd, EPOLLIN | EPOLLET, token)?;
+        Ok(waker)
+    }
+
+    /// Makes the next (or current) `poll` return an event with this waker's
+    /// token.  Safe to call from any thread, any number of times.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let rc = unsafe {
+            write(
+                self.fd.0,
+                std::ptr::addr_of!(one).cast::<c_void>(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+        if rc < 0 {
+            let err = last_os_error();
+            // A saturated counter (EAGAIN) still leaves the fd readable, so
+            // the wake-up is already pending; that is success for our
+            // purposes.
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    const LISTENER: Token = Token(0);
+    const WAKER: Token = Token(1);
+    const CLIENT: Token = Token(7);
+
+    #[test]
+    fn accept_read_write_readiness_round_trip() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(16);
+
+        let mut listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&mut listener, LISTENER, Interest::READABLE)
+            .unwrap();
+
+        // A blocking std client on the other side keeps the test simple.
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+
+        // The listener becomes readable: accept.
+        let mut accepted = None;
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == LISTENER && e.is_readable())
+            {
+                let (stream, _) = listener.accept().unwrap();
+                accepted = Some(stream);
+                break;
+            }
+        }
+        let mut server = accepted.expect("listener never became readable");
+        poll.registry()
+            .register(&mut server, CLIENT, Interest::READABLE)
+            .unwrap();
+
+        // Client sends; server side must report readable and read it back.
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        'outer: for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            for event in &events {
+                if event.token() == CLIENT && event.is_readable() {
+                    let mut buf = [0u8; 16];
+                    let n = server.read(&mut buf).unwrap();
+                    got.extend_from_slice(&buf[..n]);
+                    break 'outer;
+                }
+            }
+        }
+        assert_eq!(got, b"ping");
+
+        // Write interest on an idle socket reports writable immediately.
+        poll.registry()
+            .reregister(&mut server, CLIENT, Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_writable()));
+
+        // Peer hangup surfaces as read-closed readiness.
+        drop(client);
+        let mut saw_closed = false;
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == CLIENT && (e.is_read_closed() || e.is_readable()))
+            {
+                saw_closed = true;
+                break;
+            }
+        }
+        assert!(saw_closed, "peer hangup never reported");
+        poll.registry().deregister(&mut server).unwrap();
+    }
+
+    #[test]
+    fn waker_wakes_a_sleeping_poll_from_another_thread() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let waker = Arc::new(Waker::new(poll.registry(), WAKER).unwrap());
+
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake().unwrap();
+        });
+
+        // Far shorter than the 10 s timeout: the wake must cut the sleep.
+        let started = std::time::Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(events.iter().any(|e| e.token() == WAKER && e.is_readable()));
+        handle.join().unwrap();
+
+        // Repeated wakes keep re-arming the edge-triggered eventfd.
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == WAKER));
+    }
+
+    #[test]
+    fn poll_times_out_when_nothing_is_ready() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let started = std::time::Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(started.elapsed() >= Duration::from_millis(25));
+    }
+}

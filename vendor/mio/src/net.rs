@@ -1,0 +1,120 @@
+//! Nonblocking TCP types for registration with a [`Registry`](crate::Registry).
+//!
+//! Thin wrappers over `std::net` that force nonblocking mode at construction,
+//! so every read/write/accept obeys the readiness contract (`WouldBlock`
+//! instead of stalling the reactor thread).
+
+use std::io::{self, Read, Write};
+use std::net::{self, Shutdown, SocketAddr, ToSocketAddrs};
+use std::os::unix::io::{AsRawFd, RawFd};
+
+/// A nonblocking TCP listener.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds a new nonblocking listener.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Wraps an already-bound std listener, switching it to nonblocking.
+    pub fn from_std(inner: net::TcpListener) -> io::Result<TcpListener> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accepts one pending connection; `WouldBlock` when the backlog is
+    /// empty.  The accepted stream is nonblocking.
+    pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, addr) = self.inner.accept()?;
+        Ok((TcpStream::from_std(stream)?, addr))
+    }
+
+    /// The local address the listener is bound to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl AsRawFd for TcpListener {
+    fn as_raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+}
+
+/// A nonblocking TCP stream.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: net::TcpStream,
+}
+
+impl TcpStream {
+    /// Wraps a std stream, switching it to nonblocking.
+    pub fn from_std(inner: net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// The remote peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local address of this end.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Disables (or not) Nagle's algorithm.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// Shuts down one or both halves of the connection.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+}
+
+impl Read for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Read for &TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&self.inner).read(buf)
+    }
+}
+
+impl Write for TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Write for &TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&self.inner).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&self.inner).flush()
+    }
+}
+
+impl AsRawFd for TcpStream {
+    fn as_raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+}

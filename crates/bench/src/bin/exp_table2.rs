@@ -4,12 +4,16 @@
 //! parameters (ε = 0.5, T = 30, θ = 15, f = 2000, s = 15, β = 0.05).
 //!
 //! Usage: `cargo run --release -p dpsync-bench --bin exp_table2 [--scale N] [--seed S]`
+//!
+//! This is an **analytic** experiment: it evaluates closed-form bounds and
+//! never builds an engine or contacts a server, so it accepts no
+//! `--transport`/`--backend` flags — passing one is an error, not a no-op.
 
 use dpsync_bench::experiments::tables::table2_text;
 use dpsync_bench::ExperimentConfig;
 
 fn main() {
-    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    let config = ExperimentConfig::from_args_analytic("exp_table2", std::env::args().skip(1));
     println!("Table 2 — comparison of synchronization strategies");
     println!(
         "(epsilon = {}, T = {}, theta = {}, flush f = {}, s = {}, beta = 0.05, horizon = {} minutes)\n",

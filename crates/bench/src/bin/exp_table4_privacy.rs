@@ -4,12 +4,17 @@
 //! within `e^epsilon` (the executable counterpart of Theorems 10 and 11).
 //!
 //! Usage: `cargo run --release -p dpsync-bench --bin exp_table4_privacy [--seed S]`
+//!
+//! This is an **analytic** experiment: the Monte-Carlo trials run entirely in
+//! process, so it accepts no `--transport`/`--backend` flags — passing one is
+//! an error, not a no-op.
 
 use dpsync_bench::experiments::tables::{table4_text, verify_update_pattern_privacy};
 use dpsync_bench::ExperimentConfig;
 
 fn main() {
-    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    let config =
+        ExperimentConfig::from_args_analytic("exp_table4_privacy", std::env::args().skip(1));
     let epsilon = 1.0;
     let trials = 20_000;
     println!(

@@ -321,6 +321,74 @@ impl ExperimentConfig {
         config.rescale()
     }
 
+    /// Strict argument parsing for the **analytic** experiment binaries
+    /// (`exp_table2`, `exp_table4_privacy`): accepts only `--scale N` and
+    /// `--seed S`, and rejects everything else with an explanation.
+    ///
+    /// The analytic tables recompute closed-form bounds (or run in-process
+    /// Monte-Carlo trials) — they never build an engine, touch a storage
+    /// backend, or contact a server.  [`Self::from_args`] silently ignores
+    /// unknown flags, which let invocations like `exp_table2 --transport
+    /// tcp` appear to work while doing nothing; here that is a hard error so
+    /// a mistyped or misdirected flag cannot go unnoticed.
+    pub fn try_from_args_analytic(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut config = Self::default();
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            match flag {
+                "--scale" | "--seed" => {
+                    let value = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| format!("`{flag}` expects an integer value"))?;
+                    if flag == "--scale" {
+                        config.scale = value;
+                    } else {
+                        config.seed = value;
+                    }
+                    i += 1;
+                }
+                "--transport" | "--backend" | "--addr" | "--jobs" => {
+                    return Err(format!(
+                        "`{flag}` is not accepted: this is an analytic experiment — it \
+                         recomputes closed-form bounds in process and never contacts a \
+                         server, so it takes no transport, backend, address or worker \
+                         flags (those belong to the simulation binaries; see the README's \
+                         per-binary flag table)"
+                    ));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument `{other}` (analytic experiments accept only \
+                         --scale and --seed)"
+                    ));
+                }
+            }
+            i += 1;
+        }
+        Ok(config.rescale())
+    }
+
+    /// [`Self::try_from_args_analytic`] with CLI ergonomics: `--help` prints
+    /// usage and exits 0, a rejected flag prints the explanation to stderr
+    /// and exits 2.
+    pub fn from_args_analytic(binary: &str, args: impl Iterator<Item = String>) -> Self {
+        let args: Vec<String> = args.collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("usage: {binary} [--scale N] [--seed S]");
+            std::process::exit(0);
+        }
+        match Self::try_from_args_analytic(args.into_iter()) {
+            Ok(config) => config,
+            Err(message) => {
+                eprintln!("{binary}: {message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     /// Applies the scale divisor to the time-dependent intervals so that a
     /// scaled run still poses a comparable number of queries.
     pub fn rescale(mut self) -> Self {
@@ -433,6 +501,42 @@ mod tests {
         // Unknown backend values are ignored, keeping the default.
         let e = ExperimentConfig::from_args(["--backend", "floppy"].iter().map(|s| s.to_string()));
         assert_eq!(e.backend, BackendKind::Memory);
+    }
+
+    #[test]
+    fn analytic_parsing_accepts_only_scale_and_seed() {
+        let c = ExperimentConfig::try_from_args_analytic(
+            ["--scale", "20", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("scale and seed are accepted");
+        assert_eq!(c.scale, 20);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.query_interval, 18);
+
+        // Transport/backend flags are rejected with an explanation, not
+        // silently ignored — the analytic tables never contact a server.
+        for flag in ["--transport", "--backend", "--addr", "--jobs"] {
+            let err = ExperimentConfig::try_from_args_analytic(
+                [flag, "whatever"].iter().map(|s| s.to_string()),
+            )
+            .expect_err("simulation-only flags must be rejected");
+            assert!(
+                err.contains("analytic experiment"),
+                "rejection for {flag} must explain itself, got: {err}"
+            );
+        }
+
+        // Unknown flags and missing values are errors too.
+        assert!(ExperimentConfig::try_from_args_analytic(
+            ["--frobnicate"].iter().map(|s| s.to_string())
+        )
+        .is_err());
+        assert!(ExperimentConfig::try_from_args_analytic(
+            ["--scale"].iter().map(|s| s.to_string())
+        )
+        .is_err());
     }
 
     #[test]

@@ -455,6 +455,9 @@ struct SuiteScale {
     queries_per_sample: usize,
     e2e_scale: u64,
     e2e_samples: usize,
+    sparse_owners: usize,
+    sparse_horizon: u64,
+    sparse_samples: usize,
 }
 
 impl SuiteScale {
@@ -470,6 +473,9 @@ impl SuiteScale {
                 queries_per_sample: 8,
                 e2e_scale: 1_440,
                 e2e_samples: 3,
+                sparse_owners: 400,
+                sparse_horizon: 180,
+                sparse_samples: 3,
             }
         } else {
             Self {
@@ -482,6 +488,9 @@ impl SuiteScale {
                 queries_per_sample: 16,
                 e2e_scale: 360,
                 e2e_samples: 5,
+                sparse_owners: 2_000,
+                sparse_horizon: 360,
+                sparse_samples: 5,
             }
         }
     }
@@ -924,6 +933,58 @@ fn bench_e2e_sync(scale: &SuiteScale, seed: u64) -> BenchResult {
     })
 }
 
+/// The sparse-tick scheduler end to end: a churned open-loop fleet
+/// (`dpsync_workloads::scale`) driven through `Simulation::run_sparse` with
+/// DP-Timer — the exact shape `exp_scale` runs at 10^5+ owners, scaled down
+/// to a per-sample size.  Gating this pins the scheduler's per-wake cost
+/// (heap churn, cursor advance, deferred setup) alongside the engine paths.
+fn bench_sparse_tick_sim(scale: &SuiteScale, seed: u64) -> BenchResult {
+    use dpsync_core::simulation::{Simulation, SimulationConfig};
+    use dpsync_edb::query::Predicate;
+    use dpsync_workloads::ScaleProfile;
+
+    let master = MasterKey::from_bytes([0xE7; 32]);
+    let mut profile = ScaleProfile::new(scale.sparse_owners, scale.sparse_horizon, seed);
+    // Denser than the exp_scale default so the per-sample run has real work.
+    profile.mean_rate = 0.02;
+    let fleet = profile.generate();
+    let steady = fleet
+        .iter()
+        .find(|w| w.join_time == 0)
+        .expect("some owner joins at t=0");
+    let sim = Simulation::new(SimulationConfig {
+        query_interval: (profile.horizon / 4).max(1),
+        size_sample_interval: (profile.horizon / 2).max(1),
+        queries: vec![(
+            "Q1".into(),
+            dpsync_edb::Query::Count {
+                table: steady.table.clone(),
+                predicate: Some(Predicate::Between("reading".into(), 100.0, 400.0)),
+            },
+        )],
+        seed,
+    });
+    let strategy = crate::experiments::config::StrategyParams::default();
+    let run = |master: &MasterKey| {
+        let engine = ObliDbEngine::new(master);
+        sim.run_sparse(&fleet, profile.horizon, &engine, master, |_| {
+            strategy.build(StrategyKind::DpTimer)
+        })
+        .expect("sparse run succeeds")
+    };
+    // The record count is deterministic given the seed; probe it once.
+    let records = run(&master)
+        .final_sizes()
+        .map(|s| s.outsourced_records)
+        .unwrap_or(1)
+        .max(1);
+    run_bench("sparse_tick_sim", scale.sparse_samples, records, || {
+        let started = Instant::now();
+        black_box(run(&master).sync_count);
+        started.elapsed()
+    })
+}
+
 /// Runs the full suite and returns the report.
 pub fn run_suite(config: &SuiteConfig) -> BenchReport {
     let scale = SuiteScale::new(config.smoke);
@@ -953,6 +1014,7 @@ pub fn run_suite(config: &SuiteConfig) -> BenchReport {
             seed,
         ),
         bench_e2e_sync(&scale, seed),
+        bench_sparse_tick_sim(&scale, seed),
     ];
     BenchReport {
         version: REPORT_VERSION,
@@ -1111,6 +1173,7 @@ mod tests {
             "query_q1_count",
             "query_q2_group_by",
             "e2e_sync",
+            "sparse_tick_sim",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

@@ -23,6 +23,9 @@
 //! * [`simulation`] — the end-to-end driver that replays a workload through
 //!   an owner + engine + analyst and produces the report the experiment
 //!   harness turns into the paper's tables and figures.
+//! * [`sparse`] — the sparse-tick scheduler: an event-driven driver with the
+//!   same semantics as [`simulation`]'s dense drivers, built for 10^5–10^6
+//!   mostly-idle owners (ARCHITECTURE.md §9).
 //! * [`privacy`] — the Table-4 mechanism simulators (`M_timer`, `M_ANT`) and
 //!   an empirical differential-privacy tester that backs Theorems 10/11 with
 //!   executable evidence.
@@ -37,6 +40,7 @@ pub mod owner;
 pub mod perturb;
 pub mod privacy;
 pub mod simulation;
+pub mod sparse;
 pub mod strategy;
 pub mod timeline;
 
@@ -44,5 +48,6 @@ pub use cache::{CachePolicy, LocalCache};
 pub use metrics::{SimulationReport, SizeSample};
 pub use owner::{Owner, TickReport};
 pub use simulation::{Simulation, SimulationConfig, TableWorkload};
+pub use sparse::OwnerWorkload;
 pub use strategy::{StrategyKind, SyncDecision, SyncStrategy};
 pub use timeline::{GrowingDatabase, LogicalUpdate, Timestamp};

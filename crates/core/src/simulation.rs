@@ -9,9 +9,9 @@
 //! figures.  Its output, a [`SimulationReport`], is what the experiment
 //! binaries in `dpsync-bench` turn into the paper's tables and figures.
 //!
-//! # Sequential vs. sharded execution
+//! # Sequential vs. sharded vs. sparse execution
 //!
-//! Two drivers share the same semantics:
+//! Three drivers share the same semantics:
 //!
 //! * [`Simulation::run`] — the sequential reference: owners tick in workload
 //!   order on the calling thread.
@@ -23,9 +23,19 @@
 //!   assembles is identical to the sequential driver's — only the
 //!   intra-tick interleaving of independent per-table uploads differs, and
 //!   the server storage merges those into a canonical order.
+//! * [`Simulation::run_sparse`] (in [`crate::sparse`]) — an event-driven
+//!   scheduler that skips ticks on which no owner has work, built for
+//!   10^5–10^6 mostly-idle owners; see ARCHITECTURE.md §9.
 //!
-//! With fixed seeds the two drivers produce identical reports up to measured
+//! With fixed seeds all drivers produce identical reports up to measured
 //! wall-clock fields; see [`SimulationReport::normalized`].
+//!
+//! # Owner churn
+//!
+//! A [`TableWorkload`] may give its owner a `join_time` and/or `leave_time`:
+//! the owner's `Π_Setup` then runs at the join tick instead of during
+//! preparation, and the owner is never ticked outside its active window.
+//! All three drivers apply identical churn semantics.
 
 use crate::analyst::{Analyst, NamedQuery};
 use crate::metrics::{SimulationReport, SizeSample};
@@ -52,8 +62,20 @@ pub struct TableWorkload {
     /// Initial database `D₀`.
     pub initial_rows: Vec<Row>,
     /// Arrivals per time unit: `arrivals[t - 1]` are the rows received at
-    /// time `t` (empty vectors model `u_t = ∅`).
+    /// time `t` (empty vectors model `u_t = ∅`).  Arrivals indexed outside
+    /// the owner's active window (see [`TableWorkload::active_at`]) are
+    /// skipped by every driver.
     pub arrivals: Vec<Vec<Row>>,
+    /// The tick at which the owner joins the simulation.  `0` (the default)
+    /// means the owner is present from the start and `Π_Setup` runs during
+    /// preparation; `J > 0` defers `Π_Setup` (and the insertion of
+    /// `initial_rows` into the ground truth) to tick `J`, modelling an owner
+    /// who comes online mid-run.
+    pub join_time: u64,
+    /// The last tick at which the owner is online, inclusive; `None` keeps
+    /// the owner for the whole run.  After `leave_time` the owner is never
+    /// ticked again — whatever its cache holds stays unsynced.
+    pub leave_time: Option<u64>,
 }
 
 impl TableWorkload {
@@ -65,6 +87,13 @@ impl TableWorkload {
     /// Total rows (initial plus arrivals).
     pub fn total_rows(&self) -> u64 {
         self.initial_rows.len() as u64 + self.arrivals.iter().map(|a| a.len() as u64).sum::<u64>()
+    }
+
+    /// Whether the owner is online and tickable at time `t`: strictly after
+    /// its join tick (the join tick itself only runs `Π_Setup`) and no later
+    /// than its leave tick.
+    pub fn active_at(&self, t: u64) -> bool {
+        t > self.join_time && self.leave_time.is_none_or(|leave| t <= leave)
     }
 
     /// The rows arriving at time `t` (1-based; empty past the horizon).
@@ -103,18 +132,32 @@ impl SimulationConfig {
     }
 }
 
-/// Pre-run state shared by both drivers: owners set up, logical database
-/// seeded with the initial rows, per-component RNGs derived.
-struct PreparedRun {
-    owners: Vec<Owner>,
-    owner_rngs: Vec<DpRng>,
-    analyst: Analyst,
-    analyst_rng: DpRng,
-    logical: PlainDatabase,
-    sync_count: u64,
-    strategy_kind: StrategyKind,
-    epsilon: Option<f64>,
-    horizon: u64,
+/// What the drivers need to know about one owner before the clock starts:
+/// a borrowed view shared by the dense ([`TableWorkload`]) and sparse
+/// ([`crate::sparse::OwnerWorkload`]) workload representations so both go
+/// through one `Π_Setup` / RNG-derivation code path.
+pub(crate) struct OwnerSpec<'a> {
+    pub(crate) table: &'a str,
+    pub(crate) schema: &'a Schema,
+    pub(crate) initial_rows: &'a [Row],
+    pub(crate) join_time: u64,
+}
+
+/// Pre-run state shared by all drivers: present-from-the-start owners set
+/// up, logical database seeded with their initial rows, per-component RNGs
+/// derived.  Owners joining mid-run keep their setup RNG in `setup_rngs`
+/// until their join tick.
+pub(crate) struct PreparedRun {
+    pub(crate) owners: Vec<Owner>,
+    pub(crate) owner_rngs: Vec<DpRng>,
+    pub(crate) setup_rngs: Vec<Option<DpRng>>,
+    pub(crate) analyst: Analyst,
+    pub(crate) analyst_rng: DpRng,
+    pub(crate) logical: PlainDatabase,
+    pub(crate) sync_count: u64,
+    pub(crate) strategy_kind: StrategyKind,
+    pub(crate) epsilon: Option<f64>,
+    pub(crate) horizon: u64,
 }
 
 /// The simulation driver.
@@ -134,44 +177,84 @@ impl Simulation {
         &self.config
     }
 
-    /// Runs `Π_Setup` for every table and derives the per-component RNG
-    /// streams.  Shared between the sequential and the parallel driver so
-    /// that both start from bit-identical state.
+    /// Runs `Π_Setup` for every table present from the start and derives the
+    /// per-component RNG streams.  Shared between the sequential and the
+    /// parallel driver so that both start from bit-identical state.
     fn prepare(
         &self,
         workloads: &[TableWorkload],
         engine: &dyn SecureOutsourcedDatabase,
         master: &MasterKey,
+        make_strategy: impl FnMut(&str) -> Box<dyn SyncStrategy>,
+    ) -> Result<PreparedRun, EdbError> {
+        let specs: Vec<OwnerSpec<'_>> = workloads
+            .iter()
+            .map(|w| OwnerSpec {
+                table: &w.table,
+                schema: &w.schema,
+                initial_rows: &w.initial_rows,
+                join_time: w.join_time,
+            })
+            .collect();
+        let horizon = workloads
+            .iter()
+            .map(TableWorkload::horizon)
+            .max()
+            .unwrap_or(0);
+        let engines: Vec<&dyn SecureOutsourcedDatabase> = vec![engine; workloads.len()];
+        self.prepare_specs(&specs, horizon, &engines, master, make_strategy)
+    }
+
+    /// The shared preparation path behind [`Simulation::prepare`] and the
+    /// sparse-tick driver: one engine reference per owner (the dense drivers
+    /// pass the same engine for all), explicit horizon.
+    ///
+    /// `DpRng::derive` is stateless and label-keyed, so the per-owner streams
+    /// (`owner/{table}`, `owner-ticks/{table}`) and the analyst stream are
+    /// identical no matter which driver derives them or in what order.
+    pub(crate) fn prepare_specs(
+        &self,
+        specs: &[OwnerSpec<'_>],
+        horizon: u64,
+        engines: &[&dyn SecureOutsourcedDatabase],
+        master: &MasterKey,
         mut make_strategy: impl FnMut(&str) -> Box<dyn SyncStrategy>,
     ) -> Result<PreparedRun, EdbError> {
-        assert!(
-            !workloads.is_empty(),
-            "at least one table workload is required"
-        );
+        assert!(!specs.is_empty(), "at least one table workload is required");
+        assert_eq!(specs.len(), engines.len(), "one engine reference per owner");
         let rng = DpRng::seed_from_u64(self.config.seed);
 
         let mut logical = PlainDatabase::new();
-        for w in workloads {
-            logical.create_table(&w.table, w.schema.clone());
+        for spec in specs {
+            logical.create_table(spec.table, spec.schema.clone());
         }
 
-        let mut owners: Vec<Owner> = Vec::with_capacity(workloads.len());
+        let mut owners: Vec<Owner> = Vec::with_capacity(specs.len());
+        let mut setup_rngs: Vec<Option<DpRng>> = Vec::with_capacity(specs.len());
         let mut sync_count = 0u64;
         let mut strategy_kind = None;
         let mut epsilon = None;
-        for w in workloads {
-            let strategy = make_strategy(&w.table);
+        for (spec, engine) in specs.iter().zip(engines) {
+            let strategy = make_strategy(spec.table);
             strategy_kind.get_or_insert(strategy.kind());
             if epsilon.is_none() {
                 epsilon = strategy.epsilon().map(|e| e.value());
             }
-            let mut owner = Owner::new(&w.table, w.schema.clone(), master, strategy);
-            let mut owner_rng = rng.derive(&format!("owner/{}", w.table));
-            for row in &w.initial_rows {
-                logical.insert(&w.table, row.clone());
+            let mut owner = Owner::new(spec.table, spec.schema.clone(), master, strategy);
+            let mut owner_rng = rng.derive(&format!("owner/{}", spec.table));
+            if spec.join_time == 0 {
+                for row in spec.initial_rows {
+                    logical.insert(spec.table, row.clone());
+                }
+                owner.setup(spec.initial_rows.to_vec(), *engine, &mut owner_rng)?;
+                sync_count += 1;
+                setup_rngs.push(None);
+            } else {
+                // The owner joins mid-run: Π_Setup is deferred to its join
+                // tick, but its RNG stream is derived here from the same
+                // label so the transcript is a pure function of the seed.
+                setup_rngs.push(Some(owner_rng));
             }
-            owner.setup(w.initial_rows.clone(), engine, &mut owner_rng)?;
-            sync_count += 1;
             owners.push(owner);
         }
 
@@ -183,20 +266,15 @@ impl Simulation {
                 .collect(),
         );
         let analyst_rng = rng.derive("analyst");
-        let owner_rngs: Vec<DpRng> = workloads
+        let owner_rngs: Vec<DpRng> = specs
             .iter()
-            .map(|w| rng.derive(&format!("owner-ticks/{}", w.table)))
+            .map(|spec| rng.derive(&format!("owner-ticks/{}", spec.table)))
             .collect();
-
-        let horizon = workloads
-            .iter()
-            .map(TableWorkload::horizon)
-            .max()
-            .unwrap_or(0);
 
         Ok(PreparedRun {
             owners,
             owner_rngs,
+            setup_rngs,
             analyst,
             analyst_rng,
             logical,
@@ -228,19 +306,29 @@ impl Simulation {
 
         for t in 1..=run.horizon {
             let time = Timestamp(t);
-            for ((owner, workload), owner_rng) in run
+            for (((owner, workload), owner_rng), setup_rng) in run
                 .owners
                 .iter_mut()
                 .zip(workloads)
                 .zip(run.owner_rngs.iter_mut())
+                .zip(run.setup_rngs.iter_mut())
             {
-                let arrivals = workload.arrivals_at(t);
-                for row in arrivals {
-                    run.logical.insert(&workload.table, row.clone());
-                }
-                let report = owner.tick(time, arrivals, engine, owner_rng)?;
-                if report.synced {
+                if t == workload.join_time {
+                    for row in &workload.initial_rows {
+                        run.logical.insert(&workload.table, row.clone());
+                    }
+                    let rng = setup_rng.as_mut().expect("join tick reached once");
+                    owner.setup(workload.initial_rows.clone(), engine, rng)?;
                     run.sync_count += 1;
+                } else if workload.active_at(t) {
+                    let arrivals = workload.arrivals_at(t);
+                    for row in arrivals {
+                        run.logical.insert(&workload.table, row.clone());
+                    }
+                    let report = owner.tick(time, arrivals, engine, owner_rng)?;
+                    if report.synced {
+                        run.sync_count += 1;
+                    }
                 }
             }
 
@@ -257,7 +345,13 @@ impl Simulation {
                 || t == run.horizon
             {
                 let gap = run.owners.iter().map(Owner::logical_gap).sum();
-                size_samples.push(self.sample_sizes(time, workloads, engine, gap, &run.logical));
+                size_samples.push(self.sample_sizes(
+                    time,
+                    workloads.iter().map(|w| w.table.as_str()),
+                    engine,
+                    gap,
+                    &run.logical,
+                ));
             }
         }
 
@@ -310,52 +404,75 @@ impl Simulation {
 
         let owners = std::mem::take(&mut run.owners);
         let owner_rngs = std::mem::take(&mut run.owner_rngs);
+        let setup_rngs = std::mem::take(&mut run.setup_rngs);
 
         thread::scope(|scope| {
             let handles: Vec<_> = owners
                 .into_iter()
                 .zip(workloads)
                 .zip(owner_rngs)
+                .zip(setup_rngs)
                 .enumerate()
-                .map(|(index, ((mut owner, workload), mut owner_rng))| {
-                    let barrier = &barrier;
-                    let failure = &failure;
-                    let panicked = &panicked;
-                    let gaps = &gaps;
-                    scope.spawn(move || {
-                        let mut synced = 0u64;
-                        for t in 1..=horizon {
-                            barrier.wait();
-                            if failure.lock().is_none() && panicked.lock().is_none() {
-                                let tick =
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        owner.tick(
-                                            Timestamp(t),
-                                            workload.arrivals_at(t),
-                                            engine,
-                                            &mut owner_rng,
-                                        )
-                                    }));
-                                match tick {
-                                    Ok(Ok(report)) => {
-                                        if report.synced {
-                                            synced += 1;
+                .map(
+                    |(index, (((mut owner, workload), mut owner_rng), mut setup_rng))| {
+                        let barrier = &barrier;
+                        let failure = &failure;
+                        let panicked = &panicked;
+                        let gaps = &gaps;
+                        scope.spawn(move || {
+                            let mut synced = 0u64;
+                            for t in 1..=horizon {
+                                barrier.wait();
+                                if failure.lock().is_none() && panicked.lock().is_none() {
+                                    let tick = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            if t == workload.join_time {
+                                                let rng = setup_rng
+                                                    .as_mut()
+                                                    .expect("join tick reached once");
+                                                owner
+                                                    .setup(
+                                                        workload.initial_rows.clone(),
+                                                        engine,
+                                                        rng,
+                                                    )
+                                                    .map(|report| report.synced)
+                                            } else if workload.active_at(t) {
+                                                owner
+                                                    .tick(
+                                                        Timestamp(t),
+                                                        workload.arrivals_at(t),
+                                                        engine,
+                                                        &mut owner_rng,
+                                                    )
+                                                    .map(|report| report.synced)
+                                            } else {
+                                                Ok(false)
+                                            }
+                                        }),
+                                    );
+                                    match tick {
+                                        Ok(Ok(did_sync)) => {
+                                            if did_sync {
+                                                synced += 1;
+                                            }
+                                            gaps[index]
+                                                .store(owner.logical_gap(), Ordering::Release);
                                         }
-                                        gaps[index].store(owner.logical_gap(), Ordering::Release);
-                                    }
-                                    Ok(Err(e)) => {
-                                        failure.lock().get_or_insert(e);
-                                    }
-                                    Err(payload) => {
-                                        panicked.lock().get_or_insert(payload);
+                                        Ok(Err(e)) => {
+                                            failure.lock().get_or_insert(e);
+                                        }
+                                        Err(payload) => {
+                                            panicked.lock().get_or_insert(payload);
+                                        }
                                     }
                                 }
+                                barrier.wait();
                             }
-                            barrier.wait();
-                        }
-                        synced
-                    })
-                })
+                            synced
+                        })
+                    },
+                )
                 .collect();
 
             for t in 1..=horizon {
@@ -365,8 +482,14 @@ impl Simulation {
                 barrier.wait();
                 if failure.lock().is_none() && panicked.lock().is_none() {
                     for w in workloads {
-                        for row in w.arrivals_at(t) {
-                            run.logical.insert(&w.table, row.clone());
+                        if t == w.join_time {
+                            for row in &w.initial_rows {
+                                run.logical.insert(&w.table, row.clone());
+                            }
+                        } else if w.active_at(t) {
+                            for row in w.arrivals_at(t) {
+                                run.logical.insert(&w.table, row.clone());
+                            }
                         }
                     }
                 }
@@ -397,7 +520,7 @@ impl Simulation {
                     let gap = gaps.iter().map(|g| g.load(Ordering::Acquire)).sum();
                     size_samples.push(self.sample_sizes(
                         time,
-                        workloads,
+                        workloads.iter().map(|w| w.table.as_str()),
                         engine,
                         gap,
                         &run.logical,
@@ -430,10 +553,10 @@ impl Simulation {
         })
     }
 
-    fn sample_sizes(
+    pub(crate) fn sample_sizes<'a>(
         &self,
         time: Timestamp,
-        workloads: &[TableWorkload],
+        tables: impl IntoIterator<Item = &'a str>,
         engine: &dyn SecureOutsourcedDatabase,
         logical_gap: u64,
         logical: &PlainDatabase,
@@ -442,8 +565,8 @@ impl Simulation {
         let mut outsourced_bytes = 0u64;
         let mut dummy_records = 0u64;
         let mut dummy_bytes = 0u64;
-        for w in workloads {
-            let stats = engine.table_stats(&w.table);
+        for table in tables {
+            let stats = engine.table_stats(table);
             outsourced_records += stats.ciphertext_count;
             outsourced_bytes += stats.ciphertext_bytes;
             dummy_records += stats.dummy_records;
@@ -499,6 +622,8 @@ mod tests {
                     }
                 })
                 .collect(),
+            join_time: 0,
+            leave_time: None,
         }
     }
 

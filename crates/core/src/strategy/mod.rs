@@ -156,6 +156,30 @@ pub trait SyncStrategy: Send {
     /// synchronization decision for this tick.
     fn on_tick(&mut self, ctx: &TickContext, rng: &mut dyn RngCore) -> SyncDecision;
 
+    /// The next time unit strictly after `now` at which the strategy must be
+    /// consulted *even if no records arrive*, or `None` when only an arrival
+    /// can make it act again.
+    ///
+    /// This is the contract the sparse-tick scheduler
+    /// ([`crate::simulation::Simulation::run_sparse`]) elides idle ticks on:
+    /// for every `t` with `now < t < next_wake(now)`, calling
+    /// [`SyncStrategy::on_tick`] at `t` with `arrived == 0` must return
+    /// [`SyncDecision::None`], draw **no** randomness, and leave the strategy
+    /// in an observably identical state.  A strategy whose idle ticks do any
+    /// of those things must keep the dense default (`now + 1`), which makes
+    /// elision a no-op.  The equivalence suite
+    /// (`crates/core/tests/sparse_tick_equivalence.rs`) pins the contract:
+    /// transcripts must stay byte-identical to the every-tick drivers.
+    ///
+    /// * DP-Timer wakes only at period and flush boundaries (its idle
+    ///   non-boundary ticks touch nothing).
+    /// * SUR and OTO never need waking (`None`).
+    /// * SET and DP-ANT keep the dense default — SET uploads every tick and
+    ///   DP-ANT's sparse-vector comparison draws noise every tick.
+    fn next_wake(&self, now: Timestamp) -> Option<Timestamp> {
+        Some(now.next())
+    }
+
     /// The privacy-expenditure ledger, when the strategy keeps one.
     fn accountant(&self) -> Option<&PrivacyAccountant> {
         None

@@ -11,6 +11,7 @@
 //!   and accuracy, maximal overhead.
 
 use super::{StrategyKind, SyncDecision, SyncReason, SyncStrategy, TickContext};
+use crate::timeline::Timestamp;
 use dpsync_dp::Epsilon;
 use rand::RngCore;
 
@@ -48,6 +49,11 @@ impl SyncStrategy for SynchronizeUponReceipt {
             SyncDecision::None
         }
     }
+
+    fn next_wake(&self, _now: Timestamp) -> Option<Timestamp> {
+        // SUR is purely arrival-driven: idle ticks are stateless no-ops.
+        None
+    }
 }
 
 /// One-time outsourcing (OTO).
@@ -76,6 +82,11 @@ impl SyncStrategy for OneTimeOutsourcing {
 
     fn on_tick(&mut self, _ctx: &TickContext, _rng: &mut dyn RngCore) -> SyncDecision {
         SyncDecision::None
+    }
+
+    fn next_wake(&self, _now: Timestamp) -> Option<Timestamp> {
+        // OTO never acts after setup; it never needs an unsolicited wake.
+        None
     }
 }
 
@@ -181,6 +192,17 @@ mod tests {
                 fetch: 3,
                 reason: SyncReason::Strategy
             }
+        );
+    }
+
+    #[test]
+    fn arrival_driven_baselines_never_need_waking() {
+        assert_eq!(SynchronizeUponReceipt::new().next_wake(Timestamp(7)), None);
+        assert_eq!(OneTimeOutsourcing::new().next_wake(Timestamp(7)), None);
+        // SET uploads a dummy every tick, so it keeps the dense default.
+        assert_eq!(
+            SynchronizeEveryTime::new().next_wake(Timestamp(7)),
+            Some(Timestamp(8))
         );
     }
 

@@ -11,6 +11,7 @@
 
 use super::{CacheFlush, StrategyKind, SyncDecision, SyncReason, SyncStrategy, TickContext};
 use crate::perturb::{perturbed_count, PerturbedCount};
+use crate::timeline::Timestamp;
 use dpsync_dp::{Composition, Epsilon, PrivacyAccountant};
 use rand::RngCore;
 
@@ -119,6 +120,18 @@ impl SyncStrategy for DpTimerStrategy {
         } else {
             SyncDecision::None
         }
+    }
+
+    fn next_wake(&self, now: Timestamp) -> Option<Timestamp> {
+        // Idle non-boundary ticks only accumulate `arrived == 0` into the
+        // window counter — a no-op that draws no randomness — so the next
+        // mandatory consultation is the first period or flush boundary.
+        let next_multiple = |p: u64| (now.value() / p + 1) * p;
+        let mut wake = next_multiple(self.period);
+        if let Some(flush) = self.flush {
+            wake = wake.min(next_multiple(flush.interval));
+        }
+        Some(Timestamp(wake))
     }
 
     fn accountant(&self) -> Option<&PrivacyAccountant> {
@@ -233,6 +246,43 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_period_is_rejected() {
         let _ = DpTimerStrategy::new(eps(0.5), 0);
+    }
+
+    #[test]
+    fn next_wake_is_the_first_period_or_flush_boundary() {
+        let s = DpTimerStrategy::with_flush(eps(0.5), 30, Some(CacheFlush::new(2000, 15)));
+        assert_eq!(s.next_wake(Timestamp(0)), Some(Timestamp(30)));
+        assert_eq!(s.next_wake(Timestamp(29)), Some(Timestamp(30)));
+        assert_eq!(s.next_wake(Timestamp(30)), Some(Timestamp(60)));
+        assert_eq!(s.next_wake(Timestamp(1995)), Some(Timestamp(2000)));
+        let no_flush = DpTimerStrategy::with_flush(eps(0.5), 30, None);
+        assert_eq!(no_flush.next_wake(Timestamp(1995)), Some(Timestamp(2010)));
+    }
+
+    #[test]
+    fn eliding_idle_ticks_between_wakes_changes_nothing() {
+        // A dense strategy ticked at every t and a sparse twin ticked only at
+        // `next_wake` boundaries must post identical decisions and leave their
+        // RNGs in identical states (the elision contract of `next_wake`).
+        use rand::RngCore as _;
+        let flush = Some(CacheFlush::new(40, 5));
+        let mut dense = DpTimerStrategy::with_flush(eps(0.5), 30, flush);
+        let mut sparse = DpTimerStrategy::with_flush(eps(0.5), 30, flush);
+        let mut dense_rng = DpRng::seed_from_u64(7);
+        let mut sparse_rng = DpRng::seed_from_u64(7);
+        let mut next = sparse.next_wake(Timestamp(0)).unwrap();
+        for t in 1..=600u64 {
+            let dense_d = dense.on_tick(&ctx(t, 0), &mut dense_rng);
+            if Timestamp(t) == next {
+                let sparse_d = sparse.on_tick(&ctx(t, 0), &mut sparse_rng);
+                assert_eq!(dense_d, sparse_d, "decision diverged at t={t}");
+                next = sparse.next_wake(Timestamp(t)).unwrap();
+            } else {
+                assert_eq!(dense_d, SyncDecision::None, "sync on elided tick t={t}");
+            }
+        }
+        assert_eq!(dense.syncs_posted(), sparse.syncs_posted());
+        assert_eq!(dense_rng.next_u64(), sparse_rng.next_u64());
     }
 
     #[test]

@@ -80,6 +80,8 @@ fn workloads(horizon: u64) -> Vec<TableWorkload> {
                 }
             })
             .collect(),
+        join_time: 0,
+        leave_time: None,
     };
     vec![make("yellow", 0), make("green", 5)]
 }

@@ -16,6 +16,9 @@
 //! * [`arrival`] — reusable arrival-process models (Bernoulli, Poisson-like
 //!   bursts, diurnal profiles) for workloads beyond the taxi trace.
 //! * [`queries`] — the evaluation queries Q1/Q2/Q3 with their paper labels.
+//! * [`scale`] — the open-loop fleet generator behind `exp_scale`:
+//!   heavy-tailed per-owner rates, diurnal bursts, flash crowds, and owner
+//!   churn for 10^5–10^6 seed-deterministic owners.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -23,7 +26,9 @@
 pub mod arrival;
 pub mod csv;
 pub mod queries;
+pub mod scale;
 pub mod taxi;
 
 pub use arrival::ArrivalProcess;
+pub use scale::ScaleProfile;
 pub use taxi::{TaxiConfig, TaxiDataset, TaxiRecord};

@@ -1,0 +1,352 @@
+//! The open-loop fleet generator behind `exp_scale`: seed-deterministic
+//! workloads for 10^5–10^6 owners.
+//!
+//! Unlike the taxi replay (one or two tables over a month of ticks), a
+//! production-scale fleet is many owners with wildly different activity
+//! levels, so this generator models:
+//!
+//! * **Heavy-tailed per-owner rates** — each owner's mean arrival rate is
+//!   the fleet rate scaled by a Pareto(α) draw with mean 1, so a small core
+//!   of hot owners carries most of the traffic while the long tail is
+//!   almost idle (the regime the sparse-tick scheduler exists for).
+//! * **Diurnal bursts** — a raised-cosine day profile (same shape as
+//!   [`crate::arrival::ArrivalProcess::Diurnal`]) multiplies every owner's
+//!   rate, peaking mid-period.
+//! * **Flash crowds** — fleet-wide windows during which every owner's rate
+//!   is multiplied by a boost factor, modelling correlated external events.
+//! * **Owner churn** — a configurable fraction of owners joins late or
+//!   leaves early (`join_time` / `leave_time` on the emitted
+//!   [`OwnerWorkload`]s), exercising mid-run `Π_Setup` and abandoned
+//!   caches.
+//!
+//! Arrivals are sampled in **open-loop** fashion — the schedule is fixed
+//! up front and independent of how the system keeps up — and in `O(events)`
+//! per owner rather than `O(horizon)`: candidate ticks come from a
+//! geometric skip under each owner's peak rate, then thinning accepts each
+//! candidate with probability `rate(t) / peak` so the per-tick law is an
+//! exact Bernoulli at the time-varying rate.  Everything derives from one
+//! seed via label-keyed RNG streams, so a profile generates the identical
+//! fleet on every machine.
+
+use dpsync_core::sparse::OwnerWorkload;
+use dpsync_dp::DpRng;
+use dpsync_edb::{DataType, Row, Schema, Value};
+use rand::Rng;
+
+/// The schema every generated owner table uses: an event timestamp and an
+/// integer reading (the minimal shape Q1/Q2 can run against).
+pub fn scale_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("event_time", DataType::Timestamp),
+        ("reading", DataType::Int),
+    ])
+}
+
+/// A deterministic description of a simulated fleet.
+#[derive(Debug, Clone)]
+pub struct ScaleProfile {
+    /// Number of owners (tables) in the fleet.
+    pub owners: usize,
+    /// Number of simulated ticks.
+    pub horizon: u64,
+    /// Master seed; two equal profiles generate identical fleets.
+    pub seed: u64,
+    /// Fleet-average arrivals per owner per tick (before diurnal/flash
+    /// modulation; each owner's own mean is this times a Pareto draw).
+    pub mean_rate: f64,
+    /// Pareto shape α > 1 for the per-owner rate multiplier (smaller α =
+    /// heavier tail; the multiplier always has mean 1).
+    pub pareto_alpha: f64,
+    /// Fraction of the rate removed at the diurnal trough, in `[0, 1)`:
+    /// the day profile multiplies rates by `1 - amplitude` at the trough
+    /// and `1` at the peak.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in ticks (1440 = one day of one-minute ticks).
+    pub diurnal_period: u64,
+    /// Number of fleet-wide flash-crowd windows scattered over the run.
+    pub flash_crowds: usize,
+    /// Width of each flash-crowd window in ticks.
+    pub flash_width: u64,
+    /// Rate multiplier inside a flash window (≥ 1).
+    pub flash_boost: f64,
+    /// Fraction of owners subject to churn, in `[0, 1]`: half of them join
+    /// late (uniform in the first half of the run), half leave early
+    /// (uniform in the second half).
+    pub churn_fraction: f64,
+    /// Initial rows (`D₀`) per owner, outsourced at setup.
+    pub initial_records: usize,
+}
+
+impl ScaleProfile {
+    /// A fleet profile with defaults sized for `exp_scale`'s full runs:
+    /// mostly-idle owners (one arrival every ~500 ticks on average), a
+    /// heavy tail, one day of ticks per `horizon = 1440`, mild churn.
+    pub fn new(owners: usize, horizon: u64, seed: u64) -> Self {
+        Self {
+            owners,
+            horizon,
+            seed,
+            mean_rate: 0.002,
+            pareto_alpha: 1.5,
+            diurnal_amplitude: 0.8,
+            diurnal_period: 1440,
+            flash_crowds: 2,
+            flash_width: 30,
+            flash_boost: 8.0,
+            churn_fraction: 0.1,
+            initial_records: 2,
+        }
+    }
+
+    /// The fleet-wide flash-crowd windows as inclusive `(start, end)` tick
+    /// ranges, derived from the seed alone.
+    pub fn flash_windows(&self) -> Vec<(u64, u64)> {
+        let root = DpRng::seed_from_u64(self.seed);
+        let mut rng = root.derive("scale/flash");
+        let mut windows = Vec::with_capacity(self.flash_crowds);
+        for _ in 0..self.flash_crowds {
+            let latest_start = self.horizon.saturating_sub(self.flash_width).max(1);
+            let start = rng.gen_range(1..=latest_start);
+            windows.push((start, (start + self.flash_width).min(self.horizon)));
+        }
+        windows.sort_unstable();
+        windows
+    }
+
+    /// Expected total arrival events across the fleet (a sizing aid for
+    /// harness output; the realized count varies with the seed).
+    pub fn expected_events(&self) -> f64 {
+        let diurnal_mean = 1.0 - self.diurnal_amplitude * 0.5;
+        self.owners as f64 * self.horizon as f64 * self.mean_rate * diurnal_mean
+    }
+
+    /// Generates the whole fleet.  `generate()[i]` is owner `i`'s workload;
+    /// the output is a pure function of the profile.
+    pub fn generate(&self) -> Vec<OwnerWorkload> {
+        let flash = self.flash_windows();
+        (0..self.owners)
+            .map(|i| self.generate_owner(i, &flash))
+            .collect()
+    }
+
+    /// Generates owner `i`'s workload against the given flash windows
+    /// (obtain them from [`ScaleProfile::flash_windows`]; exposed so
+    /// callers can parallelize or stream generation owner-by-owner).
+    pub fn generate_owner(&self, i: usize, flash: &[(u64, u64)]) -> OwnerWorkload {
+        let root = DpRng::seed_from_u64(self.seed);
+        let mut rng = root.derive_indexed("scale/owner", i as u64);
+
+        // Heavy-tailed per-owner mean rate: Pareto(α) with x_m chosen so
+        // the multiplier has mean 1 (x_m = (α-1)/α).
+        let alpha = self.pareto_alpha.max(1.01);
+        let x_m = (alpha - 1.0) / alpha;
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        let multiplier = x_m / u.powf(1.0 / alpha);
+        let rate = self.mean_rate * multiplier;
+
+        // Churn: late join in the first half, early leave in the second.
+        let mut join_time = 0u64;
+        let mut leave_time = None;
+        if self.horizon >= 4 && rng.gen::<f64>() < self.churn_fraction {
+            if rng.gen::<bool>() {
+                join_time = rng.gen_range(1..=self.horizon / 2);
+            } else {
+                leave_time = Some(rng.gen_range(self.horizon / 2..self.horizon));
+            }
+        }
+
+        let initial_rows = (0..self.initial_records)
+            .map(|_| row(0, &mut rng))
+            .collect();
+
+        // Open-loop arrival sampling in O(events): geometric skips under
+        // the owner's peak per-tick probability, thinned to the modulated
+        // rate at each candidate tick.
+        let peak = (rate * self.flash_boost.max(1.0)).min(0.95);
+        let mut arrivals = Vec::new();
+        if peak > 0.0 {
+            let last = leave_time.unwrap_or(self.horizon).min(self.horizon);
+            let mut t = join_time;
+            loop {
+                // Geometric skip: next candidate under Bernoulli(peak).
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                let skip = (u.ln() / (1.0 - peak).ln()).floor() as u64;
+                t = t.saturating_add(1).saturating_add(skip);
+                if t > last {
+                    break;
+                }
+                let modulated =
+                    (rate * self.diurnal_factor(t) * flash_factor(flash, t, self.flash_boost))
+                        .min(peak);
+                if rng.gen::<f64>() < modulated / peak {
+                    arrivals.push((t, vec![row(t, &mut rng)]));
+                }
+            }
+        }
+
+        OwnerWorkload {
+            table: format!("o{i:06}"),
+            schema: scale_schema(),
+            initial_rows,
+            join_time,
+            leave_time,
+            arrivals,
+        }
+    }
+
+    /// The raised-cosine day profile: `1 - amplitude` at the trough
+    /// (`t % period == 0`), `1` at the peak (mid-period).
+    fn diurnal_factor(&self, t: u64) -> f64 {
+        if self.diurnal_amplitude <= 0.0 || self.diurnal_period == 0 {
+            return 1.0;
+        }
+        let phase = (t % self.diurnal_period) as f64 / self.diurnal_period as f64;
+        1.0 - self.diurnal_amplitude * (0.5 + 0.5 * (2.0 * std::f64::consts::PI * phase).cos())
+    }
+}
+
+fn flash_factor(windows: &[(u64, u64)], t: u64, boost: f64) -> f64 {
+    if windows
+        .iter()
+        .any(|(start, end)| (*start..=*end).contains(&t))
+    {
+        boost.max(1.0)
+    } else {
+        1.0
+    }
+}
+
+fn row(t: u64, rng: &mut DpRng) -> Row {
+    Row::new(vec![
+        Value::Timestamp(t),
+        Value::Int(i64::from(rng.gen_range(0i32..1000))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ScaleProfile {
+        ScaleProfile::new(400, 1440, 2021)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = profile().generate();
+        let b = profile().generate();
+        assert_eq!(a.len(), 400);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.table, wb.table);
+            assert_eq!(wa.join_time, wb.join_time);
+            assert_eq!(wa.leave_time, wb.leave_time);
+            assert_eq!(wa.arrivals, wb.arrivals);
+            assert_eq!(wa.initial_rows, wb.initial_rows);
+        }
+        let mut other = profile();
+        other.seed = 2022;
+        let c = other.generate();
+        assert!(a.iter().zip(&c).any(|(wa, wc)| wa.arrivals != wc.arrivals));
+    }
+
+    #[test]
+    fn rates_are_heavy_tailed() {
+        let fleet = profile().generate();
+        let mut counts: Vec<usize> = fleet.iter().map(|w| w.arrivals.len()).collect();
+        counts.sort_unstable();
+        let total: usize = counts.iter().sum();
+        // The busiest 10% of owners must carry well more than 10% of events.
+        let top_decile: usize = counts[counts.len() * 9 / 10..].iter().sum();
+        assert!(
+            top_decile * 100 > total * 25,
+            "top decile {top_decile} of {total}"
+        );
+    }
+
+    #[test]
+    fn arrivals_respect_active_windows_and_ordering() {
+        let fleet = profile().generate();
+        let mut churned = 0;
+        for w in &fleet {
+            let mut prev = 0u64;
+            for (t, rows) in &w.arrivals {
+                assert!(*t > prev, "non-increasing arrival time in {}", w.table);
+                assert!(w.active_at(*t), "arrival outside window in {}", w.table);
+                assert!(!rows.is_empty());
+                prev = *t;
+            }
+            if w.join_time > 0 || w.leave_time.is_some() {
+                churned += 1;
+            }
+        }
+        // ~10% of 400 owners; generous band.
+        assert!((15..=75).contains(&churned), "churned {churned}");
+    }
+
+    #[test]
+    fn diurnal_profile_shapes_fleet_traffic() {
+        let mut p = profile();
+        p.owners = 2000;
+        p.mean_rate = 0.01;
+        p.flash_crowds = 0;
+        p.churn_fraction = 0.0;
+        let fleet = p.generate();
+        // Aggregate arrivals near the trough (phase ≈ 0) vs the peak (≈ 0.5).
+        let (mut trough, mut peak) = (0usize, 0usize);
+        for w in &fleet {
+            for (t, _) in &w.arrivals {
+                let phase = (*t % p.diurnal_period) as f64 / p.diurnal_period as f64;
+                if !(0.1..=0.9).contains(&phase) {
+                    trough += 1;
+                } else if (0.35..=0.65).contains(&phase) {
+                    peak += 1;
+                }
+            }
+        }
+        assert!(peak > trough * 2, "peak {peak} trough {trough}");
+    }
+
+    #[test]
+    fn flash_crowds_spike_fleet_traffic() {
+        let mut p = profile();
+        p.owners = 2000;
+        p.mean_rate = 0.005;
+        p.diurnal_amplitude = 0.0;
+        p.churn_fraction = 0.0;
+        let windows = p.flash_windows();
+        assert_eq!(windows.len(), p.flash_crowds);
+        let fleet = p.generate();
+        let in_flash_ticks: u64 = windows.iter().map(|(s, e)| e - s + 1).sum();
+        let (mut inside, mut outside) = (0u64, 0u64);
+        for w in &fleet {
+            for (t, _) in &w.arrivals {
+                if windows.iter().any(|(s, e)| (*s..=*e).contains(t)) {
+                    inside += 1;
+                } else {
+                    outside += 1;
+                }
+            }
+        }
+        let inside_rate = inside as f64 / in_flash_ticks as f64;
+        let outside_rate = outside as f64 / (p.horizon - in_flash_ticks) as f64;
+        assert!(
+            inside_rate > outside_rate * 3.0,
+            "inside {inside_rate:.2}/tick outside {outside_rate:.2}/tick"
+        );
+    }
+
+    #[test]
+    fn expected_events_is_a_reasonable_sizing_estimate() {
+        let mut p = profile();
+        p.owners = 5000;
+        p.flash_crowds = 0;
+        p.churn_fraction = 0.0;
+        let fleet = p.generate();
+        let realized: usize = fleet.iter().map(|w| w.arrivals.len()).sum();
+        let expected = p.expected_events();
+        assert!(
+            (realized as f64) > expected * 0.5 && (realized as f64) < expected * 2.0,
+            "realized {realized} vs expected {expected:.0}"
+        );
+    }
+}

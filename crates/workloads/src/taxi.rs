@@ -249,6 +249,8 @@ impl TaxiDataset {
             schema: taxi_schema(),
             initial_rows,
             arrivals,
+            join_time: 0,
+            leave_time: None,
         }
     }
 }

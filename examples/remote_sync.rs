@@ -46,6 +46,8 @@ fn workload(horizon: u64) -> TableWorkload {
                 }
             })
             .collect(),
+        join_time: 0,
+        leave_time: None,
     }
 }
 

@@ -27,14 +27,18 @@
 //! * `scale_sync_lag` — mean logical gap in **records** (carried in the
 //!   `median_ns_per_op` field; `throughput_per_sec` carries the final gap);
 //! * `scale_dummy_overhead` — dummy records as a **percentage** of all
-//!   outsourced records (in `median_ns_per_op`).
+//!   outsourced records (in `median_ns_per_op`);
+//! * `scale_analytics` — p50 analyst-query latency (ns).  With `--views` the
+//!   recurring Q1/Q2 analytics are served from incrementally maintained
+//!   materialized views, so this stays flat as the fleet grows; without it,
+//!   every pose is a full scan over the outsourced volume.
 //!
 //! Usage:
 //!
 //! ```text
 //! exp_scale [--owners 100000] [--horizon 1440] [--strategy dp-timer]
 //!           [--seed 2021] [--transport inproc|tcp] [--connections 64]
-//!           [--mux 4] [--smoke] [--out FILE]
+//!           [--mux 4] [--views] [--smoke] [--out FILE]
 //! ```
 //!
 //! `--smoke` shrinks the fleet to 20 000 owners over 480 ticks for CI.
@@ -57,7 +61,7 @@ use dpsync_edb::engines::ObliDbEngine;
 use dpsync_edb::leakage::LeakageProfile;
 use dpsync_edb::query::Predicate;
 use dpsync_edb::sogdb::{EdbError, SecureOutsourcedDatabase, TableStats};
-use dpsync_edb::{AdversaryView, Query, QueryOutcome, Schema};
+use dpsync_edb::{AdversaryView, Query, QueryOutcome, Schema, ViewDef};
 use dpsync_net::{EdbTcpServer, EngineProvider, MuxConnection, ServeOptions};
 use dpsync_workloads::scale::ScaleProfile;
 use rand::RngCore;
@@ -78,6 +82,7 @@ struct Config {
     transport: Transport,
     connections: usize,
     mux: usize,
+    views: bool,
     smoke: bool,
     out: Option<String>,
 }
@@ -92,6 +97,7 @@ impl Default for Config {
             transport: Transport::Inproc,
             connections: 64,
             mux: 4,
+            views: false,
             smoke: false,
             out: None,
         }
@@ -100,7 +106,8 @@ impl Default for Config {
 
 const USAGE: &str =
     "usage: exp_scale [--owners N] [--horizon T] [--strategy sur|oto|set|dp-timer|dp-ant] \
-     [--seed S] [--transport inproc|tcp] [--connections N] [--mux M] [--smoke] [--out FILE]";
+     [--seed S] [--transport inproc|tcp] [--connections N] [--mux M] [--views] [--smoke] \
+     [--out FILE]";
 
 fn parse_args() -> Config {
     let mut config = Config::default();
@@ -189,6 +196,7 @@ fn parse_args() -> Config {
                 }
                 None => bad("--mux", value(i)),
             },
+            "--views" => config.views = true,
             "--smoke" => config.smoke = true,
             "--out" => match value(i) {
                 Some(v) => {
@@ -248,6 +256,7 @@ fn make_strategy(kind: StrategyKind) -> Box<dyn SyncStrategy> {
 struct LatencyProbe<'a> {
     inner: &'a dyn SecureOutsourcedDatabase,
     update_ns: Mutex<Vec<u64>>,
+    query_ns: Mutex<Vec<u64>>,
 }
 
 impl<'a> LatencyProbe<'a> {
@@ -255,11 +264,16 @@ impl<'a> LatencyProbe<'a> {
         Self {
             inner,
             update_ns: Mutex::new(Vec::new()),
+            query_ns: Mutex::new(Vec::new()),
         }
     }
 
     fn take_latencies(&self) -> Vec<u64> {
         std::mem::take(&mut self.update_ns.lock().expect("probe lock"))
+    }
+
+    fn take_query_latencies(&self) -> Vec<u64> {
+        std::mem::take(&mut self.query_ns.lock().expect("probe lock"))
     }
 }
 
@@ -301,7 +315,30 @@ impl SecureOutsourcedDatabase for LatencyProbe<'_> {
     }
 
     fn query(&self, query: &Query, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
-        self.inner.query(query, rng)
+        let started = Instant::now();
+        let result = self.inner.query(query, rng);
+        self.query_ns
+            .lock()
+            .expect("probe lock")
+            .push(started.elapsed().as_nanos() as u64);
+        result
+    }
+
+    // A decorator that swallowed these behind the trait defaults would turn
+    // `--views` into a silent scan fallback (the default impls report views
+    // as unsupported), so both view entry points delegate explicitly.
+    fn register_view(&self, def: &ViewDef) -> Result<(), EdbError> {
+        self.inner.register_view(def)
+    }
+
+    fn query_view(&self, name: &str, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+        let started = Instant::now();
+        let result = self.inner.query_view(name, rng);
+        self.query_ns
+            .lock()
+            .expect("probe lock")
+            .push(started.elapsed().as_nanos() as u64);
+        result
     }
 
     fn supports(&self, query: &Query) -> bool {
@@ -328,7 +365,7 @@ fn simulation_for(config: &Config, fleet: &[OwnerWorkload]) -> Simulation {
         .iter()
         .find(|w| w.join_time == 0)
         .expect("at least one owner joins at t=0");
-    Simulation::new(SimulationConfig {
+    let sim = Simulation::new(SimulationConfig {
         query_interval: (config.horizon / 4).max(1),
         size_sample_interval: (config.horizon / 2).max(1),
         // Q1/Q2 shapes from the paper, rebound to the scale schema's
@@ -351,7 +388,12 @@ fn simulation_for(config: &Config, fleet: &[OwnerWorkload]) -> Simulation {
             ),
         ],
         seed: config.seed,
-    })
+    });
+    if config.views {
+        sim.with_views()
+    } else {
+        sim
+    }
 }
 
 /// Replays a small churn-heavy fleet through both the dense sequential
@@ -429,6 +471,7 @@ fn connect_with_retry(addr: std::net::SocketAddr) -> MuxConnection {
 struct RunOutcome {
     report: dpsync_core::metrics::SimulationReport,
     update_latencies_ns: Vec<u64>,
+    query_latencies_ns: Vec<u64>,
     wall: Duration,
     server_failures: Vec<String>,
 }
@@ -451,6 +494,11 @@ fn run_inproc(
         report,
         update_latencies_ns: {
             let mut v = probe.take_latencies();
+            v.sort_unstable();
+            v
+        },
+        query_latencies_ns: {
+            let mut v = probe.take_query_latencies();
             v.sort_unstable();
             v
         },
@@ -487,6 +535,7 @@ fn run_tcp(
         .flat_map(|conn| (0..config.mux).map(|_| conn.open_shared().expect("session opens")))
         .collect();
     let analyst_session = connections[0].open_shared().expect("analyst session opens");
+    let analyst_probe = LatencyProbe::new(&analyst_session as &dyn SecureOutsourcedDatabase);
     let probes: Vec<LatencyProbe<'_>> = sessions
         .iter()
         .map(|s| LatencyProbe::new(s as &dyn SecureOutsourcedDatabase))
@@ -501,7 +550,7 @@ fn run_tcp(
             fleet,
             config.horizon,
             &owner_engines,
-            &analyst_session,
+            &analyst_probe,
             master,
             |_| make_strategy(config.strategy),
         )
@@ -513,6 +562,8 @@ fn run_tcp(
         .flat_map(LatencyProbe::take_latencies)
         .collect();
     latencies.sort_unstable();
+    let mut query_latencies = analyst_probe.take_query_latencies();
+    query_latencies.sort_unstable();
 
     let mut server_failures = Vec::new();
     if server.handler_panics() != 0 {
@@ -527,6 +578,7 @@ fn run_tcp(
     RunOutcome {
         report,
         update_latencies_ns: latencies,
+        query_latencies_ns: query_latencies,
         wall,
         server_failures,
     }
@@ -539,11 +591,16 @@ fn main() {
         Transport::Tcp => format!("tcp ({}x{} sessions)", config.connections, config.mux),
     };
     println!(
-        "scale harness — {} owners, {} ticks, {} strategy, {} transport (seed {})\n",
+        "scale harness — {} owners, {} ticks, {} strategy, {} transport, analytics via {} (seed {})\n",
         config.owners,
         config.horizon,
         config.strategy.label(),
         transport_label,
+        if config.views {
+            "materialized views"
+        } else {
+            "full scans"
+        },
         config.seed
     );
 
@@ -582,6 +639,9 @@ fn main() {
     let updates = outcome.update_latencies_ns.len() as u64;
     let p50 = percentile(&outcome.update_latencies_ns, 0.50);
     let p99 = percentile(&outcome.update_latencies_ns, 0.99);
+    let analyst_queries = outcome.query_latencies_ns.len() as u64;
+    let query_p50 = percentile(&outcome.query_latencies_ns, 0.50);
+    let query_p99 = percentile(&outcome.query_latencies_ns, 0.99);
 
     let mut table = TextTable::new(["metric", "value"]);
     table.add_row(["owners", &fleet.len().to_string()]);
@@ -601,6 +661,15 @@ fn main() {
     table.add_row(["ingest throughput", &format_throughput(ingest_per_sec)]);
     table.add_row(["update latency p50", &format!("{:.1} µs", p50 as f64 / 1e3)]);
     table.add_row(["update latency p99", &format!("{:.1} µs", p99 as f64 / 1e3)]);
+    table.add_row(["analyst queries", &analyst_queries.to_string()]);
+    table.add_row([
+        "analytics latency p50",
+        &format!("{:.1} µs", query_p50 as f64 / 1e3),
+    ]);
+    table.add_row([
+        "analytics latency p99",
+        &format!("{:.1} µs", query_p99 as f64 / 1e3),
+    ]);
     print!("{}", table.render());
 
     let bench = BenchReport {
@@ -646,6 +715,20 @@ fn main() {
                 median_ns_per_op: dummy_pct,
                 throughput_per_sec: sizes.dummy_records as f64,
                 records_processed: sizes.outsourced_records,
+                samples: 1,
+            },
+            // Per-epoch analytics cost: with `--views` this is a view read
+            // (flat as the fleet grows); without, a full scan (grows with
+            // outsourced volume).
+            BenchResult {
+                name: "scale_analytics".into(),
+                median_ns_per_op: query_p50 as f64,
+                throughput_per_sec: if query_p50 > 0 {
+                    1e9 / query_p50 as f64
+                } else {
+                    0.0
+                },
+                records_processed: analyst_queries,
                 samples: 1,
             },
         ],

@@ -8,7 +8,8 @@
 //! segment log, both with per-batch fsync and with concurrent appenders
 //! amortized through group-commit sync windows), the same ingest through
 //! the reactor service tier (multiplexed sessions over real loopback
-//! sockets), query execution, and a
+//! sockets), query execution (full scans and materialized-view reads, plus
+//! the view-maintenance ingest overhead), and a
 //! small end-to-end sync — and renders the medians into a versioned
 //! [`BenchReport`].  The `exp_bench`
 //! binary writes the report as `BENCH_<label>.json`, and its `compare`
@@ -36,7 +37,7 @@ use dpsync_edb::engines::base::encrypt_batch;
 use dpsync_edb::engines::ObliDbEngine;
 use dpsync_edb::query::paper_queries;
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
-use dpsync_edb::{DataType, Row, Schema, Value};
+use dpsync_edb::{DataType, Row, Schema, Value, ViewDef};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -471,8 +472,8 @@ impl SuiteScale {
                 dp_draws: 20_000,
                 query_rows: 2_000,
                 queries_per_sample: 8,
-                e2e_scale: 1_440,
-                e2e_samples: 3,
+                e2e_scale: 480,
+                e2e_samples: 5,
                 sparse_owners: 400,
                 sparse_horizon: 180,
                 sparse_samples: 3,
@@ -486,8 +487,8 @@ impl SuiteScale {
                 dp_draws: 200_000,
                 query_rows: 20_000,
                 queries_per_sample: 16,
-                e2e_scale: 360,
-                e2e_samples: 5,
+                e2e_scale: 120,
+                e2e_samples: 7,
                 sparse_owners: 2_000,
                 sparse_horizon: 360,
                 sparse_samples: 5,
@@ -906,6 +907,65 @@ fn bench_query(
     })
 }
 
+/// Times `Π_Query` served from a registered materialized view.  The records
+/// divisor is the same as [`bench_query`]'s (rows the equivalent scan would
+/// touch), so `query_q1_view` vs `query_q1_count` ns/op compare directly and
+/// the view speedup is the throughput ratio.
+fn bench_view_query(
+    name: &str,
+    scale: &SuiteScale,
+    engine: &ObliDbEngine,
+    view: &str,
+    seed: u64,
+) -> BenchResult {
+    let records =
+        (scale.query_rows + scale.query_rows / 4) as u64 * scale.queries_per_sample as u64;
+    run_bench(name, scale.samples, records, || {
+        let mut rng = DpRng::seed_from_u64(seed);
+        let started = Instant::now();
+        for _ in 0..scale.queries_per_sample {
+            black_box(
+                engine
+                    .query_view(view, &mut rng)
+                    .expect("view read succeeds"),
+            );
+        }
+        started.elapsed()
+    })
+}
+
+/// The same `Π_Update` workload as [`bench_pi_update_ingest`] but with both
+/// paper views registered up front, so every ingested record (dummies
+/// included) also flows through the incremental maintenance path.  The delta
+/// against `pi_update_ingest` is the per-record maintenance overhead.
+fn bench_view_maintenance(scale: &SuiteScale, seed: u64) -> BenchResult {
+    let master = MasterKey::from_bytes([0xB3; 32]);
+    let batches = ingest_batches(scale, seed, &master);
+    let records: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    run_bench("view_maintenance", scale.samples, records, || {
+        let engine = ObliDbEngine::new(&master);
+        engine
+            .setup("bench", taxi_like_schema(), Vec::new())
+            .expect("fresh engine");
+        for def in [
+            ViewDef::new("q1", paper_queries::q1_range_count("bench")).expect("supported shape"),
+            ViewDef::new("q2", paper_queries::q2_group_by_count("bench")).expect("supported shape"),
+        ] {
+            engine.register_view(&def).expect("view registers");
+        }
+        let cloned: Vec<_> = batches.to_vec();
+        let started = Instant::now();
+        for (time, batch) in cloned.into_iter().enumerate() {
+            engine
+                .update("bench", time as u64 + 1, batch)
+                .expect("ingest cannot fail");
+        }
+        let elapsed = started.elapsed();
+        black_box(engine.table_stats("bench").ciphertext_count);
+        elapsed
+    })
+}
+
 fn bench_e2e_sync(scale: &SuiteScale, seed: u64) -> BenchResult {
     let spec = RunSpec {
         engine: EngineKind::ObliDb,
@@ -990,6 +1050,16 @@ pub fn run_suite(config: &SuiteConfig) -> BenchReport {
     let scale = SuiteScale::new(config.smoke);
     let seed = config.seed;
     let engine = query_engine(&scale, seed);
+    // The view benchmarks read from the same loaded engine as the scan
+    // benchmarks; registration backfills from the mirror once, here, outside
+    // every timed region.
+    for (name, query) in [
+        ("q1", paper_queries::q1_range_count("yellow")),
+        ("q2", paper_queries::q2_group_by_count("yellow")),
+    ] {
+        let def = ViewDef::new(name, query).expect("paper queries are view-supported");
+        engine.register_view(&def).expect("view registers");
+    }
     let results = vec![
         bench_crypto_encrypt(&scale, seed),
         bench_crypto_decrypt(&scale, seed),
@@ -1013,6 +1083,9 @@ pub fn run_suite(config: &SuiteConfig) -> BenchReport {
             &paper_queries::q2_group_by_count("yellow"),
             seed,
         ),
+        bench_view_query("query_q1_view", &scale, &engine, "q1", seed),
+        bench_view_query("query_q2_view", &scale, &engine, "q2", seed),
+        bench_view_maintenance(&scale, seed),
         bench_e2e_sync(&scale, seed),
         bench_sparse_tick_sim(&scale, seed),
     ];
@@ -1172,6 +1245,9 @@ mod tests {
             "reactor_ingest",
             "query_q1_count",
             "query_q2_group_by",
+            "query_q1_view",
+            "query_q2_view",
+            "view_maintenance",
             "e2e_sync",
             "sparse_tick_sim",
         ] {

@@ -164,17 +164,35 @@ pub(crate) struct PreparedRun {
 #[derive(Debug, Clone)]
 pub struct Simulation {
     config: SimulationConfig,
+    use_views: bool,
 }
 
 impl Simulation {
     /// Creates a driver for `config`.
     pub fn new(config: SimulationConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            use_views: false,
+        }
+    }
+
+    /// Serves the analyst's recurring queries from auto-registered
+    /// materialized views (see [`Analyst::with_views`]).  Released answers
+    /// and the adversary view are byte-identical to the scan path; only
+    /// measured query latencies change.
+    pub fn with_views(mut self) -> Self {
+        self.use_views = true;
+        self
     }
 
     /// The configuration.
     pub fn config(&self) -> &SimulationConfig {
         &self.config
+    }
+
+    /// Whether the analyst serves recurring queries from materialized views.
+    pub fn uses_views(&self) -> bool {
+        self.use_views
     }
 
     /// Runs `Π_Setup` for every table present from the start and derives the
@@ -258,13 +276,17 @@ impl Simulation {
             owners.push(owner);
         }
 
-        let analyst = Analyst::new(
-            self.config
-                .queries
-                .iter()
-                .map(|(label, q)| NamedQuery::new(label.clone(), q.clone()))
-                .collect(),
-        );
+        let named: Vec<NamedQuery> = self
+            .config
+            .queries
+            .iter()
+            .map(|(label, q)| NamedQuery::new(label.clone(), q.clone()))
+            .collect();
+        let analyst = if self.use_views {
+            Analyst::with_views(named)
+        } else {
+            Analyst::new(named)
+        };
         let analyst_rng = rng.derive("analyst");
         let owner_rngs: Vec<DpRng> = specs
             .iter()

@@ -31,6 +31,7 @@ use crate::row::Row;
 use crate::schema::{Schema, Value};
 use crate::server::ServerStorage;
 use crate::sogdb::{EdbError, TableStats};
+use crate::views::{MaterializedView, ViewDef};
 use dpsync_crypto::{EncryptedRecord, MasterKey, RecordCryptor};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -54,6 +55,10 @@ pub struct EngineTable {
     /// The padded dummy row for this schema (all NULLs plus `is_dummy =
     /// true`), precomputed once at `Π_Setup` and cloned per ingested dummy.
     pub dummy_row: Row,
+    /// Materialized views registered over this table, maintained
+    /// incrementally by `ingest` under the same per-table lock (so a view
+    /// answer can never be observed out of sync with the mirror).
+    pub views: BTreeMap<String, MaterializedView>,
 }
 
 /// A shareable handle to one decrypted table.
@@ -68,6 +73,11 @@ pub struct EngineCore {
     cryptor: RecordCryptor,
     storage: ServerStorage,
     tables: RwLock<BTreeMap<String, TableHandle>>,
+    /// View name → owning table.  View names are global per engine so the
+    /// analyst addresses a view without naming its table; the index keeps
+    /// `view_read` O(log views) instead of a scan over every table shard.
+    /// Lock order: this index is always taken *before* any table lock.
+    view_index: RwLock<BTreeMap<String, String>>,
     query_sequence: AtomicU64,
 }
 
@@ -80,6 +90,7 @@ impl EngineCore {
             cryptor: RecordCryptor::new(master),
             storage: ServerStorage::new(),
             tables: RwLock::new(BTreeMap::new()),
+            view_index: RwLock::new(BTreeMap::new()),
             query_sequence: AtomicU64::new(0),
         }
     }
@@ -102,6 +113,7 @@ impl EngineCore {
             cryptor: RecordCryptor::new(master),
             storage: ServerStorage::with_backend(backend)?,
             tables: RwLock::new(BTreeMap::new()),
+            view_index: RwLock::new(BTreeMap::new()),
             query_sequence: AtomicU64::new(0),
         })
     }
@@ -154,6 +166,7 @@ impl EngineCore {
                     dummy_records: 0,
                     flag_column,
                     dummy_row,
+                    views: BTreeMap::new(),
                 })),
             );
         }
@@ -200,22 +213,102 @@ impl EngineCore {
         let ciphertexts: Vec<_> = records.iter().map(EncryptedRecord::to_bytes).collect();
         self.storage.ingest(table, time, &ciphertexts)?;
 
-        let mut entry = handle.write();
+        // Mirror append + incremental view maintenance, under one table
+        // write lock.  Every record of the batch — dummy or real — takes
+        // exactly one maintenance step per registered view (dummies as
+        // explicit no-ops), so maintenance cost depends only on the padded
+        // batch volume the transcript already reveals, never on the data.
+        let mut guard = handle.write();
+        let entry = &mut *guard;
         for row in decoded {
             match row {
                 None => {
+                    for view in entry.views.values_mut() {
+                        view.apply_dummy();
+                    }
                     let dummy = entry.dummy_row.clone();
                     entry.rows.push(dummy);
                     entry.dummy_records += 1;
                 }
                 Some(row) => {
-                    let values = rewrite::values_with_dummy_flag(row.into_values(), false);
-                    entry.rows.push(Row::new(values));
+                    let mirror =
+                        Row::new(rewrite::values_with_dummy_flag(row.into_values(), false));
+                    for view in entry.views.values_mut() {
+                        view.apply_row(&entry.schema, &mirror);
+                    }
+                    entry.rows.push(mirror);
                     entry.real_records += 1;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Registers a materialized view over an existing table, backfilling its
+    /// state from the mirror (dummy rows take the no-op path, exactly as
+    /// they would have during live maintenance).
+    ///
+    /// View names are global per engine.  Re-registering an identical
+    /// definition is an idempotent no-op — the analyst helper re-registers
+    /// its hot queries freely — while binding an existing name to a
+    /// different definition is rejected.
+    pub fn register_view(&self, def: &ViewDef) -> Result<(), EdbError> {
+        let Some(handle) = self.table_handle(def.table()) else {
+            return Err(EdbError::NotSetUp(def.table().to_string()));
+        };
+        let mut index = self.view_index.write();
+        if let Some(owner) = index.get(def.name()) {
+            let existing = self
+                .table_handle(owner)
+                .and_then(|h| h.read().views.get(def.name()).map(|v| v.def().clone()));
+            return if existing.as_ref() == Some(def) {
+                Ok(())
+            } else {
+                Err(EdbError::InvalidView(format!(
+                    "view `{}` is already registered with a different definition",
+                    def.name()
+                )))
+            };
+        }
+        let mut guard = handle.write();
+        let entry = &mut *guard;
+        let mut view = MaterializedView::new(def.clone(), &entry.schema)?;
+        for row in &entry.rows {
+            view.apply_mirror_row(&entry.schema, row, entry.flag_column);
+        }
+        entry.views.insert(def.name().to_string(), view);
+        index.insert(def.name().to_string(), def.table().to_string());
+        Ok(())
+    }
+
+    /// Reads a registered view: returns the underlying query (for the
+    /// engine's cost estimate and query observation), the current answer,
+    /// and the touched-record count a full scan would have reported.
+    ///
+    /// The answer itself is produced in O(result size); the returned touch
+    /// count is the *transcript* value — engines observe a view read exactly
+    /// as they would the equivalent scan, so the adversary cannot tell views
+    /// are on.
+    pub fn view_read(&self, name: &str) -> Result<(Query, QueryAnswer, u64), EdbError> {
+        let owner = self
+            .view_index
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EdbError::UnknownView(name.to_string()))?;
+        let handle = self
+            .table_handle(&owner)
+            .ok_or_else(|| EdbError::UnknownView(name.to_string()))?;
+        let entry = handle.read();
+        let view = entry
+            .views
+            .get(name)
+            .ok_or_else(|| EdbError::UnknownView(name.to_string()))?;
+        Ok((
+            view.def().query().clone(),
+            view.answer(),
+            entry.rows.len() as u64,
+        ))
     }
 
     /// Executes `query` over the decrypted mirror with dummy-aware rewriting.
@@ -512,6 +605,103 @@ mod tests {
         let (core, _) = core_with_data();
         assert_eq!(core.next_query_sequence(), 0);
         assert_eq!(core.next_query_sequence(), 1);
+    }
+
+    #[test]
+    fn view_backfills_then_tracks_ingest_incrementally() {
+        let (core, mut cryptor) = core_with_data();
+        let def = ViewDef::new("q1", paper_queries::q1_range_count("yellow")).unwrap();
+        core.register_view(&def).unwrap();
+        // Backfill covers the already-ingested batch (2 real + 3 dummies).
+        let (query, answer, touched) = core.view_read("q1").unwrap();
+        assert_eq!(query, paper_queries::q1_range_count("yellow"));
+        assert_eq!(answer, QueryAnswer::Scalar(2.0));
+        assert_eq!(touched, 5);
+        // New batches are applied as deltas, dummies as no-ops.
+        let batch = encrypt_batch(&mut cryptor, &[row(3, 90), row(4, 900)], 2);
+        core.ingest("yellow", 30, batch).unwrap();
+        let (_, answer, touched) = core.view_read("q1").unwrap();
+        assert_eq!(answer, QueryAnswer::Scalar(3.0));
+        assert_eq!(touched, 9);
+        // The view answer matches the rewritten full scan bit-for-bit.
+        let (scan, _) = core
+            .execute(&paper_queries::q1_range_count("yellow"))
+            .unwrap();
+        assert_eq!(scan, answer);
+        // Maintenance touched every mirror record exactly once.
+        let snapshot = core.table_snapshot("yellow").unwrap();
+        assert_eq!(snapshot.views["q1"].maintained_records(), 9);
+    }
+
+    #[test]
+    fn group_view_matches_scan_after_mixed_batches() {
+        let (core, mut cryptor) = core_with_data();
+        let def = ViewDef::new("q2", paper_queries::q2_group_by_count("yellow")).unwrap();
+        core.register_view(&def).unwrap();
+        let batch = encrypt_batch(&mut cryptor, &[row(3, 60), row(4, 80), row(5, 60)], 3);
+        core.ingest("yellow", 42, batch).unwrap();
+        let (_, view_answer, _) = core.view_read("q2").unwrap();
+        let (scan_answer, _) = core
+            .execute(&paper_queries::q2_group_by_count("yellow"))
+            .unwrap();
+        assert_eq!(view_answer, scan_answer);
+    }
+
+    #[test]
+    fn view_registration_errors_and_idempotency() {
+        let (core, _) = core_with_data();
+        let def = ViewDef::new("q1", paper_queries::q1_range_count("yellow")).unwrap();
+        core.register_view(&def).unwrap();
+        // Same definition again: idempotent.
+        core.register_view(&def).unwrap();
+        // Same name, different definition: rejected.
+        let other = ViewDef::new("q1", paper_queries::q2_group_by_count("yellow")).unwrap();
+        assert!(matches!(
+            core.register_view(&other),
+            Err(EdbError::InvalidView(_))
+        ));
+        // Unknown table and unknown group column.
+        let missing = ViewDef::new("g", paper_queries::q1_range_count("green")).unwrap();
+        assert!(matches!(
+            core.register_view(&missing),
+            Err(EdbError::NotSetUp(_))
+        ));
+        let bad_column = ViewDef::new(
+            "bad",
+            Query::GroupByCount {
+                table: "yellow".into(),
+                group_by: "ghost".into(),
+                predicate: None,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            core.register_view(&bad_column),
+            Err(EdbError::Exec(_))
+        ));
+        // Reads of unregistered names fail cleanly.
+        assert!(matches!(
+            core.view_read("nope"),
+            Err(EdbError::UnknownView(_))
+        ));
+    }
+
+    #[test]
+    fn rejected_batch_leaves_views_untouched() {
+        let (core, mut cryptor) = core_with_data();
+        let def = ViewDef::new("q1", paper_queries::q1_range_count("yellow")).unwrap();
+        core.register_view(&def).unwrap();
+        let before = core.view_read("q1").unwrap();
+
+        let wrong = MasterKey::from_bytes([1u8; 32]);
+        let mut wrong_cryptor = RecordCryptor::new(&wrong);
+        let mut batch = encrypt_batch(&mut cryptor, &[row(7, 70)], 1);
+        batch.extend(encrypt_batch(&mut wrong_cryptor, &[row(8, 80)], 0));
+        assert!(core.ingest("yellow", 60, batch).is_err());
+
+        assert_eq!(core.view_read("q1").unwrap(), before);
+        let snapshot = core.table_snapshot("yellow").unwrap();
+        assert_eq!(snapshot.views["q1"].maintained_records(), 5);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::query::{Query, QueryAnswer};
 use crate::schema::Schema;
 use crate::server::{AdversaryView, QueryObservation};
 use crate::sogdb::{EdbError, QueryOutcome, SecureOutsourcedDatabase, TableStats};
+use crate::views::ViewDef;
 use dpsync_crypto::{EncryptedRecord, MasterKey};
 use dpsync_dp::{Epsilon, Laplace};
 use rand::RngCore;
@@ -180,6 +181,43 @@ impl SecureOutsourcedDatabase for CryptEpsilonEngine {
     fn adversary_view(&self) -> AdversaryView {
         self.core.storage().adversary_view()
     }
+
+    fn register_view(&self, def: &ViewDef) -> Result<(), EdbError> {
+        // Views only cover count shapes, which Crypt-ε supports; nothing is
+        // observed by the server at registration time.
+        self.core.register_view(def)
+    }
+
+    fn query_view(&self, name: &str, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+        let started = Instant::now();
+        let (query, exact, touched) = self.core.view_read(name)?;
+        // The exact view answer equals the exact scan answer bit-for-bit, so
+        // drawing the Laplace perturbation from the caller's rng consumes the
+        // same draws in the same order as the scan path — fixed-seed runs
+        // (including remote ones through the entropy sub-protocol) release
+        // identical noisy answers and identical noisy volumes with views on
+        // or off.
+        let answer = self.perturb_answer(exact, rng);
+        let measured = started.elapsed().as_secs_f64();
+        let estimated = self.estimate(&query);
+
+        let sequence = self.core.next_query_sequence();
+        let noisy_volume = answer.total().max(0.0).round() as u64;
+        self.core.storage().observe_query(QueryObservation {
+            sequence,
+            kind: query.kind().to_string(),
+            touched_records: touched,
+            // L-DP: the server learns only the differentially-private volume.
+            observed_response_volume: Some(noisy_volume),
+        });
+
+        Ok(QueryOutcome {
+            answer,
+            estimated_seconds: estimated,
+            measured_seconds: measured,
+            touched_records: touched,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +327,31 @@ mod tests {
             .query(&paper_queries::q2_group_by_count("yellow"), &mut rng)
             .unwrap();
         assert!(outcome.estimated_seconds > CostModel::oblidb().group_by_cost(150));
+    }
+
+    #[test]
+    fn view_read_draws_identical_noise_as_scan() {
+        use crate::views::ViewDef;
+        // Same data, same seed: the noisy view answer and the noisy volume
+        // the adversary observes must equal the scan path's bit-for-bit,
+        // because the exact answers (and therefore the Laplace draws) match.
+        let (scan_engine, _) = engine_with_data(60);
+        let (view_engine, _) = engine_with_data(60);
+        let q1 = paper_queries::q1_range_count("yellow");
+        view_engine
+            .register_view(&ViewDef::new("q1", q1.clone()).unwrap())
+            .unwrap();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let scan = scan_engine.query(&q1, &mut rng_a).unwrap();
+        let view = view_engine.query_view("q1", &mut rng_b).unwrap();
+        assert_eq!(view.answer, scan.answer);
+        assert_eq!(view.estimated_seconds, scan.estimated_seconds);
+        assert_eq!(view.touched_records, scan.touched_records);
+        assert_eq!(
+            scan_engine.adversary_view().queries(),
+            view_engine.adversary_view().queries()
+        );
     }
 
     #[test]

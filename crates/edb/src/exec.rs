@@ -13,8 +13,8 @@
 
 use crate::query::{Predicate, Query, QueryAnswer};
 use crate::row::Row;
-use crate::schema::{Schema, Value};
-use std::collections::BTreeMap;
+use crate::schema::{GroupKey, Schema, Value};
+use std::collections::{BTreeMap, HashMap};
 
 /// Errors raised while executing a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -211,7 +211,10 @@ where
                         table: table.clone(),
                         column: group_by.clone(),
                     })?;
-            let mut groups = BTreeMap::new();
+            // Hot path: group keys are built by reference (no per-row `Value`
+            // clone) and counts accumulate as exact `u64` in a hash map; the
+            // ordered f64 answer map is built once at the end.
+            let mut groups: HashMap<GroupKey, u64> = HashMap::new();
             for row in rows {
                 if let Some(p) = predicate {
                     if !eval_predicate(p, schema, row) {
@@ -220,12 +223,12 @@ where
                 }
                 let key = row
                     .value(group_index)
-                    .cloned()
-                    .unwrap_or(Value::Null)
-                    .group_key();
-                *groups.entry(key).or_insert(0.0) += 1.0;
+                    .map_or(GroupKey::Null, Value::group_key);
+                *groups.entry(key).or_insert(0) += 1;
             }
-            Ok(QueryAnswer::Groups(groups))
+            Ok(QueryAnswer::Groups(
+                groups.into_iter().map(|(k, n)| (k, n as f64)).collect(),
+            ))
         }
         Query::JoinCount {
             left,

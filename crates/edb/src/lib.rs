@@ -27,6 +27,9 @@
 //!   SGX / crypto testbed wall-clock numbers.
 //! * [`engines`] — two concrete engines mirroring the paper's evaluation:
 //!   a Crypt-ε-like engine (L-DP leakage) and an ObliDB-like engine (L-0).
+//! * [`views`] — incremental materialized views maintained inside `Π_Update`
+//!   so recurring analyst queries read in O(result size) instead of
+//!   rescanning, without changing the adversary's transcript.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -43,6 +46,7 @@ pub mod schema;
 pub mod server;
 pub mod sogdb;
 pub mod view;
+pub mod views;
 
 pub use backend::{BackendConfig, StorageBackend, StorageError, TableStore};
 pub use engines::EngineKind;
@@ -52,3 +56,4 @@ pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema, Value};
 pub use sogdb::{EdbError, QueryOutcome, SecureOutsourcedDatabase, TableStats};
 pub use view::{AdversaryView, QueryObservation};
+pub use views::{MaterializedView, ViewDef};

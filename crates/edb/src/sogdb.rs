@@ -21,6 +21,7 @@ use crate::leakage::LeakageProfile;
 use crate::query::{Query, QueryAnswer};
 use crate::schema::Schema;
 use crate::server::AdversaryView;
+use crate::views::ViewDef;
 use dpsync_crypto::{CryptoError, EncryptedRecord};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -53,6 +54,11 @@ pub enum EdbError {
     /// panicking; the underlying error is reachable via
     /// [`std::error::Error::source`].
     Storage(StorageError),
+    /// `query_view` referenced a view name that was never registered.
+    UnknownView(String),
+    /// A view registration was rejected: unsupported query shape, a reserved
+    /// column reference, or a name already bound to a different definition.
+    InvalidView(String),
 }
 
 impl std::fmt::Display for EdbError {
@@ -67,6 +73,8 @@ impl std::fmt::Display for EdbError {
             EdbError::NotSetUp(t) => write!(f, "table `{t}` has not been set up"),
             EdbError::CorruptRow(msg) => write!(f, "corrupt row: {msg}"),
             EdbError::Storage(e) => write!(f, "storage error: {e}"),
+            EdbError::UnknownView(name) => write!(f, "unknown view `{name}`"),
+            EdbError::InvalidView(msg) => write!(f, "invalid view definition: {msg}"),
         }
     }
 }
@@ -182,6 +190,35 @@ pub trait SecureOutsourcedDatabase: Send + Sync {
 
     /// The transcript of everything the server has observed.
     fn adversary_view(&self) -> AdversaryView;
+
+    /// Registers a materialized view so subsequent `Π_Update` batches are
+    /// applied to it incrementally (see [`crate::views`]).
+    ///
+    /// Registration is idempotent for an identical definition.  The default
+    /// implementation rejects views so engines opt in explicitly.
+    fn register_view(&self, def: &ViewDef) -> Result<(), EdbError> {
+        let _ = def;
+        Err(EdbError::UnsupportedQuery {
+            engine: self.name(),
+            kind: "view",
+        })
+    }
+
+    /// `Π_Query` served from a registered materialized view in O(result
+    /// size), instead of rescanning the table.
+    ///
+    /// Engines must keep the released transcript (query observation, touched
+    /// record count, estimated QET, and any DP noise drawn from `rng`)
+    /// byte-identical to what [`SecureOutsourcedDatabase::query`] on the
+    /// view's underlying query would have produced — only the measured wall
+    /// clock may differ.  The default implementation rejects view reads.
+    fn query_view(&self, name: &str, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+        let _ = (name, rng);
+        Err(EdbError::UnsupportedQuery {
+            engine: self.name(),
+            kind: "view",
+        })
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +257,12 @@ mod tests {
         assert!(EdbError::CorruptRow("bad".into())
             .to_string()
             .contains("bad"));
+        assert!(EdbError::UnknownView("q1".into())
+            .to_string()
+            .contains("unknown view `q1`"));
+        assert!(EdbError::InvalidView("join shape".into())
+            .to_string()
+            .contains("invalid view definition"));
     }
 
     #[test]

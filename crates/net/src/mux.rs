@@ -29,6 +29,7 @@ use dpsync_edb::cost::CostModel;
 use dpsync_edb::engines::EngineKind;
 use dpsync_edb::leakage::LeakageProfile;
 use dpsync_edb::sogdb::{QueryOutcome, SecureOutsourcedDatabase, TableStats};
+use dpsync_edb::views::ViewDef;
 use dpsync_edb::{AdversaryView, EdbError, Query, Schema};
 use parking_lot::Mutex;
 use rand::RngCore;
@@ -438,6 +439,26 @@ impl SecureOutsourcedDatabase for MuxSession {
                 "mux session {} at {}: adversary_view failed: {e}",
                 self.id, self.shared.peer
             ),
+        }
+    }
+
+    fn register_view(&self, def: &ViewDef) -> Result<(), EdbError> {
+        let response = self.call(
+            Request::RegisterView {
+                name: def.name().to_string(),
+                query: def.query().clone(),
+            },
+            None,
+        )?;
+        self.expect_ok(response)
+    }
+
+    fn query_view(&self, name: &str, rng: &mut dyn RngCore) -> Result<QueryOutcome, EdbError> {
+        match self.call(Request::QueryView(name.to_string()), Some(rng))? {
+            Response::Outcome(outcome) => Ok(outcome),
+            Response::Edb(e) => Err(e),
+            Response::Protocol(message) => Err(self.io_failed(message)),
+            other => Err(self.unexpected(other)),
         }
     }
 }

@@ -50,6 +50,7 @@ use crate::server::{
     engine_info, open_session, EngineProvider, ServeOptions, ServerStats, Session,
 };
 use crate::wire::{EntropyDraw, Request, Response, SessionRequest};
+use dpsync_edb::views::ViewDef;
 use mio::net::{TcpListener, TcpStream};
 use mio::{Events, Interest, Poll, Token, Waker};
 use rand::RngCore;
@@ -382,6 +383,31 @@ fn run_request(
         Request::Supports(query) => Response::Supported(engine.supports(&query)),
         Request::TableStats(table) => Response::Stats(engine.table_stats(&table)),
         Request::AdversaryView => Response::View(engine.adversary_view()),
+        Request::RegisterView { name, query } => {
+            match ViewDef::new(name, query).and_then(|def| engine.register_view(&def)) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Edb(e),
+            }
+        }
+        Request::QueryView(name) => {
+            let mut proxy = EntropyProxy {
+                bridge,
+                sink,
+                conn,
+                session,
+                failed: false,
+            };
+            let result = engine.query_view(&name, &mut proxy);
+            if proxy.failed {
+                // Same discipline as `Π_Query`: a result computed from a
+                // dead RNG stream must not be released.
+                return None;
+            }
+            match result {
+                Ok(outcome) => Response::Outcome(outcome),
+                Err(e) => Response::Edb(e),
+            }
+        }
     })
 }
 

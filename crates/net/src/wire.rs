@@ -157,6 +157,18 @@ pub enum Request {
     /// The client's answer to an [`Response::EntropyRequest`]; only valid
     /// while a `Π_Query` is executing on this connection.
     EntropyReply(Vec<u8>),
+    /// Registers a materialized view over `query` (the server re-validates
+    /// the definition; see `dpsync_edb::views::ViewDef`).
+    RegisterView {
+        /// The view's (engine-global) name.
+        name: String,
+        /// The query shape to materialize.
+        query: Query,
+    },
+    /// `Π_Query` served from a registered view.  As with [`Request::Query`],
+    /// the server may interleave [`Response::EntropyRequest`] frames before
+    /// the final outcome.
+    QueryView(String),
 }
 
 /// A server-to-client message.
@@ -829,6 +841,7 @@ fn intern_kind(kind: &str) -> &'static str {
         "group-by" => "group-by",
         "join" => "join",
         "select" => "select",
+        "view" => "view",
         _ => "unknown-query",
     }
 }
@@ -928,6 +941,14 @@ fn put_edb_error(out: &mut Vec<u8>, e: &EdbError) {
             out.push(6);
             put_storage_error(out, inner);
         }
+        EdbError::UnknownView(name) => {
+            out.push(7);
+            put_str(out, name);
+        }
+        EdbError::InvalidView(msg) => {
+            out.push(8);
+            put_str(out, msg);
+        }
     }
 }
 
@@ -965,6 +986,8 @@ fn get_edb_error(c: &mut Cursor<'_>) -> Result<EdbError, WireError> {
         4 => EdbError::NotSetUp(c.string()?),
         5 => EdbError::CorruptRow(c.string()?),
         6 => EdbError::Storage(get_storage_error(c)?),
+        7 => EdbError::UnknownView(c.string()?),
+        8 => EdbError::InvalidView(c.string()?),
         _ => return Err(WireError::Invalid("unknown edb-error tag")),
     })
 }
@@ -1051,6 +1074,15 @@ impl Request {
                 put_u32(&mut out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
             }
+            Request::RegisterView { name, query } => {
+                out.push(0x09);
+                put_str(&mut out, name);
+                put_query(&mut out, query);
+            }
+            Request::QueryView(name) => {
+                out.push(0x0A);
+                put_str(&mut out, name);
+            }
         }
         out
     }
@@ -1097,6 +1129,11 @@ impl Request {
                 let len = c.count(1)?;
                 Request::EntropyReply(c.take(len)?.to_vec())
             }
+            0x09 => Request::RegisterView {
+                name: c.string()?,
+                query: get_query(&mut c)?,
+            },
+            0x0A => Request::QueryView(c.string()?),
             _ => return Err(WireError::Invalid("unknown request tag")),
         };
         c.finish()?;
@@ -1266,6 +1303,14 @@ mod tests {
         round_trip_request(Request::TableStats("yellow".into()));
         round_trip_request(Request::AdversaryView);
         round_trip_request(Request::EntropyReply(vec![1, 2, 3, 4, 5, 6, 7, 8]));
+        round_trip_request(Request::RegisterView {
+            name: "q1".into(),
+            query: Query::Count {
+                table: "yellow".into(),
+                predicate: Some(Predicate::Between("pickup_id".into(), 50.0, 100.0)),
+            },
+        });
+        round_trip_request(Request::QueryView("q1".into()));
     }
 
     #[test]
@@ -1345,6 +1390,12 @@ mod tests {
             EdbError::Storage(StorageError::Backend {
                 message: "no disk root".into(),
             }),
+            EdbError::UnknownView("q1".into()),
+            EdbError::InvalidView("join queries cannot be materialized".into()),
+            EdbError::UnsupportedQuery {
+                engine: "remote",
+                kind: "view",
+            },
         ];
         for error in errors {
             let bytes = Response::Edb(error.clone()).encode();
@@ -1370,6 +1421,19 @@ mod tests {
             table: "yellow".into(),
             schema: Schema::from_pairs(&[("a", DataType::Int)]),
             records: sample_records(2),
+        }
+        .encode();
+        for len in 0..full.len() {
+            let err = Request::decode(&full[..len]).unwrap_err();
+            assert!(matches!(err, WireError::Truncated | WireError::Invalid(_)));
+        }
+        let full = Request::RegisterView {
+            name: "q1".into(),
+            query: Query::GroupByCount {
+                table: "yellow".into(),
+                group_by: "pickup_id".into(),
+                predicate: None,
+            },
         }
         .encode();
         for len in 0..full.len() {

@@ -8,8 +8,9 @@
 //! segment log, both with per-batch fsync and with concurrent appenders
 //! amortized through group-commit sync windows), the same ingest through
 //! the reactor service tier (multiplexed sessions over real loopback
-//! sockets), query execution (full scans and materialized-view reads, plus
-//! the view-maintenance ingest overhead), and a
+//! sockets), query execution (full scans, materialized-view reads and
+//! encrypted-multimap selection-index reads, plus the view- and
+//! index-maintenance ingest overheads), and a
 //! small end-to-end sync — and renders the medians into a versioned
 //! [`BenchReport`].  The `exp_bench`
 //! binary writes the report as `BENCH_<label>.json`, and its `compare`
@@ -37,7 +38,7 @@ use dpsync_edb::engines::base::encrypt_batch;
 use dpsync_edb::engines::ObliDbEngine;
 use dpsync_edb::query::paper_queries;
 use dpsync_edb::sogdb::SecureOutsourcedDatabase;
-use dpsync_edb::{DataType, Row, Schema, Value, ViewDef};
+use dpsync_edb::{DataType, IndexDef, Row, Schema, Value, ViewDef};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -966,6 +967,65 @@ fn bench_view_maintenance(scale: &SuiteScale, seed: u64) -> BenchResult {
     })
 }
 
+/// Times a selective `Π_Query` served through a registered encrypted-multimap
+/// index.  The records divisor matches [`bench_query`]'s (rows the equivalent
+/// scan would touch), so `query_q1_emm_select` vs `query_q1_count` ns/op
+/// compare directly and the index speedup is the throughput ratio.
+fn bench_indexed_query(
+    name: &str,
+    scale: &SuiteScale,
+    engine: &ObliDbEngine,
+    index: &str,
+    query: &dpsync_edb::Query,
+    seed: u64,
+) -> BenchResult {
+    let records =
+        (scale.query_rows + scale.query_rows / 4) as u64 * scale.queries_per_sample as u64;
+    run_bench(name, scale.samples, records, || {
+        let mut rng = DpRng::seed_from_u64(seed);
+        let started = Instant::now();
+        for _ in 0..scale.queries_per_sample {
+            black_box(
+                engine
+                    .query_indexed(index, query, &mut rng)
+                    .expect("indexed read succeeds"),
+            );
+        }
+        started.elapsed()
+    })
+}
+
+/// The same `Π_Update` workload as [`bench_pi_update_ingest`] but with two
+/// selection indexes registered up front, so every ingested record (dummies
+/// included — each inserts exactly one entry) also flows through the
+/// encrypted-multimap maintenance path.  The delta against
+/// `pi_update_ingest` is the per-record index-maintenance overhead.
+fn bench_emm_maintenance(scale: &SuiteScale, seed: u64) -> BenchResult {
+    let master = MasterKey::from_bytes([0xB3; 32]);
+    let batches = ingest_batches(scale, seed, &master);
+    let records: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    run_bench("emm_maintenance", scale.samples, records, || {
+        let engine = ObliDbEngine::new(&master);
+        engine
+            .setup("bench", taxi_like_schema(), Vec::new())
+            .expect("fresh engine");
+        for (name, column) in [("emm_pickup", "pickup_id"), ("emm_dropoff", "dropoff_id")] {
+            let def = IndexDef::new(name, "bench", column).expect("indexable column");
+            engine.register_index(&def).expect("index registers");
+        }
+        let cloned: Vec<_> = batches.to_vec();
+        let started = Instant::now();
+        for (time, batch) in cloned.into_iter().enumerate() {
+            engine
+                .update("bench", time as u64 + 1, batch)
+                .expect("ingest cannot fail");
+        }
+        let elapsed = started.elapsed();
+        black_box(engine.table_stats("bench").ciphertext_count);
+        elapsed
+    })
+}
+
 fn bench_e2e_sync(scale: &SuiteScale, seed: u64) -> BenchResult {
     let spec = RunSpec {
         engine: EngineKind::ObliDb,
@@ -1060,6 +1120,11 @@ pub fn run_suite(config: &SuiteConfig) -> BenchReport {
         let def = ViewDef::new(name, query).expect("paper queries are view-supported");
         engine.register_view(&def).expect("view registers");
     }
+    // The indexed-read benchmark probes the same loaded engine through an
+    // EMM on Q1's predicate column; registration backfills once, here.
+    engine
+        .register_index(&IndexDef::new("emm_pickup", "yellow", "pickup_id").expect("valid index"))
+        .expect("index registers");
     let results = vec![
         bench_crypto_encrypt(&scale, seed),
         bench_crypto_decrypt(&scale, seed),
@@ -1085,7 +1150,16 @@ pub fn run_suite(config: &SuiteConfig) -> BenchReport {
         ),
         bench_view_query("query_q1_view", &scale, &engine, "q1", seed),
         bench_view_query("query_q2_view", &scale, &engine, "q2", seed),
+        bench_indexed_query(
+            "query_q1_emm_select",
+            &scale,
+            &engine,
+            "emm_pickup",
+            &paper_queries::q1_range_count("yellow"),
+            seed,
+        ),
         bench_view_maintenance(&scale, seed),
+        bench_emm_maintenance(&scale, seed),
         bench_e2e_sync(&scale, seed),
         bench_sparse_tick_sim(&scale, seed),
     ];
@@ -1247,7 +1321,9 @@ mod tests {
             "query_q2_group_by",
             "query_q1_view",
             "query_q2_view",
+            "query_q1_emm_select",
             "view_maintenance",
+            "emm_maintenance",
             "e2e_sync",
             "sparse_tick_sim",
         ] {

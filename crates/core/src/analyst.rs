@@ -8,11 +8,15 @@
 
 use crate::metrics::QuerySample;
 use crate::timeline::Timestamp;
+use dpsync_edb::emm::IndexDef;
 use dpsync_edb::exec::PlainDatabase;
-use dpsync_edb::sogdb::{EdbError, SecureOutsourcedDatabase};
+use dpsync_edb::planner::{LeakagePolicy, Plan, Planner, Statistics};
+use dpsync_edb::query::QueryAnswer;
+use dpsync_edb::sogdb::{EdbError, QueryOutcome, SecureOutsourcedDatabase};
 use dpsync_edb::views::ViewDef;
 use dpsync_edb::Query;
 use rand::RngCore;
+use std::collections::BTreeSet;
 
 /// A named query in the analyst's workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +50,17 @@ enum ViewState {
     Unsupported,
 }
 
+/// Registration status of one workload-derived encrypted-multimap index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IndexState {
+    /// Not yet registered (the table may not exist yet); retried next pose.
+    Pending,
+    /// Registered on the server; the planner may route reads through it.
+    Registered,
+    /// The engine or column cannot carry this index; never retried.
+    Unsupported,
+}
+
 /// The analyst: a fixed set of queries posed periodically.
 ///
 /// With [`Analyst::with_views`], the analyst treats its workload as *hot*:
@@ -53,11 +68,22 @@ enum ViewState {
 /// after its label) the first time its table exists, and subsequent poses
 /// read the view in O(result size).  Answers and the adversary's transcript
 /// are unchanged — only the measured query latency drops.
+///
+/// With [`Analyst::with_indexes`], the analyst derives candidate
+/// encrypted-multimap indexes from its workload (one per predicate or join
+/// column, named `idx_{table}_{column}`), registers them lazily, and runs a
+/// leakage-aware [`Planner`] per pose: under
+/// [`LeakagePolicy::TranscriptOnly`] every read stays a full scan (and the
+/// adversary's view is byte-identical to an index-free run), while
+/// [`LeakagePolicy::AllowIndexedVolume`] lets selective reads pay the
+/// declared indexed-volume leakage for sub-scan cost.
 #[derive(Debug, Clone, Default)]
 pub struct Analyst {
     queries: Vec<NamedQuery>,
     use_views: bool,
     view_states: Vec<ViewState>,
+    index_policy: Option<LeakagePolicy>,
+    index_states: Vec<(IndexDef, IndexState)>,
 }
 
 impl Analyst {
@@ -67,6 +93,8 @@ impl Analyst {
             queries,
             use_views: false,
             view_states: Vec::new(),
+            index_policy: None,
+            index_states: Vec::new(),
         }
     }
 
@@ -78,6 +106,24 @@ impl Analyst {
             queries,
             use_views: true,
             view_states,
+            index_policy: None,
+            index_states: Vec::new(),
+        }
+    }
+
+    /// Creates an analyst that derives selection indexes from its workload
+    /// and plans each pose under the given leakage policy.
+    pub fn with_indexes(queries: Vec<NamedQuery>, policy: LeakagePolicy) -> Self {
+        let index_states = candidate_indexes(&queries)
+            .into_iter()
+            .map(|def| (def, IndexState::Pending))
+            .collect();
+        Self {
+            queries,
+            use_views: false,
+            view_states: Vec::new(),
+            index_policy: Some(policy),
+            index_states,
         }
     }
 
@@ -89,6 +135,11 @@ impl Analyst {
     /// Whether this analyst serves recurring queries from materialized views.
     pub fn uses_views(&self) -> bool {
         self.use_views
+    }
+
+    /// The leakage policy of an index-planning analyst, if any.
+    pub fn index_policy(&self) -> Option<LeakagePolicy> {
+        self.index_policy
     }
 
     /// Poses every supported query against `edb`, comparing each answer with
@@ -108,6 +159,7 @@ impl Analyst {
         logical: &PlainDatabase,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<QuerySample>, EdbError> {
+        let plan_context = self.refresh_index_plan(edb, logical)?;
         let mut samples = Vec::with_capacity(self.queries.len());
         for index in 0..self.queries.len() {
             let named = &self.queries[index];
@@ -121,18 +173,162 @@ impl Analyst {
             let truth = logical.execute(&named.query)?;
             let outcome = if self.use_views && self.view_states[index] == ViewState::Registered {
                 edb.query_view(&named.label, rng)?
+            } else if let Some((planner, registered)) = plan_context.as_ref() {
+                pose_planned(edb, planner, registered, &named.query, rng)?
             } else {
                 edb.query(&named.query, rng)?
             };
+            // The analyst is the trust boundary for released answers: a
+            // Laplace-perturbed count can come back negative, and a count
+            // below zero is never a useful answer, so it is floored at zero
+            // *here* — never inside the engine, whose release (and whose
+            // server-side transcript) must keep the raw perturbed value.
+            let released = clamp_released(outcome.answer);
             samples.push(QuerySample {
                 time: time.value(),
                 query: named.label.clone(),
-                l1_error: outcome.answer.l1_error(&truth),
+                l1_error: released.l1_error(&truth),
                 estimated_qet: outcome.estimated_seconds,
                 measured_qet: outcome.measured_seconds,
             });
         }
         Ok(samples)
+    }
+
+    /// Index-planning bookkeeping done once per pose: retries pending
+    /// registrations and rebuilds the planner's statistics from the
+    /// analyst's logical copy of the data.  `None` for non-index analysts.
+    fn refresh_index_plan(
+        &mut self,
+        edb: &dyn SecureOutsourcedDatabase,
+        logical: &PlainDatabase,
+    ) -> Result<Option<(Planner, Vec<IndexDef>)>, EdbError> {
+        let Some(policy) = self.index_policy else {
+            return Ok(None);
+        };
+        for (def, state) in &mut self.index_states {
+            if *state == IndexState::Pending {
+                *state = register_workload_index(edb, def)?;
+            }
+        }
+        let mut stats = Statistics::new();
+        let mut observed = BTreeSet::new();
+        for named in &self.queries {
+            for table in named.query.tables() {
+                if !observed.insert(table.to_string()) {
+                    continue;
+                }
+                if let Some(plain) = logical.table(table) {
+                    if let Some(schema) = plain.schema() {
+                        stats.observe_table(table, schema, plain.rows());
+                    }
+                }
+            }
+        }
+        let registered = self
+            .index_states
+            .iter()
+            .filter(|(_, state)| *state == IndexState::Registered)
+            .map(|(def, _)| def.clone())
+            .collect();
+        Ok(Some((Planner::new(policy, stats), registered)))
+    }
+}
+
+/// Poses one query through the plan the leakage-aware planner chose.
+fn pose_planned(
+    edb: &dyn SecureOutsourcedDatabase,
+    planner: &Planner,
+    indexes: &[IndexDef],
+    query: &Query,
+    rng: &mut dyn RngCore,
+) -> Result<QueryOutcome, EdbError> {
+    let planned = planner.plan(query, indexes, &edb.cost_model());
+    match planned.plan {
+        Plan::FullScan => edb.query(query, rng),
+        Plan::IndexLookup { index } | Plan::IndexNestedLoop { index } => {
+            match edb.query_indexed(&index, query, rng) {
+                Ok(outcome) => Ok(outcome),
+                // Defensive: the engine refused the indexed path at read
+                // time (e.g. shape restrictions); answer by scan instead.
+                Err(EdbError::UnsupportedQuery { .. } | EdbError::InvalidIndex(_)) => {
+                    edb.query(query, rng)
+                }
+                Err(other) => Err(other),
+            }
+        }
+    }
+}
+
+/// Derives the workload's candidate indexes: one per (table, predicate
+/// column) and one per join side, named `idx_{table}_{column}`.
+fn candidate_indexes(queries: &[NamedQuery]) -> Vec<IndexDef> {
+    let mut seen = BTreeSet::new();
+    let mut defs = Vec::new();
+    for named in queries {
+        let pairs: Vec<(&str, &str)> = match &named.query {
+            Query::Count { table, predicate }
+            | Query::GroupByCount {
+                table, predicate, ..
+            }
+            | Query::Select {
+                table, predicate, ..
+            } => predicate
+                .iter()
+                .flat_map(|p| p.columns())
+                .map(|column| (table.as_str(), column))
+                .collect(),
+            Query::JoinCount {
+                left,
+                right,
+                left_column,
+                right_column,
+            } => vec![
+                (left.as_str(), left_column.as_str()),
+                (right.as_str(), right_column.as_str()),
+            ],
+        };
+        for (table, column) in pairs {
+            if !seen.insert((table.to_string(), column.to_string())) {
+                continue;
+            }
+            if let Ok(def) = IndexDef::new(format!("idx_{table}_{column}"), table, column) {
+                defs.push(def);
+            }
+        }
+    }
+    defs
+}
+
+/// One lazy registration attempt for a workload-derived index.
+fn register_workload_index(
+    edb: &dyn SecureOutsourcedDatabase,
+    def: &IndexDef,
+) -> Result<IndexState, EdbError> {
+    match edb.register_index(def) {
+        Ok(()) => Ok(IndexState::Registered),
+        // No index support on this engine, a name/definition conflict, or a
+        // column the table lacks or cannot index: permanent scan fallback.
+        Err(EdbError::UnsupportedQuery { .. } | EdbError::InvalidIndex(_) | EdbError::Exec(_)) => {
+            Ok(IndexState::Unsupported)
+        }
+        // The table has not joined the fleet yet: retry at the next pose.
+        Err(EdbError::NotSetUp(_)) => Ok(IndexState::Pending),
+        Err(other) => Err(other),
+    }
+}
+
+/// Floors noisy counts at zero on the analyst's side of the trust boundary.
+///
+/// Selection results pass through unchanged — only count shapes can go
+/// negative under Laplace perturbation.
+fn clamp_released(answer: QueryAnswer) -> QueryAnswer {
+    match answer {
+        QueryAnswer::Scalar(v) => QueryAnswer::Scalar(v.max(0.0)),
+        QueryAnswer::Groups(groups) => {
+            QueryAnswer::Groups(groups.into_iter().map(|(k, v)| (k, v.max(0.0))).collect())
+        }
+        rows @ QueryAnswer::Rows(_) => rows,
     }
 }
 
@@ -264,6 +460,44 @@ mod tests {
     }
 
     #[test]
+    fn negative_noisy_counts_are_clamped_at_the_analyst_boundary() {
+        use dpsync_dp::Epsilon;
+        // Fixed seed exercising a Laplace draw that goes negative: the
+        // engine releases the raw perturbed count (the transcript keeps it),
+        // and the analyst floors it at zero before scoring, so the sample's
+        // L1 error against the empty ground truth is exactly zero.
+        let master = MasterKey::from_bytes([7u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let engine = CryptEpsilonEngine::with_query_epsilon(&master, Epsilon::new_unchecked(0.05));
+        engine
+            .setup("yellow", schema(), encrypt_batch(&mut cryptor, &[], 0))
+            .unwrap();
+        let db = logical(&[], &[]);
+        let q1 = paper_queries::q1_range_count("yellow");
+
+        // Probe the exact draw the analyst will consume: seed 0's first
+        // Laplace sample on the empty table is negative.
+        let mut probe_rng = DpRng::seed_from_u64(0);
+        let raw = engine
+            .query(&q1, &mut probe_rng)
+            .unwrap()
+            .answer
+            .as_scalar()
+            .unwrap();
+        assert!(raw < 0.0, "seed 0 must produce a negative draw, got {raw}");
+
+        let mut rng = DpRng::seed_from_u64(0);
+        let samples = Analyst::new(vec![NamedQuery::new("Q1", q1)])
+            .pose_all(Timestamp(60), &engine, &db, &mut rng)
+            .unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(
+            samples[0].l1_error, 0.0,
+            "the clamped answer must match the empty ground truth exactly"
+        );
+    }
+
+    #[test]
     fn accessors() {
         let a = analyst();
         assert_eq!(a.queries().len(), 3);
@@ -317,6 +551,98 @@ mod tests {
         assert_eq!(
             scan_engine.adversary_view().queries(),
             view_engine.adversary_view().queries()
+        );
+    }
+
+    #[test]
+    fn transcript_only_index_analyst_is_byte_identical_to_scans() {
+        // Indexes get registered and maintained server-side, but the
+        // TranscriptOnly policy keeps every read on the scan plan — so the
+        // adversary's entire view must match an index-free run byte for byte.
+        let build = || {
+            let master = MasterKey::from_bytes([8u8; 32]);
+            let mut cryptor = RecordCryptor::new(&master);
+            let engine = ObliDbEngine::new(&master);
+            let yellow: Vec<Row> = (0..40).map(|i| row(i, 40 + i as i64)).collect();
+            let green: Vec<Row> = (0..12).map(|i| row(i % 4, 7)).collect();
+            engine
+                .setup("yellow", schema(), encrypt_batch(&mut cryptor, &yellow, 5))
+                .unwrap();
+            engine
+                .setup("green", schema(), encrypt_batch(&mut cryptor, &green, 3))
+                .unwrap();
+            (engine, logical(&yellow, &green))
+        };
+        let (scan_engine, db) = build();
+        let (index_engine, _) = build();
+        let mut scan_rng = DpRng::seed_from_u64(21);
+        let mut index_rng = DpRng::seed_from_u64(21);
+        let mut planned = Analyst::with_indexes(
+            analyst().queries().to_vec(),
+            dpsync_edb::planner::LeakagePolicy::TranscriptOnly,
+        );
+        for _ in 0..2 {
+            let scan_samples = analyst()
+                .pose_all(Timestamp(360), &scan_engine, &db, &mut scan_rng)
+                .unwrap();
+            let index_samples = planned
+                .pose_all(Timestamp(360), &index_engine, &db, &mut index_rng)
+                .unwrap();
+            assert_eq!(index_samples.len(), scan_samples.len());
+            for (i, s) in index_samples.iter().zip(&scan_samples) {
+                assert_eq!((i.l1_error, i.estimated_qet), (s.l1_error, s.estimated_qet));
+            }
+        }
+        assert_eq!(
+            scan_engine.adversary_view(),
+            index_engine.adversary_view(),
+            "TranscriptOnly must not change the adversary's view at all"
+        );
+    }
+
+    #[test]
+    fn permissive_index_analyst_matches_answers_and_declares_index_reads() {
+        let build = || {
+            let master = MasterKey::from_bytes([9u8; 32]);
+            let mut cryptor = RecordCryptor::new(&master);
+            let engine = ObliDbEngine::new(&master);
+            // Selective pickup ids: Q1's [50, 100] range catches few rows,
+            // so the planner routes Q1 through the index.
+            let yellow: Vec<Row> = (0..60).map(|i| row(i, (i as i64) * 10)).collect();
+            let green: Vec<Row> = (0..10).map(|i| row(i % 3, 7)).collect();
+            engine
+                .setup("yellow", schema(), encrypt_batch(&mut cryptor, &yellow, 6))
+                .unwrap();
+            engine
+                .setup("green", schema(), encrypt_batch(&mut cryptor, &green, 2))
+                .unwrap();
+            (engine, logical(&yellow, &green))
+        };
+        let (scan_engine, db) = build();
+        let (index_engine, _) = build();
+        let mut scan_rng = DpRng::seed_from_u64(31);
+        let mut index_rng = DpRng::seed_from_u64(31);
+        let mut planned = Analyst::with_indexes(
+            analyst().queries().to_vec(),
+            dpsync_edb::planner::LeakagePolicy::AllowIndexedVolume,
+        );
+        let scan_samples = analyst()
+            .pose_all(Timestamp(360), &scan_engine, &db, &mut scan_rng)
+            .unwrap();
+        let index_samples = planned
+            .pose_all(Timestamp(360), &index_engine, &db, &mut index_rng)
+            .unwrap();
+        assert_eq!(index_samples.len(), scan_samples.len());
+        for (i, s) in index_samples.iter().zip(&scan_samples) {
+            assert_eq!(
+                i.l1_error, s.l1_error,
+                "indexed answers must equal scan answers bit for bit"
+            );
+        }
+        let view = index_engine.adversary_view();
+        assert!(
+            view.queries().iter().any(|o| o.kind == "index"),
+            "at least one read must go through the index under the permissive policy"
         );
     }
 

@@ -34,7 +34,9 @@
 //!
 //! A [`TableWorkload`] may give its owner a `join_time` and/or `leave_time`:
 //! the owner's `Π_Setup` then runs at the join tick instead of during
-//! preparation, and the owner is never ticked outside its active window.
+//! preparation, followed immediately by a normal tick (so records arriving
+//! exactly at the join tick are delivered, not dropped), and the owner is
+//! never ticked outside its active window `join_time ≤ t ≤ leave_time`.
 //! All three drivers apply identical churn semantics.
 
 use crate::analyst::{Analyst, NamedQuery};
@@ -45,6 +47,7 @@ use crate::timeline::Timestamp;
 use dpsync_crypto::MasterKey;
 use dpsync_dp::DpRng;
 use dpsync_edb::exec::PlainDatabase;
+use dpsync_edb::planner::LeakagePolicy;
 use dpsync_edb::sogdb::{EdbError, SecureOutsourcedDatabase};
 use dpsync_edb::{Query, Row, Schema};
 use parking_lot::Mutex;
@@ -70,7 +73,9 @@ pub struct TableWorkload {
     /// means the owner is present from the start and `Π_Setup` runs during
     /// preparation; `J > 0` defers `Π_Setup` (and the insertion of
     /// `initial_rows` into the ground truth) to tick `J`, modelling an owner
-    /// who comes online mid-run.
+    /// who comes online mid-run.  The join tick is part of the active
+    /// window: after the deferred `Π_Setup` the owner is ticked normally, so
+    /// arrivals landing exactly at tick `J` reach its cache like any others.
     pub join_time: u64,
     /// The last tick at which the owner is online, inclusive; `None` keeps
     /// the owner for the whole run.  After `leave_time` the owner is never
@@ -89,11 +94,11 @@ impl TableWorkload {
         self.initial_rows.len() as u64 + self.arrivals.iter().map(|a| a.len() as u64).sum::<u64>()
     }
 
-    /// Whether the owner is online and tickable at time `t`: strictly after
-    /// its join tick (the join tick itself only runs `Π_Setup`) and no later
-    /// than its leave tick.
+    /// Whether the owner is online and tickable at time `t`: from its join
+    /// tick (inclusive — a deferred `Π_Setup` runs there first, then the
+    /// owner ticks normally) through its leave tick, inclusive.
     pub fn active_at(&self, t: u64) -> bool {
-        t > self.join_time && self.leave_time.is_none_or(|leave| t <= leave)
+        t >= self.join_time && self.leave_time.is_none_or(|leave| t <= leave)
     }
 
     /// The rows arriving at time `t` (1-based; empty past the horizon).
@@ -165,6 +170,7 @@ pub(crate) struct PreparedRun {
 pub struct Simulation {
     config: SimulationConfig,
     use_views: bool,
+    index_policy: Option<LeakagePolicy>,
 }
 
 impl Simulation {
@@ -173,6 +179,7 @@ impl Simulation {
         Self {
             config,
             use_views: false,
+            index_policy: None,
         }
     }
 
@@ -182,6 +189,17 @@ impl Simulation {
     /// measured query latencies change.
     pub fn with_views(mut self) -> Self {
         self.use_views = true;
+        self.index_policy = None;
+        self
+    }
+
+    /// Plans the analyst's queries over auto-registered encrypted-multimap
+    /// indexes under `policy` (see [`Analyst::with_indexes`]).  Released
+    /// answers are byte-identical to the scan path; under
+    /// [`LeakagePolicy::TranscriptOnly`] so is the adversary view.
+    pub fn with_indexes(mut self, policy: LeakagePolicy) -> Self {
+        self.index_policy = Some(policy);
+        self.use_views = false;
         self
     }
 
@@ -193,6 +211,11 @@ impl Simulation {
     /// Whether the analyst serves recurring queries from materialized views.
     pub fn uses_views(&self) -> bool {
         self.use_views
+    }
+
+    /// The analyst's index-planning leakage policy, if indexes are enabled.
+    pub fn index_policy(&self) -> Option<LeakagePolicy> {
+        self.index_policy
     }
 
     /// Runs `Π_Setup` for every table present from the start and derives the
@@ -284,6 +307,8 @@ impl Simulation {
             .collect();
         let analyst = if self.use_views {
             Analyst::with_views(named)
+        } else if let Some(policy) = self.index_policy {
+            Analyst::with_indexes(named, policy)
         } else {
             Analyst::new(named)
         };
@@ -342,7 +367,11 @@ impl Simulation {
                     let rng = setup_rng.as_mut().expect("join tick reached once");
                     owner.setup(workload.initial_rows.clone(), engine, rng)?;
                     run.sync_count += 1;
-                } else if workload.active_at(t) {
+                }
+                // The join tick is inside the active window: a freshly
+                // set-up owner immediately ticks, delivering any arrivals
+                // landing exactly at its join tick.
+                if workload.active_at(t) {
                     let arrivals = workload.arrivals_at(t);
                     for row in arrivals {
                         run.logical.insert(&workload.table, row.clone());
@@ -448,36 +477,42 @@ impl Simulation {
                                 if failure.lock().is_none() && panicked.lock().is_none() {
                                     let tick = std::panic::catch_unwind(
                                         std::panic::AssertUnwindSafe(|| {
+                                            let mut syncs = 0u64;
                                             if t == workload.join_time {
                                                 let rng = setup_rng
                                                     .as_mut()
                                                     .expect("join tick reached once");
-                                                owner
-                                                    .setup(
-                                                        workload.initial_rows.clone(),
-                                                        engine,
-                                                        rng,
-                                                    )
-                                                    .map(|report| report.synced)
-                                            } else if workload.active_at(t) {
-                                                owner
-                                                    .tick(
-                                                        Timestamp(t),
-                                                        workload.arrivals_at(t),
-                                                        engine,
-                                                        &mut owner_rng,
-                                                    )
-                                                    .map(|report| report.synced)
-                                            } else {
-                                                Ok(false)
+                                                syncs += u64::from(
+                                                    owner
+                                                        .setup(
+                                                            workload.initial_rows.clone(),
+                                                            engine,
+                                                            rng,
+                                                        )?
+                                                        .synced,
+                                                );
                                             }
+                                            // Join tick included: deliver
+                                            // join-tick arrivals right after
+                                            // the deferred setup.
+                                            if workload.active_at(t) {
+                                                syncs += u64::from(
+                                                    owner
+                                                        .tick(
+                                                            Timestamp(t),
+                                                            workload.arrivals_at(t),
+                                                            engine,
+                                                            &mut owner_rng,
+                                                        )?
+                                                        .synced,
+                                                );
+                                            }
+                                            Ok(syncs)
                                         }),
                                     );
                                     match tick {
-                                        Ok(Ok(did_sync)) => {
-                                            if did_sync {
-                                                synced += 1;
-                                            }
+                                        Ok(Ok(tick_syncs)) => {
+                                            synced += tick_syncs;
                                             gaps[index]
                                                 .store(owner.logical_gap(), Ordering::Release);
                                         }
@@ -508,7 +543,8 @@ impl Simulation {
                             for row in &w.initial_rows {
                                 run.logical.insert(&w.table, row.clone());
                             }
-                        } else if w.active_at(t) {
+                        }
+                        if w.active_at(t) {
                             for row in w.arrivals_at(t) {
                                 run.logical.insert(&w.table, row.clone());
                             }

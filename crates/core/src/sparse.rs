@@ -71,7 +71,8 @@ pub struct OwnerWorkload {
     pub leave_time: Option<u64>,
     /// Arrival events, strictly increasing in time, each with a non-empty
     /// batch of rows; every time must lie inside the owner's active window
-    /// (`join_time < t ≤ leave_time`).
+    /// (`join_time ≤ t ≤ leave_time` — the join tick itself may carry
+    /// arrivals, delivered right after the deferred `Π_Setup`).
     pub arrivals: Vec<(u64, Vec<Row>)>,
 }
 
@@ -79,7 +80,7 @@ impl OwnerWorkload {
     /// Whether the owner is online and tickable at time `t` (same semantics
     /// as [`TableWorkload::active_at`]).
     pub fn active_at(&self, t: u64) -> bool {
-        t > self.join_time && self.leave_time.is_none_or(|leave| t <= leave)
+        t >= self.join_time && self.leave_time.is_none_or(|leave| t <= leave)
     }
 
     /// Total rows (initial plus arrivals).
@@ -276,7 +277,11 @@ impl Simulation {
                     let rng = run.setup_rngs[i].as_mut().expect("join tick reached once");
                     run.owners[i].setup(w.initial_rows.clone(), owner_engines[i], rng)?;
                     run.sync_count += 1;
-                } else if w.active_at(t) {
+                }
+                // The join tick is inside the active window: the freshly
+                // set-up owner ticks immediately, so arrivals landing on its
+                // join tick are delivered exactly as the dense drivers do.
+                if w.active_at(t) {
                     let arrivals: &[Row] = match w.arrivals.get(cursors[i]) {
                         Some((arrival_time, rows)) if *arrival_time == t => {
                             cursors[i] += 1;
@@ -397,16 +402,17 @@ mod tests {
     #[test]
     fn from_dense_drops_out_of_window_arrivals() {
         let mut dense = dense_workload(50);
-        dense.join_time = 10;
-        dense.leave_time = Some(30);
+        dense.join_time = 14;
+        dense.leave_time = Some(28);
         let sparse = OwnerWorkload::from(&dense);
-        // t = 14, 21, 28 survive; 7 (≤ join), 35, 42, 49 (> leave) do not.
+        // t = 14 (exactly the join tick), 21, 28 (exactly the leave tick)
+        // survive; 7 (< join), 35, 42, 49 (> leave) do not.
         assert_eq!(
             sparse.arrivals.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
             vec![14, 21, 28]
         );
-        assert!(sparse.active_at(11) && sparse.active_at(30));
-        assert!(!sparse.active_at(10) && !sparse.active_at(31));
+        assert!(sparse.active_at(14) && sparse.active_at(28));
+        assert!(!sparse.active_at(13) && !sparse.active_at(29));
     }
 
     #[test]

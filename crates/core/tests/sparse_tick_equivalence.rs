@@ -211,6 +211,47 @@ fn churn_workload_is_driver_invariant() {
 }
 
 #[test]
+fn join_tick_arrivals_are_delivered_and_driver_invariant() {
+    // Regression for the churn off-by-one: the active window used to start
+    // strictly after the join tick, so a record arriving exactly when its
+    // owner joined was silently dropped from both the owner's cache and the
+    // ground truth.  The join tick now runs the deferred Π_Setup followed by
+    // a normal tick on every driver.
+    let horizon = 42u64;
+    let master = MasterKey::from_bytes([0xEE; 32]);
+    let workloads_for = |horizon: u64| {
+        let mut arrivals: Vec<Vec<Row>> = vec![Vec::new(); horizon as usize];
+        arrivals[13] = vec![row(14, 7)]; // t = 14: exactly the join tick
+        arrivals[27] = vec![row(28, 8)]; // t = 28: mid-window control
+        let late = TableWorkload {
+            table: "late".into(),
+            schema: schema(),
+            initial_rows: (0..3).map(|i| row(0, 60 + i)).collect(),
+            arrivals,
+            join_time: 14,
+            leave_time: None,
+        };
+        vec![make_table("yellow", 0, horizon), late]
+    };
+    assert_drivers_agree(workloads_for, horizon, 31, "join-tick arrival");
+
+    // And the join-tick record actually lands: with SET every active tick
+    // syncs, so by the horizon the mirror holds all five real records —
+    // three initial rows plus both arrivals, including the join-tick one.
+    let engine = EngineKind::ObliDb.build(&master);
+    let dense = workloads_for(horizon);
+    run_driver(
+        Driver::Sparse,
+        engine.as_ref(),
+        &dense,
+        StrategyKind::Set,
+        horizon,
+        31,
+    );
+    assert_eq!(engine.table_stats("late").real_records, 5);
+}
+
+#[test]
 fn sparse_driver_accepts_sparse_native_churn_workloads() {
     // The same invariants hold when the workload is authored sparse-first
     // (event lists with join/leave) and densified for the reference driver —

@@ -243,3 +243,143 @@ fn views_over_tcp_match_in_process_scans() {
     }
     assert_eq!(server.handler_panics(), 0);
 }
+
+#[test]
+fn concurrent_registration_from_two_clients_is_idempotent() {
+    use dpsync_edb::emm::IndexDef;
+    use dpsync_edb::engines::base::encrypt_batch;
+    use dpsync_edb::engines::ObliDbEngine;
+    use dpsync_edb::sogdb::EdbError;
+    use dpsync_edb::views::ViewDef;
+    use std::sync::{Arc, Barrier};
+
+    let master = MasterKey::from_bytes([0xD1; 32]);
+    let engine = Arc::new(ObliDbEngine::new(&master));
+    let mut cryptor = dpsync_crypto::RecordCryptor::new(&master);
+    let rows: Vec<Row> = (0..20).map(|i| row(i, 40 + i as i64)).collect();
+    engine
+        .setup("yellow", schema(), encrypt_batch(&mut cryptor, &rows, 3))
+        .unwrap();
+    let server = EdbTcpServer::bind(
+        "127.0.0.1:0",
+        EngineProvider::Shared(engine.clone() as Arc<dyn SecureOutsourcedDatabase>),
+    )
+    .expect("loopback server binds");
+    let addr = server.local_addr();
+
+    // Two clients race identical view and index registrations through the
+    // wire; the registries treat the second identical definition as a no-op,
+    // so both must land on Ok.
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let client = RemoteEdb::connect(addr).expect("client connects");
+                let view = ViewDef::new("V1", paper_queries::q1_range_count("yellow")).unwrap();
+                let index = IndexDef::new("idx_yellow_pickup_id", "yellow", "pickup_id").unwrap();
+                barrier.wait();
+                (client.register_view(&view), client.register_index(&index))
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (view, index) = handle.join().expect("registration thread joins");
+        view.expect("identical double view registration is idempotent");
+        index.expect("identical double index registration is idempotent");
+    }
+
+    // A conflicting definition under a taken name is rejected, not merged.
+    let client = RemoteEdb::connect(addr).unwrap();
+    let clash_view = ViewDef::new("V1", paper_queries::q2_group_by_count("yellow")).unwrap();
+    assert!(matches!(
+        client.register_view(&clash_view),
+        Err(EdbError::InvalidView(_))
+    ));
+    let clash_index = IndexDef::new("idx_yellow_pickup_id", "yellow", "pick_time").unwrap();
+    assert!(matches!(
+        client.register_index(&clash_index),
+        Err(EdbError::InvalidIndex(_))
+    ));
+    assert_eq!(server.handler_panics(), 0);
+}
+
+#[test]
+fn registration_races_ingest_without_deadlock() {
+    use dpsync_edb::emm::IndexDef;
+    use dpsync_edb::engines::base::encrypt_batch;
+    use dpsync_edb::engines::ObliDbEngine;
+    use dpsync_edb::views::ViewDef;
+    use std::sync::{Arc, Barrier};
+
+    let master = MasterKey::from_bytes([0xD2; 32]);
+    let engine = Arc::new(ObliDbEngine::new(&master));
+    let mut cryptor = dpsync_crypto::RecordCryptor::new(&master);
+    let rows: Vec<Row> = (0..10).map(|i| row(0, 40 + i as i64)).collect();
+    engine
+        .setup("yellow", schema(), encrypt_batch(&mut cryptor, &rows, 2))
+        .unwrap();
+    let server = EdbTcpServer::bind(
+        "127.0.0.1:0",
+        EngineProvider::Shared(engine.clone() as Arc<dyn SecureOutsourcedDatabase>),
+    )
+    .expect("loopback server binds");
+    let addr = server.local_addr();
+    let key_bytes = *master.bytes();
+
+    // One client streams padded update batches while another registers a
+    // fresh view or index per iteration.  Registration takes the registry
+    // lock *before* any table lock (the same order ingest-side view/index
+    // maintenance uses), so the race must finish without deadlock and the
+    // backfilled structures must agree with the scan afterwards.
+    let barrier = Arc::new(Barrier::new(2));
+    let writer = {
+        let barrier = barrier.clone();
+        std::thread::spawn(move || {
+            let client = RemoteEdb::connect(addr).expect("writer connects");
+            let mut cryptor = dpsync_crypto::RecordCryptor::new(&MasterKey::from_bytes(key_bytes));
+            barrier.wait();
+            for t in 1..=40u64 {
+                let batch: Vec<Row> = (0..3).map(|i| row(t, (t as i64 * 3 + i) % 150)).collect();
+                client
+                    .update("yellow", t, encrypt_batch(&mut cryptor, &batch, 1))
+                    .expect("update succeeds");
+            }
+        })
+    };
+    let registrar = {
+        let barrier = barrier.clone();
+        std::thread::spawn(move || {
+            let client = RemoteEdb::connect(addr).expect("registrar connects");
+            barrier.wait();
+            for i in 0..20 {
+                let view = ViewDef::new(
+                    format!("race_v{i}"),
+                    paper_queries::q1_range_count("yellow"),
+                )
+                .unwrap();
+                client.register_view(&view).expect("view registers");
+                let column = if i % 2 == 0 { "pickup_id" } else { "pick_time" };
+                let index = IndexDef::new(format!("race_i{i}"), "yellow", column).unwrap();
+                client.register_index(&index).expect("index registers");
+            }
+        })
+    };
+    writer.join().expect("writer joins");
+    registrar.join().expect("registrar joins");
+
+    // Every index — whenever it was registered relative to the stream of
+    // updates — must now answer exactly like the scan.
+    use dpsync_dp::DpRng;
+    let q1 = paper_queries::q1_range_count("yellow");
+    let mut rng = DpRng::seed_from_u64(9);
+    let scanned = engine.query(&q1, &mut rng).unwrap();
+    for i in (0..20).step_by(2) {
+        let mut rng = DpRng::seed_from_u64(9);
+        let indexed = engine
+            .query_indexed(&format!("race_i{i}"), &q1, &mut rng)
+            .unwrap();
+        assert_eq!(scanned.answer, indexed.answer, "index race_i{i} diverged");
+    }
+    assert_eq!(server.handler_panics(), 0);
+}

@@ -1,0 +1,576 @@
+//! Encrypted multimaps: selection indexes maintained inside `Π_Update`.
+//!
+//! A full-table scan answers every selection in O(total records); for the
+//! recurring point and range lookups of the paper's workload that is pure
+//! waste once tables grow large.  This module adds an *encrypted multimap*
+//! (EMM) in the structured-encryption tradition: the server-side structure
+//! maps a PRF **label** — derived from the indexed column and a value
+//! *bucket* — to a list of **encrypted record locators**.  Neither labels nor
+//! locators reveal plaintext values or positions without the PRF key, which
+//! stays inside the engine's trusted boundary.
+//!
+//! # Privacy: maintenance adds no leakage
+//!
+//! The EMM is maintained incrementally inside the ingest path, under the same
+//! per-table write lock as the decrypted mirror and the materialized views:
+//! **every record of the DP-padded batch inserts exactly one index entry** —
+//! dummies insert an entry under a dedicated dummy label, NULLs under a null
+//! label — so index growth and maintenance cost are functions only of the
+//! public batch volumes `|γ_t|` that the Definition-2 update-pattern
+//! transcript already reveals.  Registration and maintenance are therefore
+//! invisible in the adversary's transcript.
+//!
+//! *Reads* are different: an indexed read fetches only the entries whose
+//! labels match the query's condition, and the number of entries fetched is a
+//! response-volume signal.  Engines record it honestly as a query observation
+//! of kind `"index"` (see [`crate::sogdb::SecureOutsourcedDatabase::query_indexed`]),
+//! and the leakage-aware planner in `dpsync-core` only takes this path under
+//! a policy that declares the leakage acceptable.
+//!
+//! # Buckets
+//!
+//! Indexable columns are the exactly-integer types — `Int`, `Timestamp`,
+//! `Bool` — bucketed by their `i64` image, so an `Eq` lookup touches one
+//! bucket and a `Between` lookup touches one bucket per integer in the range
+//! (capped at [`MAX_RANGE_BUCKETS`]).  Bucket candidates are a superset of
+//! the matching rows; the engine re-checks the full predicate on the fetched
+//! mirror rows, which keeps indexed answers byte-identical to scans.
+
+use crate::query::Predicate;
+use crate::rewrite;
+use crate::row::Row;
+use crate::schema::{DataType, Schema, Value};
+use crate::sogdb::EdbError;
+use dpsync_crypto::Prf;
+use std::collections::BTreeMap;
+
+/// Maximum length of an index name accepted at registration (keeps hostile
+/// remote registrations from storing unbounded identifiers).
+pub const MAX_INDEX_NAME_LEN: usize = 128;
+
+/// Maximum number of value buckets a single range lookup may enumerate;
+/// wider ranges must fall back to a scan.
+pub const MAX_RANGE_BUCKETS: i64 = 4096;
+
+/// A registered selection index: a name bound to one column of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    name: String,
+    table: String,
+    column: String,
+}
+
+impl IndexDef {
+    /// Validates and creates an index definition.
+    ///
+    /// Rejects empty or oversized names, empty table or column names, and
+    /// the engine-internal dummy-flag column.  Column *type* indexability is
+    /// checked at registration time, when the table schema is known.
+    pub fn new(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        column: impl Into<String>,
+    ) -> Result<Self, EdbError> {
+        let name = name.into();
+        let table = table.into();
+        let column = column.into();
+        if name.is_empty() || name.len() > MAX_INDEX_NAME_LEN {
+            return Err(EdbError::InvalidIndex(format!(
+                "index name must be 1..={MAX_INDEX_NAME_LEN} bytes"
+            )));
+        }
+        if table.is_empty() || column.is_empty() {
+            return Err(EdbError::InvalidIndex(
+                "index table and column names must be non-empty".into(),
+            ));
+        }
+        if column == rewrite::IS_DUMMY_COLUMN {
+            return Err(EdbError::InvalidIndex(format!(
+                "indexes may not cover the reserved `{}` column",
+                rewrite::IS_DUMMY_COLUMN
+            )));
+        }
+        Ok(Self {
+            name,
+            table,
+            column,
+        })
+    }
+
+    /// The index's name (the handle used by `query_indexed`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table the index is defined over.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+}
+
+/// The value bucket an index entry files under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    /// A real row whose indexed value has the given `i64` image.
+    Val(i64),
+    /// A real row whose indexed value is NULL.
+    Null,
+    /// A dummy record (its padded entry, indistinguishable in size).
+    Dummy,
+}
+
+impl Bucket {
+    /// The PRF input this bucket labels under: a domain tag byte followed by
+    /// the bucket value in little-endian.
+    fn prf_input(self) -> [u8; 9] {
+        let (tag, value) = match self {
+            Bucket::Val(v) => (0u8, v),
+            Bucket::Null => (1u8, 0),
+            Bucket::Dummy => (2u8, 0),
+        };
+        let mut input = [0u8; 9];
+        input[0] = tag;
+        input[1..].copy_from_slice(&value.to_le_bytes());
+        input
+    }
+}
+
+/// An index-usable condition extracted from a query predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexCondition<'a> {
+    /// `column = value` on the indexed column.
+    Eq(&'a Value),
+    /// `column BETWEEN lo AND hi` on the indexed column.
+    Range(f64, f64),
+}
+
+/// Extracts the first top-level conjunct of `predicate` that is an `Eq` or
+/// `Between` on `column`.  Descends `And` chains only — a condition under
+/// `Or`/`Not` does not bound the matching rows, so it cannot drive an index
+/// lookup.
+pub fn index_condition<'a>(
+    predicate: Option<&'a Predicate>,
+    column: &str,
+) -> Option<IndexCondition<'a>> {
+    fn walk<'a>(p: &'a Predicate, column: &str) -> Option<IndexCondition<'a>> {
+        match p {
+            Predicate::Eq(c, v) if c == column => Some(IndexCondition::Eq(v)),
+            Predicate::Between(c, lo, hi) if c == column => Some(IndexCondition::Range(*lo, *hi)),
+            Predicate::And(a, b) => walk(a, column).or_else(|| walk(b, column)),
+            _ => None,
+        }
+    }
+    predicate.and_then(|p| walk(p, column))
+}
+
+/// The server-side encrypted multimap for one registered index.
+///
+/// `entries` maps a 32-byte PRF label to the encrypted locators filed under
+/// it; a locator is the mirror row position XORed with a per-entry PRF pad,
+/// so the structure reveals only *how many* entries share a label — and even
+/// that only as ciphertext-count shape, since dummy and NULL entries occupy
+/// labels of their own.
+#[derive(Debug, Clone)]
+pub struct EncryptedMultimap {
+    def: IndexDef,
+    prf: Prf,
+    /// Pre-resolved position of the indexed column in the mirror schema.
+    column_index: usize,
+    /// Label → encrypted locators, in insertion order per label.
+    entries: BTreeMap<[u8; 32], Vec<u64>>,
+    /// Total records (real + dummy) maintenance has touched — every record
+    /// of every padded batch inserts exactly one entry.
+    maintained_records: u64,
+}
+
+impl EncryptedMultimap {
+    /// Creates empty index state over `schema` (the engine's mirror schema,
+    /// i.e. the logical schema extended with the dummy flag), keyed with a
+    /// per-index PRF.
+    ///
+    /// Fails when the column is unknown or has a non-indexable type (floats
+    /// and text have no exact integer bucketing).
+    pub fn new(def: IndexDef, schema: &Schema, prf: Prf) -> Result<Self, EdbError> {
+        let column_index = schema.column_index(def.column()).ok_or_else(|| {
+            EdbError::Exec(crate::exec::ExecError::UnknownColumn {
+                table: def.table().to_string(),
+                column: def.column().to_string(),
+            })
+        })?;
+        let data_type = schema.columns()[column_index].data_type;
+        if !matches!(
+            data_type,
+            DataType::Int | DataType::Timestamp | DataType::Bool
+        ) {
+            return Err(EdbError::InvalidIndex(format!(
+                "column `{}` has type {data_type:?}, which has no exact integer bucketing",
+                def.column()
+            )));
+        }
+        Ok(Self {
+            def,
+            prf,
+            column_index,
+            entries: BTreeMap::new(),
+            maintained_records: 0,
+        })
+    }
+
+    /// The definition this state maintains.
+    pub fn def(&self) -> &IndexDef {
+        &self.def
+    }
+
+    /// Pre-resolved position of the indexed column in the mirror schema.
+    pub fn column_index(&self) -> usize {
+        self.column_index
+    }
+
+    fn label(&self, bucket: Bucket) -> [u8; 32] {
+        self.prf.eval(&bucket.prf_input())
+    }
+
+    /// The XOR pad for the `ordinal`-th entry under `label`.
+    fn pad(&self, label: &[u8; 32], ordinal: u64) -> u64 {
+        let mut input = [0u8; 43];
+        input[..3].copy_from_slice(b"loc");
+        input[3..35].copy_from_slice(label);
+        input[35..].copy_from_slice(&ordinal.to_le_bytes());
+        let out = self.prf.eval(&input);
+        u64::from_le_bytes(out[..8].try_into().expect("8-byte slice"))
+    }
+
+    fn insert(&mut self, bucket: Bucket, position: u64) {
+        self.maintained_records += 1;
+        let label = self.label(bucket);
+        let ordinal = self.entries.get(&label).map_or(0, |l| l.len() as u64);
+        let pad = self.pad(&label, ordinal);
+        self.entries.entry(label).or_default().push(position ^ pad);
+    }
+
+    /// Decrypts every locator filed under `bucket`, in insertion order.
+    fn positions(&self, bucket: Bucket) -> Vec<u64> {
+        let label = self.label(bucket);
+        self.entries
+            .get(&label)
+            .map(|list| {
+                list.iter()
+                    .enumerate()
+                    .map(|(ordinal, ct)| ct ^ self.pad(&label, ordinal as u64))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Applies one real mirror row inserted at `position` (flag column
+    /// included; the flag itself is never indexed).
+    pub fn apply_row(&mut self, row: &Row, position: u64) {
+        let bucket = row
+            .value(self.column_index)
+            .and_then(Value::as_i64)
+            .map_or(Bucket::Null, Bucket::Val);
+        self.insert(bucket, position);
+    }
+
+    /// Applies one dummy record at `position`: one entry under the dummy
+    /// label — the same per-record work as a real row, so maintenance cost
+    /// depends only on the (already leaked) padded batch volume.
+    pub fn apply_dummy(&mut self, position: u64) {
+        self.insert(Bucket::Dummy, position);
+    }
+
+    /// Applies a mirror row at `position`: dummies take the dummy-label path,
+    /// real rows the value path.  Used to backfill an index registered after
+    /// data has already been ingested.
+    pub fn apply_mirror_row(&mut self, row: &Row, flag_column: usize, position: u64) {
+        if row.value(flag_column) == Some(&Value::Bool(true)) {
+            self.apply_dummy(position);
+        } else {
+            self.apply_row(row, position);
+        }
+    }
+
+    /// Positions of the candidate rows for an equi-join probe with `value`
+    /// (which must be non-NULL).  Returns `None` when the value has no `i64`
+    /// image — such a probe value can never equal an indexed-column value, so
+    /// callers treat it as zero matches, exactly like the hash join does.
+    pub fn probe(&self, value: &Value) -> Option<Vec<u64>> {
+        value.as_i64().map(|v| self.positions(Bucket::Val(v)))
+    }
+
+    /// Positions of the candidate rows for `predicate`'s condition on the
+    /// indexed column, sorted ascending (mirror order).
+    ///
+    /// Fails when the predicate has no usable condition, the `Eq` literal has
+    /// no exact integer image, or the range spans more than
+    /// [`MAX_RANGE_BUCKETS`] buckets.
+    pub fn lookup(&self, predicate: Option<&Predicate>) -> Result<Vec<u64>, EdbError> {
+        let condition = index_condition(predicate, self.def.column()).ok_or_else(|| {
+            EdbError::InvalidIndex(format!(
+                "query has no equality or range condition on indexed column `{}`",
+                self.def.column()
+            ))
+        })?;
+        let mut positions = match condition {
+            IndexCondition::Eq(value) => {
+                if value.is_null() {
+                    self.positions(Bucket::Null)
+                } else {
+                    let v = value.as_i64().ok_or_else(|| {
+                        EdbError::InvalidIndex(format!(
+                            "equality literal {value} has no exact integer bucket"
+                        ))
+                    })?;
+                    self.positions(Bucket::Val(v))
+                }
+            }
+            IndexCondition::Range(lo, hi) => {
+                if !lo.is_finite() || !hi.is_finite() {
+                    return Err(EdbError::InvalidIndex("range bounds must be finite".into()));
+                }
+                let lo_bucket = lo.ceil() as i64;
+                let hi_bucket = hi.floor() as i64;
+                let width = (hi_bucket as i128) - (lo_bucket as i128) + 1;
+                if width > MAX_RANGE_BUCKETS as i128 {
+                    return Err(EdbError::InvalidIndex(format!(
+                        "range spans {width} buckets, more than the {MAX_RANGE_BUCKETS} cap"
+                    )));
+                }
+                let mut out = Vec::new();
+                let mut bucket = lo_bucket;
+                while bucket <= hi_bucket {
+                    out.extend(self.positions(Bucket::Val(bucket)));
+                    bucket += 1;
+                }
+                out
+            }
+        };
+        // Labels are injective per bucket and positions unique per insert, so
+        // no dedup is needed; sorting restores mirror order across buckets.
+        positions.sort_unstable();
+        Ok(positions)
+    }
+
+    /// Total index entries stored (equals maintained records: one per record).
+    pub fn entry_count(&self) -> u64 {
+        self.entries.values().map(|l| l.len() as u64).sum()
+    }
+
+    /// Total records (real + dummy) maintenance has touched so far.
+    pub fn maintained_records(&self) -> u64 {
+        self.maintained_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn schema() -> Schema {
+        rewrite::schema_with_dummy_flag(&Schema::from_pairs(&[
+            ("pick_time", DataType::Timestamp),
+            ("pickup_id", DataType::Int),
+        ]))
+    }
+
+    fn mirror_row(t: u64, p: i64, dummy: bool) -> Row {
+        Row::new(rewrite::values_with_dummy_flag(
+            if dummy {
+                vec![Value::Null, Value::Null]
+            } else {
+                vec![Value::Timestamp(t), Value::Int(p)]
+            },
+            dummy,
+        ))
+    }
+
+    fn emm() -> EncryptedMultimap {
+        let def = IndexDef::new("idx", "yellow", "pickup_id").unwrap();
+        EncryptedMultimap::new(def, &schema(), Prf::new([7u8; 32])).unwrap()
+    }
+
+    #[test]
+    fn def_validation() {
+        assert!(IndexDef::new("i", "yellow", "pickup_id").is_ok());
+        assert!(matches!(
+            IndexDef::new("", "yellow", "pickup_id"),
+            Err(EdbError::InvalidIndex(_))
+        ));
+        assert!(matches!(
+            IndexDef::new("x".repeat(200), "yellow", "pickup_id"),
+            Err(EdbError::InvalidIndex(_))
+        ));
+        assert!(matches!(
+            IndexDef::new("i", "", "pickup_id"),
+            Err(EdbError::InvalidIndex(_))
+        ));
+        assert!(matches!(
+            IndexDef::new("i", "yellow", rewrite::IS_DUMMY_COLUMN),
+            Err(EdbError::InvalidIndex(_))
+        ));
+        let def = IndexDef::new("i", "yellow", "pickup_id").unwrap();
+        assert_eq!(def.name(), "i");
+        assert_eq!(def.table(), "yellow");
+        assert_eq!(def.column(), "pickup_id");
+    }
+
+    #[test]
+    fn unindexable_column_types_are_rejected() {
+        let schema = rewrite::schema_with_dummy_flag(&Schema::from_pairs(&[
+            ("fare", DataType::Float),
+            ("note", DataType::Text),
+        ]));
+        for column in ["fare", "note"] {
+            let def = IndexDef::new("i", "t", column).unwrap();
+            assert!(matches!(
+                EncryptedMultimap::new(def, &schema, Prf::new([1u8; 32])),
+                Err(EdbError::InvalidIndex(_))
+            ));
+        }
+        let def = IndexDef::new("i", "t", "ghost").unwrap();
+        assert!(matches!(
+            EncryptedMultimap::new(def, &schema, Prf::new([1u8; 32])),
+            Err(EdbError::Exec(_))
+        ));
+    }
+
+    #[test]
+    fn every_record_inserts_exactly_one_entry() {
+        let mut emm = emm();
+        for (pos, (p, dummy)) in [(60i64, false), (0, true), (75, false), (0, true)]
+            .into_iter()
+            .enumerate()
+        {
+            emm.apply_mirror_row(&mirror_row(1, p, dummy), 2, pos as u64);
+        }
+        assert_eq!(emm.maintained_records(), 4);
+        assert_eq!(emm.entry_count(), 4);
+    }
+
+    #[test]
+    fn eq_lookup_finds_exactly_the_matching_positions() {
+        let mut emm = emm();
+        for (pos, p) in [60i64, 75, 60, 99].into_iter().enumerate() {
+            emm.apply_row(&mirror_row(1, p, false), pos as u64);
+        }
+        emm.apply_dummy(4);
+        let pred = Predicate::Eq("pickup_id".into(), Value::Int(60));
+        assert_eq!(emm.lookup(Some(&pred)).unwrap(), vec![0, 2]);
+        let pred = Predicate::Eq("pickup_id".into(), Value::Int(1234));
+        assert!(emm.lookup(Some(&pred)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_lookup_unions_buckets_in_mirror_order() {
+        let mut emm = emm();
+        for (pos, p) in [40i64, 55, 100, 101, 50].into_iter().enumerate() {
+            emm.apply_row(&mirror_row(1, p, false), pos as u64);
+        }
+        let pred = Predicate::Between("pickup_id".into(), 50.0, 100.0);
+        assert_eq!(emm.lookup(Some(&pred)).unwrap(), vec![1, 2, 4]);
+        // Fractional bounds shrink to the covered integer buckets.
+        let pred = Predicate::Between("pickup_id".into(), 50.5, 100.5);
+        assert_eq!(emm.lookup(Some(&pred)).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condition_is_extracted_from_and_chains_only() {
+        let eq = Predicate::Eq("pickup_id".into(), Value::Int(5));
+        let other = Predicate::GreaterThan("pick_time".into(), 3.0);
+        let anded = other.clone().and(eq.clone());
+        assert!(matches!(
+            index_condition(Some(&anded), "pickup_id"),
+            Some(IndexCondition::Eq(_))
+        ));
+        // Under Or/Not the condition does not bound the result set.
+        let ored = Predicate::Or(Box::new(eq.clone()), Box::new(other.clone()));
+        assert!(index_condition(Some(&ored), "pickup_id").is_none());
+        let notted = Predicate::Not(Box::new(eq));
+        assert!(index_condition(Some(&notted), "pickup_id").is_none());
+        assert!(index_condition(None, "pickup_id").is_none());
+        assert!(index_condition(Some(&other), "pickup_id").is_none());
+    }
+
+    #[test]
+    fn unusable_lookups_fail_cleanly() {
+        let emm = emm();
+        // No condition on the indexed column.
+        assert!(matches!(emm.lookup(None), Err(EdbError::InvalidIndex(_))));
+        // Eq literal without an exact integer image.
+        let pred = Predicate::Eq("pickup_id".into(), Value::Float(60.0));
+        assert!(matches!(
+            emm.lookup(Some(&pred)),
+            Err(EdbError::InvalidIndex(_))
+        ));
+        // Range wider than the bucket cap.
+        let pred = Predicate::Between("pickup_id".into(), 0.0, 1e7);
+        assert!(matches!(
+            emm.lookup(Some(&pred)),
+            Err(EdbError::InvalidIndex(_))
+        ));
+        // Non-finite bounds.
+        let pred = Predicate::Between("pickup_id".into(), f64::NEG_INFINITY, 10.0);
+        assert!(matches!(
+            emm.lookup(Some(&pred)),
+            Err(EdbError::InvalidIndex(_))
+        ));
+    }
+
+    #[test]
+    fn null_values_file_under_the_null_label() {
+        let mut emm = emm();
+        let null_row = Row::new(rewrite::values_with_dummy_flag(
+            vec![Value::Timestamp(1), Value::Null],
+            false,
+        ));
+        emm.apply_row(&null_row, 0);
+        emm.apply_row(&mirror_row(1, 60, false), 1);
+        let pred = Predicate::Eq("pickup_id".into(), Value::Null);
+        assert_eq!(emm.lookup(Some(&pred)).unwrap(), vec![0]);
+        let pred = Predicate::Eq("pickup_id".into(), Value::Int(60));
+        assert_eq!(emm.lookup(Some(&pred)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn probe_returns_bucket_candidates() {
+        let mut emm = emm();
+        for (pos, p) in [5i64, 9, 5].into_iter().enumerate() {
+            emm.apply_row(&mirror_row(1, p, false), pos as u64);
+        }
+        assert_eq!(emm.probe(&Value::Int(5)).unwrap(), vec![0, 2]);
+        assert!(emm.probe(&Value::Int(7)).unwrap().is_empty());
+        // Values with no integer image can never match an indexed column.
+        assert!(emm.probe(&Value::Float(5.0)).is_none());
+    }
+
+    #[test]
+    fn locators_are_encrypted_and_labels_keyed() {
+        let mut a = {
+            let def = IndexDef::new("idx", "yellow", "pickup_id").unwrap();
+            EncryptedMultimap::new(def, &schema(), Prf::new([1u8; 32])).unwrap()
+        };
+        let mut b = {
+            let def = IndexDef::new("idx", "yellow", "pickup_id").unwrap();
+            EncryptedMultimap::new(def, &schema(), Prf::new([2u8; 32])).unwrap()
+        };
+        a.apply_row(&mirror_row(1, 60, false), 3);
+        b.apply_row(&mirror_row(1, 60, false), 3);
+        // Different keys, same data: the stored labels must differ...
+        assert_ne!(
+            a.entries.keys().collect::<Vec<_>>(),
+            b.entries.keys().collect::<Vec<_>>()
+        );
+        // ...and the stored locators must not be the raw position.
+        assert!(a.entries.values().flatten().all(|ct| *ct != 3));
+        // Yet both decrypt to the same position.
+        let pred = Predicate::Eq("pickup_id".into(), Value::Int(60));
+        assert_eq!(a.lookup(Some(&pred)).unwrap(), vec![3]);
+        assert_eq!(b.lookup(Some(&pred)).unwrap(), vec![3]);
+    }
+}

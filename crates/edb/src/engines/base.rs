@@ -24,7 +24,8 @@
 //! tables they touch, mirroring an enclave that scans a stable snapshot.
 
 use crate::backend::{StorageBackend, StorageError};
-use crate::exec;
+use crate::emm::{EncryptedMultimap, IndexDef};
+use crate::exec::{self, ExecError};
 use crate::query::{Query, QueryAnswer};
 use crate::rewrite;
 use crate::row::Row;
@@ -32,7 +33,7 @@ use crate::schema::{Schema, Value};
 use crate::server::ServerStorage;
 use crate::sogdb::{EdbError, TableStats};
 use crate::views::{MaterializedView, ViewDef};
-use dpsync_crypto::{EncryptedRecord, MasterKey, RecordCryptor};
+use dpsync_crypto::{EncryptedRecord, KeyPurpose, MasterKey, Prf, RecordCryptor};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +60,10 @@ pub struct EngineTable {
     /// incrementally by `ingest` under the same per-table lock (so a view
     /// answer can never be observed out of sync with the mirror).
     pub views: BTreeMap<String, MaterializedView>,
+    /// Encrypted multimap indexes registered over this table, maintained by
+    /// `ingest` under the same per-table lock and with the same one-step-per-
+    /// record discipline as the views (dummies file under the dummy label).
+    pub indexes: BTreeMap<String, EncryptedMultimap>,
 }
 
 /// A shareable handle to one decrypted table.
@@ -78,6 +83,13 @@ pub struct EngineCore {
     /// `view_read` O(log views) instead of a scan over every table shard.
     /// Lock order: this index is always taken *before* any table lock.
     view_index: RwLock<BTreeMap<String, String>>,
+    /// Index name → owning table, with the same global-namespace and lock
+    /// ordering rules as `view_index` (registry before any table lock).
+    index_registry: RwLock<BTreeMap<String, String>>,
+    /// Root PRF for searchable-index labels, derived from the master key's
+    /// [`KeyPurpose::IndexToken`] subkey; each registered index derives its
+    /// own PRF from this root so labels never collide across indexes.
+    index_prf: Prf,
     query_sequence: AtomicU64,
 }
 
@@ -91,6 +103,8 @@ impl EngineCore {
             storage: ServerStorage::new(),
             tables: RwLock::new(BTreeMap::new()),
             view_index: RwLock::new(BTreeMap::new()),
+            index_registry: RwLock::new(BTreeMap::new()),
+            index_prf: Prf::new(*master.derive(KeyPurpose::IndexToken).bytes()),
             query_sequence: AtomicU64::new(0),
         }
     }
@@ -114,6 +128,8 @@ impl EngineCore {
             storage: ServerStorage::with_backend(backend)?,
             tables: RwLock::new(BTreeMap::new()),
             view_index: RwLock::new(BTreeMap::new()),
+            index_registry: RwLock::new(BTreeMap::new()),
+            index_prf: Prf::new(*master.derive(KeyPurpose::IndexToken).bytes()),
             query_sequence: AtomicU64::new(0),
         })
     }
@@ -167,6 +183,7 @@ impl EngineCore {
                     flag_column,
                     dummy_row,
                     views: BTreeMap::new(),
+                    indexes: BTreeMap::new(),
                 })),
             );
         }
@@ -213,18 +230,24 @@ impl EngineCore {
         let ciphertexts: Vec<_> = records.iter().map(EncryptedRecord::to_bytes).collect();
         self.storage.ingest(table, time, &ciphertexts)?;
 
-        // Mirror append + incremental view maintenance, under one table
-        // write lock.  Every record of the batch — dummy or real — takes
-        // exactly one maintenance step per registered view (dummies as
-        // explicit no-ops), so maintenance cost depends only on the padded
-        // batch volume the transcript already reveals, never on the data.
+        // Mirror append + incremental view and index maintenance, under one
+        // table write lock.  Every record of the batch — dummy or real —
+        // takes exactly one maintenance step per registered view (dummies as
+        // explicit no-ops) and inserts exactly one entry per registered index
+        // (dummies under the dummy label), so maintenance cost and index
+        // growth depend only on the padded batch volume the transcript
+        // already reveals, never on the data.
         let mut guard = handle.write();
         let entry = &mut *guard;
         for row in decoded {
+            let position = entry.rows.len() as u64;
             match row {
                 None => {
                     for view in entry.views.values_mut() {
                         view.apply_dummy();
+                    }
+                    for index in entry.indexes.values_mut() {
+                        index.apply_dummy(position);
                     }
                     let dummy = entry.dummy_row.clone();
                     entry.rows.push(dummy);
@@ -235,6 +258,9 @@ impl EngineCore {
                         Row::new(rewrite::values_with_dummy_flag(row.into_values(), false));
                     for view in entry.views.values_mut() {
                         view.apply_row(&entry.schema, &mirror);
+                    }
+                    for index in entry.indexes.values_mut() {
+                        index.apply_row(&mirror, position);
                     }
                     entry.rows.push(mirror);
                     entry.real_records += 1;
@@ -308,6 +334,203 @@ impl EngineCore {
             view.def().query().clone(),
             view.answer(),
             entry.rows.len() as u64,
+        ))
+    }
+
+    /// Registers an encrypted multimap index over an existing table,
+    /// backfilling its entries from the mirror (dummy rows file under the
+    /// dummy label, exactly as they would have during live maintenance).
+    ///
+    /// Index names are global per engine, with the same idempotency rule as
+    /// views: re-registering an identical definition is a no-op, binding an
+    /// existing name to a different definition is rejected.
+    pub fn register_index(&self, def: &IndexDef) -> Result<(), EdbError> {
+        let Some(handle) = self.table_handle(def.table()) else {
+            return Err(EdbError::NotSetUp(def.table().to_string()));
+        };
+        let mut registry = self.index_registry.write();
+        if let Some(owner) = registry.get(def.name()) {
+            let existing = self
+                .table_handle(owner)
+                .and_then(|h| h.read().indexes.get(def.name()).map(|i| i.def().clone()));
+            return if existing.as_ref() == Some(def) {
+                Ok(())
+            } else {
+                Err(EdbError::InvalidIndex(format!(
+                    "index `{}` is already registered with a different definition",
+                    def.name()
+                )))
+            };
+        }
+        let mut guard = handle.write();
+        let entry = &mut *guard;
+        let prf = Prf::new(self.index_prf.derive_key(&format!(
+            "emm/{}/{}",
+            def.table(),
+            def.column()
+        )));
+        let mut index = EncryptedMultimap::new(def.clone(), &entry.schema, prf)?;
+        for (position, row) in entry.rows.iter().enumerate() {
+            index.apply_mirror_row(row, entry.flag_column, position as u64);
+        }
+        entry.indexes.insert(def.name().to_string(), index);
+        registry.insert(def.name().to_string(), def.table().to_string());
+        Ok(())
+    }
+
+    /// Serves `query` through the registered index `name` instead of a full
+    /// scan, returning the answer and the number of index entries fetched
+    /// (the response-volume signal an indexed read reveals).
+    ///
+    /// The answer is byte-identical to [`EngineCore::execute`] on the same
+    /// query: the index yields a candidate superset of the rows matching its
+    /// column's condition (in mirror order), and the full rewritten query is
+    /// then executed over exactly those candidates — so residual predicate
+    /// conjuncts, grouping, projection, and dummy filtering all behave as in
+    /// the scan path.
+    pub fn indexed_read(&self, name: &str, query: &Query) -> Result<(QueryAnswer, u64), EdbError> {
+        let owner = self
+            .index_registry
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EdbError::UnknownIndex(name.to_string()))?;
+        let handle = self
+            .table_handle(&owner)
+            .ok_or_else(|| EdbError::UnknownIndex(name.to_string()))?;
+        if let Query::JoinCount { .. } = query {
+            return self.indexed_join(name, &owner, &handle, query);
+        }
+        let (table, predicate) = match query {
+            Query::Count { table, predicate }
+            | Query::GroupByCount {
+                table, predicate, ..
+            }
+            | Query::Select {
+                table, predicate, ..
+            } => (table, predicate.as_ref()),
+            Query::JoinCount { .. } => unreachable!("joins handled above"),
+        };
+        if table != &owner {
+            return Err(EdbError::InvalidIndex(format!(
+                "index `{name}` covers table `{owner}`, not `{table}`"
+            )));
+        }
+        let entry = handle.read();
+        let index = entry
+            .indexes
+            .get(name)
+            .ok_or_else(|| EdbError::UnknownIndex(name.to_string()))?;
+        let positions = index.lookup(predicate)?;
+        let candidates: Vec<Row> = positions
+            .iter()
+            .map(|&p| entry.rows[p as usize].clone())
+            .collect();
+        let rewritten = rewrite::rewrite_query(query);
+        let answer = exec::execute(&rewritten, |n| {
+            (n == owner).then(|| (Some(&entry.schema), candidates.as_slice()))
+        })?;
+        Ok((answer, positions.len() as u64))
+    }
+
+    /// Index-nested-loop join: scans the non-indexed side's mirror and
+    /// probes the index with each real row's join value, re-checking the
+    /// fetched candidates with the executor's exact match semantics
+    /// (dummy-flag filter, NULL-key skip, typed `group_key` equality).
+    ///
+    /// Touched count = the probe side's full padded mirror plus every index
+    /// entry fetched — the honest cost/leakage of this plan.
+    fn indexed_join(
+        &self,
+        name: &str,
+        owner: &str,
+        handle: &TableHandle,
+        query: &Query,
+    ) -> Result<(QueryAnswer, u64), EdbError> {
+        let Query::JoinCount {
+            left,
+            right,
+            left_column,
+            right_column,
+        } = query
+        else {
+            unreachable!("caller matched JoinCount");
+        };
+        let column = {
+            let entry = handle.read();
+            let index = entry
+                .indexes
+                .get(name)
+                .ok_or_else(|| EdbError::UnknownIndex(name.to_string()))?;
+            index.def().column().to_string()
+        };
+        // Orient the loop: the indexed side is probed, the other side drives.
+        let (outer_table, outer_column) = if owner == right && &column == right_column {
+            (left.as_str(), left_column.as_str())
+        } else if owner == left && &column == left_column {
+            (right.as_str(), right_column.as_str())
+        } else {
+            return Err(EdbError::InvalidIndex(format!(
+                "index `{name}` is on `{owner}.{column}`, which is not a join column of this query"
+            )));
+        };
+        let Some(outer_handle) = self.table_handle(outer_table) else {
+            return Err(EdbError::NotSetUp(outer_table.to_string()));
+        };
+        // Read-lock in name order, same discipline as `execute`.
+        let handles: BTreeMap<&str, TableHandle> =
+            [(owner, Arc::clone(handle)), (outer_table, outer_handle)]
+                .into_iter()
+                .collect();
+        let guards: BTreeMap<&str, parking_lot::RwLockReadGuard<'_, EngineTable>> =
+            handles.iter().map(|(n, h)| (*n, h.read())).collect();
+        let inner = guards.get(owner).expect("locked above");
+        let outer = guards.get(outer_table).expect("locked above");
+        let index = inner
+            .indexes
+            .get(name)
+            .ok_or_else(|| EdbError::UnknownIndex(name.to_string()))?;
+        let oi =
+            outer
+                .schema
+                .column_index(outer_column)
+                .ok_or_else(|| ExecError::UnknownColumn {
+                    table: outer_table.to_string(),
+                    column: outer_column.to_string(),
+                })?;
+        let ii = index.column_index();
+        let mut pairs = 0u64;
+        let mut fetched = 0u64;
+        for row in &outer.rows {
+            if row.value(outer.flag_column) != Some(&Value::Bool(false)) {
+                continue;
+            }
+            let Some(v) = row.value(oi) else { continue };
+            if v.is_null() {
+                continue;
+            }
+            let Some(positions) = index.probe(v) else {
+                // No exact integer image: such a value can never equal one of
+                // the indexed column's (integer-typed) values.
+                continue;
+            };
+            fetched += positions.len() as u64;
+            for p in positions {
+                let candidate = &inner.rows[p as usize];
+                if candidate.value(inner.flag_column) != Some(&Value::Bool(false)) {
+                    continue;
+                }
+                let Some(cv) = candidate.value(ii) else {
+                    continue;
+                };
+                if !cv.is_null() && cv.group_key() == v.group_key() {
+                    pairs += 1;
+                }
+            }
+        }
+        Ok((
+            QueryAnswer::Scalar(pairs as f64),
+            outer.rows.len() as u64 + fetched,
         ))
     }
 
@@ -433,7 +656,7 @@ pub fn encrypt_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::paper_queries;
+    use crate::query::{paper_queries, Predicate};
     use crate::schema::DataType;
     use std::thread;
 
@@ -509,6 +732,38 @@ mod tests {
         // Only t=5 matches, and dummy rows (NULL pick_time) must not join.
         assert_eq!(answer, QueryAnswer::Scalar(1.0));
         assert_eq!(touched, 12);
+    }
+
+    #[test]
+    fn join_with_asymmetric_pad_volumes_leaks_no_dummies() {
+        // The two sides carry *different* DP pad volumes (4 vs 9 dummies):
+        // a dummy leaking into either side of the join would change the
+        // count — all-NULL dummy rows joining each other would add 4 × 9
+        // phantom pairs, and a dummy pairing with a real row would add at
+        // least one.  The flag filter and the executor's NULL-key skip keep
+        // the answer the pure real-row join count.
+        let master = MasterKey::from_bytes([9u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let core = EngineCore::new(&master);
+        core.setup(
+            "yellow",
+            schema(),
+            encrypt_batch(&mut cryptor, &[row(5, 1), row(6, 2), row(6, 3)], 4),
+        )
+        .unwrap();
+        core.setup(
+            "green",
+            schema(),
+            encrypt_batch(&mut cryptor, &[row(6, 4), row(8, 5)], 9),
+        )
+        .unwrap();
+        let (answer, touched) = core
+            .execute(&paper_queries::q3_join_count("yellow", "green"))
+            .unwrap();
+        // Real matches only: yellow's two t=6 rows join green's one t=6 row.
+        assert_eq!(answer, QueryAnswer::Scalar(2.0));
+        // The transcript still reflects the padded volumes on both sides.
+        assert_eq!(touched, (3 + 4) + (2 + 9));
     }
 
     #[test]
@@ -702,6 +957,154 @@ mod tests {
         assert_eq!(core.view_read("q1").unwrap(), before);
         let snapshot = core.table_snapshot("yellow").unwrap();
         assert_eq!(snapshot.views["q1"].maintained_records(), 5);
+    }
+
+    #[test]
+    fn index_backfills_then_tracks_ingest_incrementally() {
+        let (core, mut cryptor) = core_with_data();
+        let def = IndexDef::new("idx", "yellow", "pickup_id").unwrap();
+        core.register_index(&def).unwrap();
+        // Backfill covers the already-ingested batch (2 real + 3 dummies).
+        let q1 = paper_queries::q1_range_count("yellow");
+        let (answer, fetched) = core.indexed_read("idx", &q1).unwrap();
+        assert_eq!(answer, QueryAnswer::Scalar(2.0));
+        assert_eq!(fetched, 2);
+        // New batches maintain the index as deltas; dummies add entries too,
+        // but under the dummy label, so lookups never fetch them.
+        let batch = encrypt_batch(&mut cryptor, &[row(3, 90), row(4, 900)], 2);
+        core.ingest("yellow", 30, batch).unwrap();
+        let (answer, fetched) = core.indexed_read("idx", &q1).unwrap();
+        assert_eq!(answer, QueryAnswer::Scalar(3.0));
+        assert_eq!(fetched, 3);
+        // The indexed answer matches the full scan bit-for-bit.
+        let (scan, _) = core.execute(&q1).unwrap();
+        assert_eq!(scan, answer);
+        // Maintenance inserted exactly one entry per padded record.
+        let snapshot = core.table_snapshot("yellow").unwrap();
+        assert_eq!(snapshot.indexes["idx"].maintained_records(), 9);
+        assert_eq!(snapshot.indexes["idx"].entry_count(), 9);
+    }
+
+    #[test]
+    fn indexed_group_by_and_select_match_scan() {
+        let (core, mut cryptor) = core_with_data();
+        let batch = encrypt_batch(&mut cryptor, &[row(3, 60), row(4, 60), row(5, 90)], 3);
+        core.ingest("yellow", 30, batch).unwrap();
+        let def = IndexDef::new("idx", "yellow", "pickup_id").unwrap();
+        core.register_index(&def).unwrap();
+        // A grouped query with an equality conjunct on the indexed column.
+        let grouped = Query::GroupByCount {
+            table: "yellow".into(),
+            group_by: "pick_time".into(),
+            predicate: Some(Predicate::Eq("pickup_id".into(), Value::Int(60))),
+        };
+        let (indexed, fetched) = core.indexed_read("idx", &grouped).unwrap();
+        let (scan, _) = core.execute(&grouped).unwrap();
+        assert_eq!(indexed, scan);
+        assert_eq!(fetched, 3);
+        // A projection with a residual conjunct the index cannot serve:
+        // candidates are re-filtered by the executor.
+        let select = Query::Select {
+            table: "yellow".into(),
+            columns: vec!["pick_time".into()],
+            predicate: Some(
+                Predicate::Eq("pickup_id".into(), Value::Int(60))
+                    .and(Predicate::GreaterThan("pick_time".into(), 2.0)),
+            ),
+        };
+        let (indexed, _) = core.indexed_read("idx", &select).unwrap();
+        let (scan, _) = core.execute(&select).unwrap();
+        assert_eq!(indexed, scan);
+        assert_eq!(indexed.as_rows().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn indexed_join_matches_scan_join() {
+        let master = MasterKey::from_bytes([9u8; 32]);
+        let mut cryptor = RecordCryptor::new(&master);
+        let core = EngineCore::new(&master);
+        core.setup(
+            "yellow",
+            schema(),
+            encrypt_batch(&mut cryptor, &[row(5, 1), row(6, 2), row(6, 3)], 4),
+        )
+        .unwrap();
+        core.setup(
+            "green",
+            schema(),
+            encrypt_batch(&mut cryptor, &[row(6, 4), row(8, 5), row(6, 6)], 9),
+        )
+        .unwrap();
+        let def = IndexDef::new("jix", "green", "pick_time").unwrap();
+        core.register_index(&def).unwrap();
+        let q3 = paper_queries::q3_join_count("yellow", "green");
+        let (indexed, touched) = core.indexed_read("jix", &q3).unwrap();
+        let (scan, _) = core.execute(&q3).unwrap();
+        assert_eq!(indexed, scan);
+        assert_eq!(indexed, QueryAnswer::Scalar(4.0));
+        // Probe side scans yellow's padded mirror (7); the two t=6 probes
+        // each fetch green's two t=6 entries, the t=5 probe fetches none.
+        assert_eq!(touched, 7 + 4);
+    }
+
+    #[test]
+    fn index_registration_errors_and_idempotency() {
+        let (core, _) = core_with_data();
+        let def = IndexDef::new("idx", "yellow", "pickup_id").unwrap();
+        core.register_index(&def).unwrap();
+        // Same definition again: idempotent.
+        core.register_index(&def).unwrap();
+        // Same name, different definition: rejected.
+        let other = IndexDef::new("idx", "yellow", "pick_time").unwrap();
+        assert!(matches!(
+            core.register_index(&other),
+            Err(EdbError::InvalidIndex(_))
+        ));
+        // Unknown table and unknown column.
+        let missing = IndexDef::new("g", "green", "pickup_id").unwrap();
+        assert!(matches!(
+            core.register_index(&missing),
+            Err(EdbError::NotSetUp(_))
+        ));
+        let ghost = IndexDef::new("ghost", "yellow", "ghost").unwrap();
+        assert!(matches!(
+            core.register_index(&ghost),
+            Err(EdbError::Exec(_))
+        ));
+        // Reads through unregistered names fail cleanly.
+        assert!(matches!(
+            core.indexed_read("nope", &paper_queries::q1_range_count("yellow")),
+            Err(EdbError::UnknownIndex(_))
+        ));
+        // Reads naming a table the index does not cover are rejected.
+        assert!(matches!(
+            core.indexed_read("idx", &paper_queries::q1_range_count("blue")),
+            Err(EdbError::InvalidIndex(_))
+        ));
+        // A join whose columns the index does not serve is rejected.
+        assert!(matches!(
+            core.indexed_read("idx", &paper_queries::q3_join_count("yellow", "yellow")),
+            Err(EdbError::InvalidIndex(_))
+        ));
+    }
+
+    #[test]
+    fn rejected_batch_leaves_indexes_untouched() {
+        let (core, mut cryptor) = core_with_data();
+        let def = IndexDef::new("idx", "yellow", "pickup_id").unwrap();
+        core.register_index(&def).unwrap();
+        let q1 = paper_queries::q1_range_count("yellow");
+        let before = core.indexed_read("idx", &q1).unwrap();
+
+        let wrong = MasterKey::from_bytes([1u8; 32]);
+        let mut wrong_cryptor = RecordCryptor::new(&wrong);
+        let mut batch = encrypt_batch(&mut cryptor, &[row(7, 70)], 1);
+        batch.extend(encrypt_batch(&mut wrong_cryptor, &[row(8, 80)], 0));
+        assert!(core.ingest("yellow", 60, batch).is_err());
+
+        assert_eq!(core.indexed_read("idx", &q1).unwrap(), before);
+        let snapshot = core.table_snapshot("yellow").unwrap();
+        assert_eq!(snapshot.indexes["idx"].maintained_records(), 5);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!   only.
 
 use crate::cost::CostModel;
+use crate::emm::IndexDef;
 use crate::engines::base::EngineCore;
 use crate::leakage::{LeakageClass, LeakageProfile};
 use crate::query::{Query, QueryAnswer};
@@ -91,12 +92,18 @@ impl CryptEpsilonEngine {
     fn perturb_answer(&self, answer: QueryAnswer, rng: &mut dyn RngCore) -> QueryAnswer {
         let noise = Laplace::new(0.0, 1.0 / self.query_epsilon.value())
             .expect("query epsilon is validated");
+        // The raw perturbed value is released as-is — a Laplace draw can
+        // drive a count below zero, and flooring it here would bias the
+        // released distribution and desynchronize the transcript from the
+        // release.  Consumers that want a presentable count clamp at the
+        // analyst trust boundary (see `dpsync-core`'s `Analyst`), never on
+        // the server.
         match answer {
-            QueryAnswer::Scalar(v) => QueryAnswer::Scalar((v + noise.sample(rng)).round().max(0.0)),
+            QueryAnswer::Scalar(v) => QueryAnswer::Scalar((v + noise.sample(rng)).round()),
             QueryAnswer::Groups(groups) => QueryAnswer::Groups(
                 groups
                     .into_iter()
-                    .map(|(k, v)| (k, (v + noise.sample(rng)).round().max(0.0)))
+                    .map(|(k, v)| (k, (v + noise.sample(rng)).round()))
                     .collect(),
             ),
             QueryAnswer::Rows(rows) => QueryAnswer::Rows(rows),
@@ -208,6 +215,54 @@ impl SecureOutsourcedDatabase for CryptEpsilonEngine {
             kind: query.kind().to_string(),
             touched_records: touched,
             // L-DP: the server learns only the differentially-private volume.
+            observed_response_volume: Some(noisy_volume),
+        });
+
+        Ok(QueryOutcome {
+            answer,
+            estimated_seconds: estimated,
+            measured_seconds: measured,
+            touched_records: touched,
+        })
+    }
+
+    fn register_index(&self, def: &IndexDef) -> Result<(), EdbError> {
+        // Index maintenance inserts one entry per padded record; the server
+        // observes nothing beyond the Definition-2 update pattern.
+        self.core.register_index(def)
+    }
+
+    fn query_indexed(
+        &self,
+        name: &str,
+        query: &Query,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryOutcome, EdbError> {
+        // Crypt-ε does not support joins, indexed or not (footnote 2).
+        if matches!(query, Query::JoinCount { .. }) {
+            return Err(EdbError::UnsupportedQuery {
+                engine: self.name(),
+                kind: "join",
+            });
+        }
+        let started = Instant::now();
+        let (exact, touched) = self.core.indexed_read(name, query)?;
+        // The exact indexed answer equals the exact scan answer bit-for-bit,
+        // so the Laplace draws (and the released noisy values) match the
+        // scan path's under the same rng state.
+        let answer = self.perturb_answer(exact, rng);
+        let measured = started.elapsed().as_secs_f64();
+        let estimated = self.cost.count_cost(touched);
+
+        let sequence = self.core.next_query_sequence();
+        let noisy_volume = answer.total().max(0.0).round() as u64;
+        self.core.storage().observe_query(QueryObservation {
+            sequence,
+            kind: "index".to_string(),
+            touched_records: touched,
+            // L-DP volume plus the declared index access pattern (the
+            // touched-entry count above) — the leakage the planner accepts
+            // when it picks this plan.
             observed_response_volume: Some(noisy_volume),
         });
 
@@ -355,9 +410,48 @@ mod tests {
     }
 
     #[test]
-    fn negative_noisy_counts_are_clamped_to_zero() {
-        // An empty table with a very small query budget produces large noise;
-        // released counts must never go negative.
+    fn indexed_read_draws_identical_noise_as_scan_and_rejects_joins() {
+        let (scan_engine, _) = engine_with_data(60);
+        let (index_engine, _) = engine_with_data(60);
+        let q1 = paper_queries::q1_range_count("yellow");
+        index_engine
+            .register_index(&IndexDef::new("idx", "yellow", "pickup_id").unwrap())
+            .unwrap();
+        let mut rng_a = StdRng::seed_from_u64(78);
+        let mut rng_b = StdRng::seed_from_u64(78);
+        let scan = scan_engine.query(&q1, &mut rng_a).unwrap();
+        let indexed = index_engine.query_indexed("idx", &q1, &mut rng_b).unwrap();
+        // Same exact answer, same rng state → the same noisy release and the
+        // same noisy volume on the transcript.
+        assert_eq!(indexed.answer, scan.answer);
+        assert_eq!(
+            index_engine.adversary_view().queries()[0].observed_response_volume,
+            scan_engine.adversary_view().queries()[0].observed_response_volume
+        );
+        // The observation declares the index plan and its fetch count.
+        let observed = index_engine.adversary_view().queries()[0].clone();
+        assert_eq!(observed.kind, "index");
+        assert_eq!(observed.touched_records, 60);
+        // Joins stay unsupported through the indexed path too.
+        let mut rng = StdRng::seed_from_u64(79);
+        assert!(matches!(
+            index_engine.query_indexed(
+                "idx",
+                &paper_queries::q3_join_count("yellow", "yellow"),
+                &mut rng
+            ),
+            Err(EdbError::UnsupportedQuery { kind: "join", .. })
+        ));
+    }
+
+    #[test]
+    fn negative_noisy_draws_are_released_raw() {
+        // An empty table with a very small query budget produces large
+        // noise; the engine must release the raw perturbed value — negative
+        // draws included — because clamping belongs at the analyst trust
+        // boundary, never on the server, where it would bias the released
+        // distribution.  The adversary-observed volume stays a u64 (a
+        // negative release is observed as volume 0).
         let master = MasterKey::from_bytes([12u8; 32]);
         let mut cryptor = RecordCryptor::new(&master);
         let engine = CryptEpsilonEngine::with_query_epsilon(&master, Epsilon::new_unchecked(0.05));
@@ -365,11 +459,18 @@ mod tests {
             .setup("yellow", schema(), encrypt_batch(&mut cryptor, &[], 0))
             .unwrap();
         let mut rng = StdRng::seed_from_u64(10);
+        let mut saw_negative = false;
         for _ in 0..100 {
             let outcome = engine
                 .query(&paper_queries::q1_range_count("yellow"), &mut rng)
                 .unwrap();
-            assert!(outcome.answer.as_scalar().unwrap() >= 0.0);
+            saw_negative |= outcome.answer.as_scalar().unwrap() < 0.0;
+        }
+        assert!(saw_negative, "a 100-draw Laplace run must dip below zero");
+        for q in engine.adversary_view().queries() {
+            // The transcript's observed volume is the released value's u64
+            // image: never negative by construction of the type.
+            assert!(q.observed_response_volume.is_some());
         }
     }
 }

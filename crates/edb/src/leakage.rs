@@ -249,6 +249,40 @@ impl LeakageProfile {
     }
 }
 
+/// The leakage a chosen *query plan* adds on top of the engine's profile.
+///
+/// Index maintenance never leaks (one entry per padded record), but an
+/// indexed **read** reveals how many index entries the query's condition
+/// fetched — a response-volume-shaped signal the full scan does not emit.
+/// The planner tags every plan it produces so the analyst (and the privacy
+/// harness) can account for exactly what each executed query declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanLeakage {
+    /// The plan reveals nothing beyond the engine's baseline transcript (a
+    /// full scan touches every stored ciphertext, a number the adversary
+    /// already knows from the update pattern).
+    TranscriptOnly,
+    /// The plan reveals the number of index entries fetched for the query's
+    /// condition — correlated with the condition's true selectivity.
+    IndexedVolume,
+}
+
+impl PlanLeakage {
+    /// Short label for reports and transcripts.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanLeakage::TranscriptOnly => "transcript-only",
+            PlanLeakage::IndexedVolume => "indexed-volume",
+        }
+    }
+}
+
+impl std::fmt::Display for PlanLeakage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +345,13 @@ mod tests {
         }
         assert!(cat.iter().any(|e| e.name == "ObliDB"));
         assert!(cat.iter().any(|e| e.name == "Crypt-epsilon"));
+    }
+
+    #[test]
+    fn plan_leakage_labels_are_distinct() {
+        assert_eq!(PlanLeakage::TranscriptOnly.to_string(), "transcript-only");
+        assert_eq!(PlanLeakage::IndexedVolume.to_string(), "indexed-volume");
+        assert_ne!(PlanLeakage::TranscriptOnly, PlanLeakage::IndexedVolume);
     }
 
     #[test]

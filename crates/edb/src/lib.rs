@@ -30,15 +30,23 @@
 //! * [`views`] — incremental materialized views maintained inside `Π_Update`
 //!   so recurring analyst queries read in O(result size) instead of
 //!   rescanning, without changing the adversary's transcript.
+//! * [`emm`] — encrypted multimaps: PRF-labelled selection indexes maintained
+//!   inside `Π_Update` (one entry per padded record, dummies included) so
+//!   that index growth reveals nothing beyond the Definition-2 volumes.
+//! * [`planner`] — the client-side leakage-aware planner that chooses, per
+//!   query, between the full scan and an indexed plan, tagging each plan
+//!   with the leakage it declares.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod backend;
 pub mod cost;
+pub mod emm;
 pub mod engines;
 pub mod exec;
 pub mod leakage;
+pub mod planner;
 pub mod query;
 pub mod rewrite;
 pub mod row;
@@ -49,8 +57,10 @@ pub mod view;
 pub mod views;
 
 pub use backend::{BackendConfig, StorageBackend, StorageError, TableStore};
+pub use emm::{EncryptedMultimap, IndexDef};
 pub use engines::EngineKind;
-pub use leakage::{LeakageClass, UpdateEvent, UpdatePattern};
+pub use leakage::{LeakageClass, PlanLeakage, UpdateEvent, UpdatePattern};
+pub use planner::{ColumnStats, LeakagePolicy, Plan, PlannedQuery, Planner, Statistics};
 pub use query::{Predicate, Query, QueryAnswer};
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema, Value};

@@ -16,6 +16,7 @@
 
 use crate::backend::StorageError;
 use crate::cost::CostModel;
+use crate::emm::IndexDef;
 use crate::exec::ExecError;
 use crate::leakage::LeakageProfile;
 use crate::query::{Query, QueryAnswer};
@@ -59,6 +60,12 @@ pub enum EdbError {
     /// A view registration was rejected: unsupported query shape, a reserved
     /// column reference, or a name already bound to a different definition.
     InvalidView(String),
+    /// `query_indexed` referenced an index name that was never registered.
+    UnknownIndex(String),
+    /// An index registration or indexed read was rejected: an unindexable
+    /// column type, a name already bound to a different definition, or a
+    /// query the named index cannot serve.
+    InvalidIndex(String),
 }
 
 impl std::fmt::Display for EdbError {
@@ -75,6 +82,8 @@ impl std::fmt::Display for EdbError {
             EdbError::Storage(e) => write!(f, "storage error: {e}"),
             EdbError::UnknownView(name) => write!(f, "unknown view `{name}`"),
             EdbError::InvalidView(msg) => write!(f, "invalid view definition: {msg}"),
+            EdbError::UnknownIndex(name) => write!(f, "unknown index `{name}`"),
+            EdbError::InvalidIndex(msg) => write!(f, "invalid index use: {msg}"),
         }
     }
 }
@@ -219,6 +228,43 @@ pub trait SecureOutsourcedDatabase: Send + Sync {
             kind: "view",
         })
     }
+
+    /// Registers an encrypted-multimap selection index so subsequent
+    /// `Π_Update` batches maintain it incrementally (see [`crate::emm`]).
+    ///
+    /// Registration is idempotent for an identical definition.  The default
+    /// implementation rejects indexes so engines opt in explicitly.
+    fn register_index(&self, def: &IndexDef) -> Result<(), EdbError> {
+        let _ = def;
+        Err(EdbError::UnsupportedQuery {
+            engine: self.name(),
+            kind: "index",
+        })
+    }
+
+    /// `Π_Query` served through a registered encrypted multimap: only the
+    /// index entries matching the query's condition on the indexed column are
+    /// fetched, instead of scanning the whole table.
+    ///
+    /// Unlike [`SecureOutsourcedDatabase::query_view`], an indexed read has a
+    /// *different* declared transcript: the server observes kind `"index"`
+    /// and a touched-record count equal to the number of index entries
+    /// fetched (a response-volume signal).  The leakage-aware planner in
+    /// `dpsync-core` only chooses this path under a policy that permits that
+    /// leakage; the released *answer* must still equal the full scan's
+    /// bit-for-bit.  The default implementation rejects indexed reads.
+    fn query_indexed(
+        &self,
+        name: &str,
+        query: &Query,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryOutcome, EdbError> {
+        let _ = (name, query, rng);
+        Err(EdbError::UnsupportedQuery {
+            engine: self.name(),
+            kind: "index",
+        })
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +309,12 @@ mod tests {
         assert!(EdbError::InvalidView("join shape".into())
             .to_string()
             .contains("invalid view definition"));
+        assert!(EdbError::UnknownIndex("idx".into())
+            .to_string()
+            .contains("unknown index `idx`"));
+        assert!(EdbError::InvalidIndex("float column".into())
+            .to_string()
+            .contains("invalid index use"));
     }
 
     #[test]

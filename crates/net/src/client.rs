@@ -25,6 +25,7 @@ use crate::frame::{read_frame, FrameError, FrameWriter};
 use crate::wire::{BackendRequest, EntropyDraw, Request, Response, SessionRequest};
 use dpsync_crypto::{EncryptedRecord, MasterKey};
 use dpsync_edb::cost::CostModel;
+use dpsync_edb::emm::IndexDef;
 use dpsync_edb::engines::EngineKind;
 use dpsync_edb::leakage::LeakageProfile;
 use dpsync_edb::sogdb::{QueryOutcome, SecureOutsourcedDatabase, TableStats};
@@ -358,6 +359,39 @@ impl SecureOutsourcedDatabase for RemoteEdb {
         // draws its per-read noise through the caller's rng), so the rng
         // rides along.
         match self.call(Request::QueryView(name.to_string()), Some(rng))? {
+            Response::Outcome(outcome) => Ok(outcome),
+            Response::Edb(e) => Err(e),
+            Response::Protocol(message) => Err(self.io_failed(message)),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    fn register_index(&self, def: &IndexDef) -> Result<(), EdbError> {
+        let response = self.call(
+            Request::RegisterIndex {
+                name: def.name().to_string(),
+                table: def.table().to_string(),
+                column: def.column().to_string(),
+            },
+            None,
+        )?;
+        self.expect_ok(response)
+    }
+
+    fn query_indexed(
+        &self,
+        name: &str,
+        query: &Query,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryOutcome, EdbError> {
+        // Like `query_view`: the rng rides along for Crypt-ε's noise draws.
+        match self.call(
+            Request::QueryIndexed {
+                name: name.to_string(),
+                query: query.clone(),
+            },
+            Some(rng),
+        )? {
             Response::Outcome(outcome) => Ok(outcome),
             Response::Edb(e) => Err(e),
             Response::Protocol(message) => Err(self.io_failed(message)),

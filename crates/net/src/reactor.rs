@@ -50,6 +50,7 @@ use crate::server::{
     engine_info, open_session, EngineProvider, ServeOptions, ServerStats, Session,
 };
 use crate::wire::{EntropyDraw, Request, Response, SessionRequest};
+use dpsync_edb::emm::IndexDef;
 use dpsync_edb::views::ViewDef;
 use mio::net::{TcpListener, TcpStream};
 use mio::{Events, Interest, Poll, Token, Waker};
@@ -398,6 +399,33 @@ fn run_request(
                 failed: false,
             };
             let result = engine.query_view(&name, &mut proxy);
+            if proxy.failed {
+                // Same discipline as `Π_Query`: a result computed from a
+                // dead RNG stream must not be released.
+                return None;
+            }
+            match result {
+                Ok(outcome) => Response::Outcome(outcome),
+                Err(e) => Response::Edb(e),
+            }
+        }
+        Request::RegisterIndex {
+            name,
+            table,
+            column,
+        } => match IndexDef::new(name, table, column).and_then(|def| engine.register_index(&def)) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Edb(e),
+        },
+        Request::QueryIndexed { name, query } => {
+            let mut proxy = EntropyProxy {
+                bridge,
+                sink,
+                conn,
+                session,
+                failed: false,
+            };
+            let result = engine.query_indexed(&name, &query, &mut proxy);
             if proxy.failed {
                 // Same discipline as `Π_Query`: a result computed from a
                 // dead RNG stream must not be released.

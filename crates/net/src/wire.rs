@@ -169,6 +169,25 @@ pub enum Request {
     /// the server may interleave [`Response::EntropyRequest`] frames before
     /// the final outcome.
     QueryView(String),
+    /// Registers an encrypted-multimap index over `table.column` (the server
+    /// re-validates the definition; see `dpsync_edb::emm::IndexDef`).
+    RegisterIndex {
+        /// The index's (engine-global) name.
+        name: String,
+        /// The table the index covers.
+        table: String,
+        /// The indexed column.
+        column: String,
+    },
+    /// `Π_Query` served through a registered index.  As with
+    /// [`Request::Query`], the server may interleave
+    /// [`Response::EntropyRequest`] frames before the final outcome.
+    QueryIndexed {
+        /// The registered index to use.
+        name: String,
+        /// The query to serve through it.
+        query: Query,
+    },
 }
 
 /// A server-to-client message.
@@ -842,6 +861,7 @@ fn intern_kind(kind: &str) -> &'static str {
         "join" => "join",
         "select" => "select",
         "view" => "view",
+        "index" => "index",
         _ => "unknown-query",
     }
 }
@@ -949,6 +969,14 @@ fn put_edb_error(out: &mut Vec<u8>, e: &EdbError) {
             out.push(8);
             put_str(out, msg);
         }
+        EdbError::UnknownIndex(name) => {
+            out.push(9);
+            put_str(out, name);
+        }
+        EdbError::InvalidIndex(msg) => {
+            out.push(10);
+            put_str(out, msg);
+        }
     }
 }
 
@@ -988,6 +1016,8 @@ fn get_edb_error(c: &mut Cursor<'_>) -> Result<EdbError, WireError> {
         6 => EdbError::Storage(get_storage_error(c)?),
         7 => EdbError::UnknownView(c.string()?),
         8 => EdbError::InvalidView(c.string()?),
+        9 => EdbError::UnknownIndex(c.string()?),
+        10 => EdbError::InvalidIndex(c.string()?),
         _ => return Err(WireError::Invalid("unknown edb-error tag")),
     })
 }
@@ -1083,6 +1113,21 @@ impl Request {
                 out.push(0x0A);
                 put_str(&mut out, name);
             }
+            Request::RegisterIndex {
+                name,
+                table,
+                column,
+            } => {
+                out.push(0x0B);
+                put_str(&mut out, name);
+                put_str(&mut out, table);
+                put_str(&mut out, column);
+            }
+            Request::QueryIndexed { name, query } => {
+                out.push(0x0C);
+                put_str(&mut out, name);
+                put_query(&mut out, query);
+            }
         }
         out
     }
@@ -1134,6 +1179,15 @@ impl Request {
                 query: get_query(&mut c)?,
             },
             0x0A => Request::QueryView(c.string()?),
+            0x0B => Request::RegisterIndex {
+                name: c.string()?,
+                table: c.string()?,
+                column: c.string()?,
+            },
+            0x0C => Request::QueryIndexed {
+                name: c.string()?,
+                query: get_query(&mut c)?,
+            },
             _ => return Err(WireError::Invalid("unknown request tag")),
         };
         c.finish()?;
@@ -1311,6 +1365,18 @@ mod tests {
             },
         });
         round_trip_request(Request::QueryView("q1".into()));
+        round_trip_request(Request::RegisterIndex {
+            name: "idx_yellow_pickup_id".into(),
+            table: "yellow".into(),
+            column: "pickup_id".into(),
+        });
+        round_trip_request(Request::QueryIndexed {
+            name: "idx_yellow_pickup_id".into(),
+            query: Query::Count {
+                table: "yellow".into(),
+                predicate: Some(Predicate::Between("pickup_id".into(), 50.0, 100.0)),
+            },
+        });
     }
 
     #[test]
@@ -1396,6 +1462,12 @@ mod tests {
                 engine: "remote",
                 kind: "view",
             },
+            EdbError::UnknownIndex("idx".into()),
+            EdbError::InvalidIndex("range spans too many buckets".into()),
+            EdbError::UnsupportedQuery {
+                engine: "remote",
+                kind: "index",
+            },
         ];
         for error in errors {
             let bytes = Response::Edb(error.clone()).encode();
@@ -1433,6 +1505,18 @@ mod tests {
                 table: "yellow".into(),
                 group_by: "pickup_id".into(),
                 predicate: None,
+            },
+        }
+        .encode();
+        for len in 0..full.len() {
+            let err = Request::decode(&full[..len]).unwrap_err();
+            assert!(matches!(err, WireError::Truncated | WireError::Invalid(_)));
+        }
+        let full = Request::QueryIndexed {
+            name: "idx".into(),
+            query: Query::Count {
+                table: "yellow".into(),
+                predicate: Some(Predicate::Eq("pickup_id".into(), Value::Int(60))),
             },
         }
         .encode();
